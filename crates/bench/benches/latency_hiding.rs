@@ -1,0 +1,41 @@
+//! End-to-end latency hiding: a small Figure 11 instance under Criterion,
+//! comparing Hide and Block modes at fixed worker count.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lhws_bench::{fig11_checksum, run_fig11, Fig11Params};
+use lhws_core::LatencyMode;
+
+fn bench_latency_hiding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_small");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+
+    let params = Fig11Params {
+        n: 64,
+        delta: Duration::from_millis(5),
+        fib_n: 18,
+    };
+    let expect = fig11_checksum(params);
+    let p = 4;
+
+    g.bench_function("lhws_hide", |b| {
+        b.iter(|| {
+            let (t, sum) = run_fig11(params, p, LatencyMode::Hide);
+            assert_eq!(sum, expect);
+            t
+        });
+    });
+    g.bench_function("ws_block", |b| {
+        b.iter(|| {
+            let (t, sum) = run_fig11(params, p, LatencyMode::Block);
+            assert_eq!(sum, expect);
+            t
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_latency_hiding);
+criterion_main!(benches);

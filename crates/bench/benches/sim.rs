@@ -1,0 +1,46 @@
+//! Simulator throughput: rounds per second executing Figure 3's pseudocode
+//! over the paper's workload families.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lhws_dag::gen::{fib, map_reduce, server};
+use lhws_sim::{BaselineSim, LhwsSim, SimConfig};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+
+    let mr = map_reduce(256, 100, 16, 2);
+    g.bench_function("lhws_map_reduce_256_p8", |b| {
+        b.iter(|| {
+            LhwsSim::new(&mr.dag, SimConfig::new(8).seed(1))
+                .run()
+                .rounds
+        });
+    });
+    g.bench_function("ws_map_reduce_256_p8", |b| {
+        b.iter(|| BaselineSim::new(&mr.dag, 8, 1).run().rounds);
+    });
+
+    let sv = server(100, 50, 16, 2);
+    g.bench_function("lhws_server_100_p8", |b| {
+        b.iter(|| {
+            LhwsSim::new(&sv.dag, SimConfig::new(8).seed(1))
+                .run()
+                .rounds
+        });
+    });
+
+    let fb = fib(16, 5);
+    g.bench_function("lhws_fib16_p8", |b| {
+        b.iter(|| {
+            LhwsSim::new(&fb.dag, SimConfig::new(8).seed(1))
+                .run()
+                .rounds
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Bound tables: every theorem/lemma of the paper measured empirically.
+//!
+//! ```text
+//! cargo run -p lhws-bench --release --bin bounds -- [greedy|rounds|deques|steals|all]
+//! ```
+//!
+//! * `greedy` — Theorem 1: greedy schedule length ≤ W/P + S.
+//! * `rounds` — Lemma 1: LHWS rounds ≤ (4W + R)/P.
+//! * `deques` — Lemma 7: max deques per worker ≤ U + 1 (U swept via the
+//!   pipeline workload's width).
+//! * `steals` — Theorem 2: rounds vs. the O(W/P + S·U·(1 + lg U)) bound,
+//!   and steal attempts vs. O(P·S·U·(1 + lg U)).
+
+use lhws_bench::Args;
+use lhws_dag::gen::{fib, map_reduce, pipeline, random_sp, server, RandomSpParams};
+use lhws_dag::offline::{greedy_bound, greedy_schedule, validate_schedule};
+use lhws_dag::{suspension_width, Metrics, WDag};
+use lhws_sim::speedup::run_lhws;
+
+fn families() -> Vec<(String, WDag)> {
+    vec![
+        ("map_reduce(64,d=40)".into(), map_reduce(64, 40, 8, 1).dag),
+        (
+            "map_reduce(256,d=200)".into(),
+            map_reduce(256, 200, 8, 1).dag,
+        ),
+        ("server(40,d=30)".into(), server(40, 30, 8, 1).dag),
+        ("fib(14)".into(), fib(14, 4).dag),
+        ("pipeline(8x6,d=25)".into(), pipeline(8, 6, 25, 3).dag),
+        (
+            "random_sp(seed=3)".into(),
+            random_sp(RandomSpParams::default().seed(3).target_leaves(80)).dag,
+        ),
+    ]
+}
+
+fn table_greedy(ps: &[usize]) {
+    println!("\n## Theorem 1: greedy schedule length <= W/P + S");
+    println!(
+        "{:>24}  {:>4}  {:>10}  {:>10}  {:>10}  {:>6}",
+        "workload", "P", "W", "S", "length", "bound"
+    );
+    for (name, dag) in families() {
+        let m = Metrics::compute(&dag);
+        for &p in ps {
+            let s = greedy_schedule(&dag, p);
+            validate_schedule(&dag, &s).expect("greedy schedule valid");
+            let bound = greedy_bound(&dag, p);
+            assert!(s.length <= bound, "{name} P={p} violates Theorem 1");
+            println!(
+                "{:>24}  {:>4}  {:>10}  {:>10}  {:>10}  {:>6}",
+                name, p, m.work, m.span, s.length, bound
+            );
+        }
+    }
+}
+
+fn table_rounds(ps: &[usize], seed: u64) {
+    println!("\n## Lemma 1: LHWS rounds <= (4W + R)/P   (R = steal attempts)");
+    println!(
+        "{:>24}  {:>4}  {:>10}  {:>10}  {:>10}  {:>10}",
+        "workload", "P", "W", "rounds", "R", "bound"
+    );
+    for (name, dag) in families() {
+        for &p in ps {
+            let s = run_lhws(&dag, p, seed);
+            let bound = s.lemma1_bound(dag.work());
+            assert!(
+                s.rounds <= bound + 1,
+                "{name} P={p}: rounds {} > bound {bound}",
+                s.rounds
+            );
+            println!(
+                "{:>24}  {:>4}  {:>10}  {:>10}  {:>10}  {:>10}",
+                name,
+                p,
+                dag.work(),
+                s.rounds,
+                s.steal_attempts,
+                bound
+            );
+        }
+    }
+}
+
+fn table_deques(ps: &[usize], seed: u64) {
+    println!("\n## Lemma 7: max allocated deques per worker <= U + 1");
+    println!(
+        "{:>8}  {:>4}  {:>6}  {:>12}  {:>8}",
+        "width", "P", "U", "max deques", "U+1"
+    );
+    for width in [1u64, 2, 4, 8, 16, 32] {
+        let wl = pipeline(width, 4, 30, 2);
+        let u = suspension_width(&wl.dag);
+        for &p in ps {
+            let s = run_lhws(&wl.dag, p, seed);
+            assert!(
+                s.max_deques_per_worker <= u + 1,
+                "width={width} P={p} violates Lemma 7"
+            );
+            println!(
+                "{:>8}  {:>4}  {:>6}  {:>12}  {:>8}",
+                width,
+                p,
+                u,
+                s.max_deques_per_worker,
+                u + 1
+            );
+        }
+    }
+}
+
+fn table_steals(seed: u64) {
+    println!("\n## Theorem 2: rounds vs O(W/P + S*U*(1+lgU)); steals vs O(P*S*U*(1+lgU))");
+    println!(
+        "{:>8}  {:>4}  {:>10}  {:>12}  {:>10}  {:>14}",
+        "U", "P", "rounds", "W/P+SUlgU", "steals", "P*S*U*(1+lgU)"
+    );
+    // Sweep U via map-reduce size at fixed leaf work.
+    for n in [4u64, 16, 64, 256] {
+        let wl = map_reduce(n, 60, 16, 1);
+        let dag = &wl.dag;
+        let m = Metrics::compute(dag);
+        let u = suspension_width(dag);
+        let lg = 64 - u.max(1).leading_zeros() as u64;
+        for p in [2usize, 8] {
+            let s = run_lhws(dag, p, seed);
+            let thm2 = m.work / p as u64 + m.span * u * (1 + lg);
+            let steal_bound = p as u64 * m.span * u * (1 + lg);
+            println!(
+                "{:>8}  {:>4}  {:>10}  {:>12}  {:>10}  {:>14}",
+                u, p, s.rounds, thm2, s.steal_attempts, steal_bound
+            );
+        }
+    }
+    println!("# (asymptotic bounds shown without constants; shapes should track)");
+}
+
+fn lg(u: u64) -> u64 {
+    if u <= 1 {
+        0
+    } else {
+        64 - (u - 1).leading_zeros() as u64
+    }
+}
+
+fn table_enabling(seed: u64) {
+    println!("\n## Corollary 1: enabling span S* <= 2*S*(1 + lg U)");
+    println!(
+        "{:>28}  {:>4}  {:>8}  {:>6}  {:>8}  {:>10}",
+        "workload", "P", "S", "U", "S*", "2S(1+lgU)"
+    );
+    for (name, dag) in families() {
+        let m = Metrics::compute(&dag);
+        let u = suspension_width(&dag);
+        for p in [1usize, 4, 16] {
+            let s = run_lhws(&dag, p, seed);
+            let bound = (2 * m.span * (1 + lg(u))).max(m.span);
+            assert!(
+                s.enabling_span <= bound,
+                "{name} P={p} violates Corollary 1"
+            );
+            println!(
+                "{:>28}  {:>4}  {:>8}  {:>6}  {:>8}  {:>10}",
+                name, p, m.span, u, s.enabling_span, bound
+            );
+        }
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let which = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_string();
+    let seed: u64 = args.get("seed", 7);
+    let ps = [1usize, 2, 4, 8, 16];
+
+    println!("# Bound tables (SPAA'16 latency-hiding work stealing)");
+    match which.as_str() {
+        "greedy" => table_greedy(&ps),
+        "rounds" => table_rounds(&ps, seed),
+        "deques" => table_deques(&ps, seed),
+        "steals" => table_steals(seed),
+        "enabling" => table_enabling(seed),
+        _ => {
+            table_greedy(&ps);
+            table_rounds(&ps, seed);
+            table_deques(&ps, seed);
+            table_steals(seed);
+            table_enabling(seed);
+        }
+    }
+    println!("\n# all asserted bounds hold");
+}

@@ -1,0 +1,98 @@
+//! Figure 11 on the real runtime: self-speedup of latency-hiding work
+//! stealing (LHWS) vs. standard blocking work stealing (WS) on the
+//! distributed map-reduce benchmark.
+//!
+//! The paper's parameters were n = 5000 elements, fib(30) per element, and
+//! δ ∈ {500 ms, 50 ms, 1 ms}, on a 30-core machine. The default here is a
+//! scaled-down configuration that finishes in a couple of minutes on a
+//! laptop; pass `--paper` for the full-size run (expect ~an hour at
+//! δ = 500 ms on few cores, since WS must wait out n·δ / P of latency).
+//!
+//! ```text
+//! cargo run -p lhws-bench --release --bin fig11 [-- --n 256 --fib 22 \
+//!     --deltas 100,10,1 --workers 1,2,4,8] [--paper]
+//! ```
+//!
+//! Speedups are relative to the one-worker run of WS, exactly as in the
+//! paper ("the speedup shown is relative to the one-processor run of WS").
+
+use std::time::Duration;
+
+use lhws_bench::{fig11_checksum, fmt_x100, host_sweep, run_fig11, Args, Fig11Params};
+use lhws_core::LatencyMode;
+
+fn main() {
+    let args = Args::parse();
+    let paper = args.flag("paper");
+    let n = args.get("n", if paper { 5000 } else { 256 });
+    let fib_n = args.get("fib", if paper { 30 } else { 22 });
+    let deltas_ms: Vec<u64> = if paper {
+        vec![500, 50, 1]
+    } else {
+        let raw: String = args.get("deltas", "100,10,1".to_string());
+        raw.split(',').filter_map(|s| s.parse().ok()).collect()
+    };
+    let workers: Vec<usize> = {
+        let raw: String = args.get("workers", String::new());
+        if raw.is_empty() {
+            // Thread counts beyond the core count still matter here: a
+            // blocked WS thread sleeps in the kernel, so oversubscribed
+            // workers let WS overlap latency the way extra processors
+            // would (which is exactly what the paper's WS curves show).
+            let mut ps = host_sweep();
+            for extra in [2usize, 4, 8] {
+                if !ps.contains(&extra) {
+                    ps.push(extra);
+                }
+            }
+            ps.sort_unstable();
+            ps
+        } else {
+            raw.split(',').filter_map(|s| s.parse().ok()).collect()
+        }
+    };
+
+    println!("# Figure 11 (real runtime): map-reduce, n={n}, fib({fib_n})");
+    println!("# speedups relative to WS at P=1 for each delta");
+
+    for &delta_ms in &deltas_ms {
+        let params = Fig11Params {
+            n,
+            delta: Duration::from_millis(delta_ms),
+            fib_n,
+        };
+        let expect = fig11_checksum(params);
+
+        println!("\n## delta = {delta_ms} ms");
+        println!(
+            "{:>4}  {:>12}  {:>12}  {:>10}  {:>10}",
+            "P", "LHWS(ms)", "WS(ms)", "LHWS-spd", "WS-spd"
+        );
+
+        let (t1, sum) = run_fig11(params, 1, LatencyMode::Block);
+        assert_eq!(sum, expect, "WS checksum mismatch");
+        let base_us = t1.as_micros().max(1) as u64;
+
+        for &p in &workers {
+            let (tl, s1) = run_fig11(params, p, LatencyMode::Hide);
+            let (tw, s2) = if p == 1 {
+                (t1, expect)
+            } else {
+                run_fig11(params, p, LatencyMode::Block)
+            };
+            assert_eq!(s1, expect, "LHWS checksum mismatch at P={p}");
+            assert_eq!(s2, expect, "WS checksum mismatch at P={p}");
+            let lh_spd = base_us * 100 / tl.as_micros().max(1) as u64;
+            let ws_spd = base_us * 100 / tw.as_micros().max(1) as u64;
+            println!(
+                "{:>4}  {:>12}  {:>12}  {:>10}  {:>10}",
+                p,
+                tl.as_millis(),
+                tw.as_millis(),
+                fmt_x100(lh_spd),
+                fmt_x100(ws_spd)
+            );
+        }
+    }
+    println!("\n# done");
+}

@@ -1,0 +1,60 @@
+//! Figure 11 in the simulator: the exact shape of the paper's three plots
+//! with *virtual* workers up to P = 30 (and beyond), independent of the
+//! host's core count.
+//!
+//! Latency and work are measured in simulator rounds. With the paper's
+//! fib(30) taking a few milliseconds on their hardware, δ = 500 ms
+//! corresponds to a latency ≈ 100–150× the leaf work; δ = 50 ms to ≈ 10×;
+//! δ = 1 ms to ≈ 0.25×. We keep those ratios with `leaf_work = 400`
+//! rounds and δ ∈ {48000, 4800, 100} rounds by default.
+//!
+//! ```text
+//! cargo run -p lhws-bench --release --bin fig11_sim \
+//!     [-- --n 1000 --leaf 400 --deltas 48000,4800,100 --pmax 30]
+//! ```
+
+use lhws_bench::{fmt_x100, Args};
+use lhws_dag::gen::map_reduce;
+use lhws_sim::speedup::speedup_sweep;
+
+fn main() {
+    let args = Args::parse();
+    let n: u64 = args.get("n", 1000);
+    let leaf: u64 = args.get("leaf", 400);
+    let deltas: Vec<u64> = {
+        let raw: String = args.get("deltas", "48000,4800,100".to_string());
+        raw.split(',').filter_map(|s| s.parse().ok()).collect()
+    };
+    let pmax: usize = args.get("pmax", 30);
+    let seed: u64 = args.get("seed", 42);
+
+    let ps: Vec<usize> = (1..=pmax)
+        .filter(|p| *p == 1 || p % 2 == 0 || *p == pmax)
+        .collect();
+
+    println!("# Figure 11 (simulated): map-reduce, n={n}, leaf_work={leaf} rounds");
+    println!("# speedups relative to WS at P=1; latency in rounds");
+
+    for &delta in &deltas {
+        let wl = map_reduce(n, delta, leaf, 1);
+        println!(
+            "\n## delta = {delta} rounds (delta/leaf = {:.2})",
+            delta as f64 / leaf as f64
+        );
+        println!(
+            "{:>4}  {:>12}  {:>12}  {:>10}  {:>10}",
+            "P", "LHWS(rnds)", "WS(rnds)", "LHWS-spd", "WS-spd"
+        );
+        for pt in speedup_sweep(&wl.dag, &ps, seed) {
+            println!(
+                "{:>4}  {:>12}  {:>12}  {:>10}  {:>10}",
+                pt.p,
+                pt.lhws_rounds,
+                pt.ws_rounds,
+                fmt_x100(pt.lhws_speedup_x100),
+                fmt_x100(pt.ws_speedup_x100)
+            );
+        }
+    }
+    println!("\n# done");
+}

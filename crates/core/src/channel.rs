@@ -1,0 +1,453 @@
+//! Message channels whose receive operations suspend through the
+//! latency-hiding machinery.
+//!
+//! The paper's title is about *interacting* parallel computations: threads
+//! that wait for messages from other threads, clients, or devices. These
+//! channels make that interaction first-class:
+//!
+//! * [`oneshot`] — a single-value channel (a future/promise pair).
+//! * [`mpsc`] — an unbounded multi-producer single-consumer queue.
+//!
+//! A receive on an empty channel registers the task against its current
+//! active deque (a heavy edge: `suspendCtr` rises, the worker moves on);
+//! the send that fulfills it routes a resume event to the owning worker —
+//! the same `callback(v, q)` / `addResumedVertices` path as timer-driven
+//! latency. Off-worker (or in blocking mode) receives degrade to ordinary
+//! waker-based waiting.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use parking_lot::Mutex;
+
+use crate::external::{external_op, Canceled, Completer, ExternalOp};
+use crate::timer::ResumeEvent;
+use crate::worker::{self, ExternalRegistration};
+
+// ---------------------------------------------------------------------
+// Oneshot.
+// ---------------------------------------------------------------------
+
+/// Creates a oneshot channel: `tx.send(v)` fulfills `rx.await`.
+pub fn oneshot<T: Send + 'static>() -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let (completer, op) = external_op();
+    (OneshotSender { completer }, OneshotReceiver { op })
+}
+
+/// Sending half of a [`oneshot`] channel.
+#[derive(Debug)]
+pub struct OneshotSender<T: Send + 'static> {
+    completer: Completer<T>,
+}
+
+impl<T: Send + 'static> OneshotSender<T> {
+    /// Sends the value, resuming the receiver. Consumes the sender.
+    pub fn send(self, value: T) {
+        self.completer.complete(value);
+    }
+}
+
+/// Receiving half of a [`oneshot`] channel. Awaiting it yields
+/// `Err(Canceled)` if the sender was dropped without sending.
+#[derive(Debug)]
+pub struct OneshotReceiver<T: Send + 'static> {
+    op: ExternalOp<T>,
+}
+
+impl<T: Send + 'static> Future for OneshotReceiver<T> {
+    type Output = Result<T, Canceled>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Safety: structural pinning of the only field.
+        unsafe { self.map_unchecked_mut(|s| &mut s.op) }.poll(cx)
+    }
+}
+
+// ---------------------------------------------------------------------
+// MPSC.
+// ---------------------------------------------------------------------
+
+/// How the waiting receiver is parked.
+enum RecvWait {
+    Deque(ExternalRegistration),
+    Waker(Waker),
+}
+
+struct MpscState<T> {
+    queue: VecDeque<T>,
+    /// Set while the (single) receiver is parked on an empty queue.
+    wait: Option<RecvWait>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Mpsc<T> {
+    state: Mutex<MpscState<T>>,
+}
+
+impl<T> Mpsc<T> {
+    /// Wakes a parked receiver, if any. Must be called after a state
+    /// change that could unblock it (new message, channel closure).
+    fn notify(wait: Option<RecvWait>) {
+        match wait {
+            None => {}
+            Some(RecvWait::Waker(w)) => w.wake(),
+            Some(RecvWait::Deque(reg)) => {
+                if let Some(rt) = reg.rt.upgrade() {
+                    rt.deliver_resume(
+                        reg.worker,
+                        ResumeEvent {
+                            task: reg.task,
+                            local_deque: reg.local_deque,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Creates an unbounded multi-producer single-consumer channel.
+pub fn mpsc<T: Send + 'static>() -> (MpscSender<T>, MpscReceiver<T>) {
+    let shared = Arc::new(Mpsc {
+        state: Mutex::new(MpscState {
+            queue: VecDeque::new(),
+            wait: None,
+            senders: 1,
+            receiver_alive: true,
+        }),
+    });
+    (
+        MpscSender {
+            shared: shared.clone(),
+        },
+        MpscReceiver { shared },
+    )
+}
+
+/// Error returned by [`MpscSender::send`] when the receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mpsc send failed: receiver dropped")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Sending half of an [`mpsc`] channel. Clone freely.
+pub struct MpscSender<T: Send + 'static> {
+    shared: Arc<Mpsc<T>>,
+}
+
+impl<T: Send + 'static> std::fmt::Debug for MpscSender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpscSender").finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> Clone for MpscSender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().senders += 1;
+        MpscSender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T: Send + 'static> MpscSender<T> {
+    /// Enqueues a message, resuming a parked receiver. Non-blocking (the
+    /// channel is unbounded).
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let wait = {
+            let mut st = self.shared.state.lock();
+            if !st.receiver_alive {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            st.wait.take()
+        };
+        Mpsc::<T>::notify(wait);
+        Ok(())
+    }
+}
+
+impl<T: Send + 'static> Drop for MpscSender<T> {
+    fn drop(&mut self) {
+        let wait = {
+            let mut st = self.shared.state.lock();
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Closure unblocks a parked receiver (it will see the
+                // empty+closed state and resolve to None).
+                st.wait.take()
+            } else {
+                None
+            }
+        };
+        Mpsc::<T>::notify(wait);
+    }
+}
+
+/// Receiving half of an [`mpsc`] channel. Not cloneable.
+pub struct MpscReceiver<T: Send + 'static> {
+    shared: Arc<Mpsc<T>>,
+}
+
+impl<T: Send + 'static> std::fmt::Debug for MpscReceiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpscReceiver").finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> MpscReceiver<T> {
+    /// Receives the next message; `None` once the channel is empty and all
+    /// senders are gone.
+    pub fn recv(&mut self) -> RecvFuture<'_, T> {
+        RecvFuture { rx: self }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.shared.state.lock().queue.pop_front()
+    }
+}
+
+impl<T: Send + 'static> Drop for MpscReceiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock();
+        st.receiver_alive = false;
+        st.queue.clear();
+        // A registration that will never be fulfilled must still deliver
+        // its event so the deque's suspension counter balances.
+        let wait = st.wait.take();
+        drop(st);
+        Mpsc::<T>::notify(wait);
+    }
+}
+
+/// Future returned by [`MpscReceiver::recv`].
+pub struct RecvFuture<'a, T: Send + 'static> {
+    rx: &'a mut MpscReceiver<T>,
+}
+
+impl<T: Send + 'static> Future for RecvFuture<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let shared = self.rx.shared.clone();
+        let mut st = shared.state.lock();
+        if let Some(v) = st.queue.pop_front() {
+            return Poll::Ready(Some(v));
+        }
+        if st.senders == 0 {
+            return Poll::Ready(None);
+        }
+        match &st.wait {
+            Some(RecvWait::Deque(_)) => {
+                // Still registered from an earlier poll; the pending event
+                // pairs with that registration.
+            }
+            _ => match worker::register_external() {
+                Some(reg) => st.wait = Some(RecvWait::Deque(reg)),
+                None => st.wait = Some(RecvWait::Waker(cx.waker().clone())),
+            },
+        }
+        Poll::Pending
+    }
+}
+
+impl<T: Send + 'static> Drop for RecvFuture<'_, T> {
+    fn drop(&mut self) {
+        // A canceled receive must balance its deque registration: deliver
+        // the event now (the task is woken spuriously, which is harmless).
+        let wait = {
+            let mut st = self.rx.shared.state.lock();
+            match st.wait.take() {
+                Some(RecvWait::Deque(reg)) => Some(RecvWait::Deque(reg)),
+                other => {
+                    st.wait = other;
+                    None
+                }
+            }
+        };
+        Mpsc::<T>::notify(wait);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fork2, spawn, Config, Runtime};
+    use std::time::Duration;
+
+    fn rt(workers: usize) -> Runtime {
+        Runtime::new(Config::default().workers(workers)).unwrap()
+    }
+
+    #[test]
+    fn oneshot_roundtrip() {
+        let rt = rt(2);
+        let out = rt.block_on(async {
+            let (tx, rx) = oneshot::<u32>();
+            let (_, got) = fork2(async move { tx.send(41) }, rx).await;
+            got.unwrap() + 1
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn oneshot_sender_dropped() {
+        let rt = rt(2);
+        let out = rt.block_on(async {
+            let (tx, rx) = oneshot::<u32>();
+            drop(tx);
+            rx.await
+        });
+        assert_eq!(out, Err(Canceled));
+    }
+
+    #[test]
+    fn mpsc_pingpong() {
+        let rt = rt(2);
+        let total = rt.block_on(async {
+            let (tx, mut rx) = mpsc::<u64>();
+            let producer = spawn(async move {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                    if i % 10 == 0 {
+                        crate::yield_now().await;
+                    }
+                }
+            });
+            let mut sum = 0;
+            while let Some(v) = rx.recv().await {
+                sum += v;
+            }
+            producer.await;
+            sum
+        });
+        assert_eq!(total, (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn mpsc_multiple_producers() {
+        let rt = rt(4);
+        let total = rt.block_on(async {
+            let (tx, mut rx) = mpsc::<u64>();
+            let producers: Vec<_> = (0..4)
+                .map(|p| {
+                    let tx = tx.clone();
+                    spawn(async move {
+                        for i in 0..50u64 {
+                            crate::simulate_latency(Duration::from_micros(200)).await;
+                            tx.send(p * 1000 + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            let mut count = 0u64;
+            let mut sum = 0u64;
+            while let Some(v) = rx.recv().await {
+                count += 1;
+                sum += v;
+            }
+            for p in producers {
+                p.await;
+            }
+            (count, sum)
+        });
+        assert_eq!(total.0, 200);
+        let expect: u64 = (0..4u64)
+            .map(|p| (0..50).map(|i| p * 1000 + i).sum::<u64>())
+            .sum();
+        assert_eq!(total.1, expect);
+    }
+
+    #[test]
+    fn mpsc_close_unblocks_receiver() {
+        let rt = rt(2);
+        let out = rt.block_on(async {
+            let (tx, mut rx) = mpsc::<u32>();
+            let closer = spawn(async move {
+                crate::simulate_latency(Duration::from_millis(5)).await;
+                drop(tx);
+            });
+            let got = rx.recv().await;
+            closer.await;
+            got
+        });
+        assert_eq!(out, None);
+    }
+
+    #[test]
+    fn mpsc_send_after_receiver_drop_fails() {
+        let rt = rt(2);
+        rt.block_on(async {
+            let (tx, rx) = mpsc::<u32>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        });
+    }
+
+    #[test]
+    fn mpsc_try_recv() {
+        let rt = rt(2);
+        rt.block_on(async {
+            let (tx, mut rx) = mpsc::<u32>();
+            assert_eq!(rx.try_recv(), None);
+            tx.send(9).unwrap();
+            assert_eq!(rx.try_recv(), Some(9));
+        });
+    }
+
+    #[test]
+    fn mpsc_from_external_thread() {
+        // Senders living entirely outside the runtime: the receiver
+        // suspends on its deque; sends resume it via the inbox.
+        let rt = rt(2);
+        let (tx, mut rx) = mpsc::<u64>();
+        let feeder = std::thread::spawn(move || {
+            for i in 0..64 {
+                tx.send(i).unwrap();
+                if i % 8 == 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        });
+        let sum = rt.block_on(async move {
+            let mut s = 0;
+            while let Some(v) = rx.recv().await {
+                s += v;
+            }
+            s
+        });
+        feeder.join().unwrap();
+        assert_eq!(sum, (0..64).sum::<u64>());
+    }
+
+    #[test]
+    fn receiver_suspension_uses_deque_path() {
+        let rt = rt(2);
+        let (tx, mut rx) = mpsc::<u32>();
+        let feeder = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(1).unwrap();
+        });
+        rt.block_on(async move {
+            assert_eq!(rx.recv().await, Some(1));
+        });
+        feeder.join().unwrap();
+        let m = rt.metrics();
+        assert!(
+            m.suspensions >= 1 && m.resumes >= m.suspensions,
+            "the parked receive went through the suspension machinery: {m:?}"
+        );
+    }
+}

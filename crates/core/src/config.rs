@@ -1,0 +1,160 @@
+//! Runtime configuration.
+
+use lhws_deque::DequeKind;
+
+/// How the runtime treats latency-incurring operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatencyMode {
+    /// Latency-hiding work stealing (the paper's algorithm): a task that
+    /// incurs latency suspends, its worker switches to other work, and the
+    /// task is reinjected through the resumed-vertices machinery.
+    #[default]
+    Hide,
+    /// The baseline the paper compares against: the worker *blocks* (the
+    /// thread sleeps) for the full latency. One deque per worker; classic
+    /// work stealing.
+    Block,
+}
+
+/// Victim-selection policy for steals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StealPolicy {
+    /// The analyzed algorithm: a uniformly random deque from the global
+    /// registry (possibly freed or empty — a failed attempt).
+    #[default]
+    RandomDeque,
+    /// The paper's §6 optimization: pick a random *worker*, then a random
+    /// deque from the deques that worker currently advertises as
+    /// stealable. Requires a little synchronization between workers but
+    /// wastes fewer attempts on empty deques.
+    WorkerThenDeque,
+}
+
+/// Configuration for [`crate::Runtime`]. Build with the fluent setters.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of worker threads (default: available parallelism).
+    pub workers: usize,
+    /// Latency handling mode.
+    pub mode: LatencyMode,
+    /// Steal policy.
+    pub steal_policy: StealPolicy,
+    /// Deque implementation.
+    pub deque_kind: DequeKind,
+    /// Capacity of the global deque registry (`gDeques`). By Lemma 7 the
+    /// algorithm needs at most `P · (U + 1)` deques; the default of 65 536
+    /// is comfortable for any realistic suspension width.
+    pub registry_capacity: usize,
+    /// How long an idle worker parks between scavenging rounds, in
+    /// microseconds. Bounds wake-up staleness for events that race with
+    /// parking.
+    pub park_micros: u64,
+    /// Pfor unfolding grain: resumed batches of at most this size are
+    /// scheduled directly; larger batches split in half into stealable
+    /// subtasks.
+    pub pfor_grain: usize,
+    /// Seed for the per-worker victim-selection RNGs.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            mode: LatencyMode::default(),
+            steal_policy: StealPolicy::default(),
+            deque_kind: DequeKind::default(),
+            registry_capacity: 1 << 16,
+            park_micros: 100,
+            pfor_grain: 4,
+            seed: 0x1A7E_11C1,
+        }
+    }
+}
+
+impl Config {
+    /// Sets the number of worker threads.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Sets the latency-handling mode.
+    pub fn mode(mut self, m: LatencyMode) -> Self {
+        self.mode = m;
+        self
+    }
+
+    /// Sets the steal policy.
+    pub fn steal_policy(mut self, p: StealPolicy) -> Self {
+        self.steal_policy = p;
+        self
+    }
+
+    /// Sets the deque implementation.
+    pub fn deque_kind(mut self, k: DequeKind) -> Self {
+        self.deque_kind = k;
+        self
+    }
+
+    /// Sets the registry capacity.
+    pub fn registry_capacity(mut self, c: usize) -> Self {
+        self.registry_capacity = c.max(self.workers);
+        self
+    }
+
+    /// Sets the idle park interval in microseconds.
+    pub fn park_micros(mut self, us: u64) -> Self {
+        self.park_micros = us.max(1);
+        self
+    }
+
+    /// Sets the pfor unfolding grain.
+    pub fn pfor_grain(mut self, g: usize) -> Self {
+        self.pfor_grain = g.max(1);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = Config::default();
+        assert!(c.workers >= 1);
+        assert_eq!(c.mode, LatencyMode::Hide);
+        assert_eq!(c.steal_policy, StealPolicy::RandomDeque);
+        assert!(c.registry_capacity >= c.workers);
+    }
+
+    #[test]
+    fn setters_clamp() {
+        let c = Config::default().workers(0).pfor_grain(0).park_micros(0);
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.pfor_grain, 1);
+        assert_eq!(c.park_micros, 1);
+    }
+
+    #[test]
+    fn fluent_chain() {
+        let c = Config::default()
+            .workers(3)
+            .mode(LatencyMode::Block)
+            .steal_policy(StealPolicy::WorkerThenDeque)
+            .seed(9);
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.mode, LatencyMode::Block);
+        assert_eq!(c.steal_policy, StealPolicy::WorkerThenDeque);
+        assert_eq!(c.seed, 9);
+    }
+}

@@ -1,0 +1,269 @@
+//! External operations: latency-incurring operations completed by the
+//! outside world.
+//!
+//! [`simulate_latency`](crate::simulate_latency) models latency with a
+//! timer, as the paper's own benchmark did. Real programs wait on *events*:
+//! a network reply, a user keystroke, a device interrupt. [`external_op`]
+//! provides exactly that — a one-shot operation whose task side suspends
+//! through the same heavy-edge machinery (the deque's `suspendCtr`, the
+//! owner's inbox, `addResumedVertices`) and whose [`Completer`] can be
+//! fired from **any** thread.
+//!
+//! Semantics:
+//!
+//! * On a latency-hiding worker, the first `Pending` poll registers the
+//!   task against its current (worker, active deque) pair, exactly like a
+//!   timer suspension. `Completer::complete` then routes a resume event to
+//!   the owning worker's inbox.
+//! * Re-polls before completion (spurious wakes) keep the original
+//!   registration: one registration pairs with exactly one resume event,
+//!   so suspension counters always balance. The deque recorded at first
+//!   suspension remains the task's home deque for this operation.
+//! * Off-worker (or in blocking mode), the future degrades to ordinary
+//!   waker-based waiting — no deque bookkeeping, completion wakes the task
+//!   through the injector.
+//! * Dropping the `Completer` without completing cancels the operation:
+//!   the future resolves to `Err(Canceled)` and a resume event is still
+//!   delivered so the suspension count stays balanced.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use parking_lot::Mutex;
+
+use crate::timer::ResumeEvent;
+use crate::worker::{self, ExternalRegistration};
+
+/// The operation was canceled: its [`Completer`] was dropped unfired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Canceled;
+
+impl std::fmt::Display for Canceled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "external operation canceled: completer dropped")
+    }
+}
+
+impl std::error::Error for Canceled {}
+
+enum OpState<T> {
+    /// Created; not yet polled, not yet completed.
+    Idle,
+    /// Suspended on a worker deque, waiting for completion.
+    Registered(ExternalRegistration),
+    /// Waiting off-worker with a plain waker.
+    Waiting(Waker),
+    /// Completed (or canceled); value not yet taken.
+    Done(Result<T, Canceled>),
+    /// Value delivered to the future.
+    Finished,
+}
+
+struct Shared<T> {
+    state: Mutex<OpState<T>>,
+}
+
+/// Creates a one-shot external operation: the [`ExternalOp`] future
+/// suspends until the [`Completer`] fires (from any thread).
+pub fn external_op<T: Send + 'static>() -> (Completer<T>, ExternalOp<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(OpState::Idle),
+    });
+    (
+        Completer {
+            shared: Some(shared.clone()),
+        },
+        ExternalOp { shared },
+    )
+}
+
+/// Completion side of an [`external_op`]. Firing it resumes the waiting
+/// task; dropping it unfired cancels the operation.
+pub struct Completer<T: Send + 'static> {
+    shared: Option<Arc<Shared<T>>>,
+}
+
+impl<T: Send + 'static> std::fmt::Debug for Completer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Completer").finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> Completer<T> {
+    /// Completes the operation with `value`, resuming the waiting task.
+    pub fn complete(mut self, value: T) {
+        if let Some(shared) = self.shared.take() {
+            settle(&shared, Ok(value));
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for Completer<T> {
+    fn drop(&mut self) {
+        if let Some(shared) = self.shared.take() {
+            settle(&shared, Err(Canceled));
+        }
+    }
+}
+
+/// Stores the outcome and resumes/wakes the waiter, if any.
+fn settle<T: Send + 'static>(shared: &Shared<T>, outcome: Result<T, Canceled>) {
+    let prev = {
+        let mut st = shared.state.lock();
+        std::mem::replace(&mut *st, OpState::Done(outcome))
+    };
+    match prev {
+        OpState::Idle => {}
+        OpState::Waiting(w) => w.wake(),
+        OpState::Registered(reg) => {
+            // The paper's callback(v, q): deliver a resume event to the
+            // worker owning the deque the task suspended on.
+            if let Some(rt) = reg.rt.upgrade() {
+                rt.deliver_resume(
+                    reg.worker,
+                    ResumeEvent {
+                        task: reg.task,
+                        local_deque: reg.local_deque,
+                    },
+                );
+            }
+        }
+        OpState::Done(_) | OpState::Finished => unreachable!("completed twice"),
+    }
+}
+
+/// Future side of an [`external_op`]. Resolves when the completer fires.
+pub struct ExternalOp<T: Send + 'static> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T: Send + 'static> std::fmt::Debug for ExternalOp<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExternalOp").finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> Future for ExternalOp<T> {
+    type Output = Result<T, Canceled>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.shared.state.lock();
+        match &mut *st {
+            OpState::Done(_) => {
+                let OpState::Done(v) = std::mem::replace(&mut *st, OpState::Finished) else {
+                    unreachable!()
+                };
+                Poll::Ready(v)
+            }
+            OpState::Finished => panic!("ExternalOp polled after completion"),
+            OpState::Registered(_) => {
+                // Spurious re-poll while suspended: keep the original
+                // registration (it pairs with the one pending event).
+                Poll::Pending
+            }
+            st_ref @ (OpState::Idle | OpState::Waiting(_)) => {
+                match worker::register_external() {
+                    Some(reg) => *st_ref = OpState::Registered(reg),
+                    None => *st_ref = OpState::Waiting(cx.waker().clone()),
+                }
+                Poll::Pending
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Config, Runtime};
+    use std::time::Duration;
+
+    #[test]
+    fn complete_before_poll() {
+        let rt = Runtime::new(Config::default().workers(2)).unwrap();
+        let (c, op) = external_op::<u32>();
+        c.complete(7);
+        assert_eq!(rt.block_on(op), Ok(7));
+    }
+
+    #[test]
+    fn complete_from_external_thread() {
+        let rt = Runtime::new(Config::default().workers(2)).unwrap();
+        let (c, op) = external_op::<String>();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            c.complete("hello".to_string());
+        });
+        let got = rt.block_on(op);
+        assert_eq!(got.as_deref(), Ok("hello"));
+        t.join().unwrap();
+        let m = rt.metrics();
+        assert_eq!(m.suspensions, 1, "the op suspended through the deque path");
+        assert_eq!(m.resumes, 1);
+    }
+
+    #[test]
+    fn cancellation_surfaces() {
+        let rt = Runtime::new(Config::default().workers(2)).unwrap();
+        let (c, op) = external_op::<u32>();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            drop(c);
+        });
+        assert_eq!(rt.block_on(op), Err(Canceled));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn many_external_ops_in_flight() {
+        let rt = Runtime::new(Config::default().workers(2)).unwrap();
+        let n = 200;
+        let mut completers = Vec::new();
+        let mut ops = Vec::new();
+        for _ in 0..n {
+            let (c, op) = external_op::<u64>();
+            completers.push(c);
+            ops.push(op);
+        }
+        let firing = std::thread::spawn(move || {
+            for (i, c) in completers.into_iter().enumerate() {
+                c.complete(i as u64);
+            }
+        });
+        let sum = rt.block_on(async move {
+            let handles: Vec<_> = ops
+                .into_iter()
+                .map(|op| crate::spawn(async move { op.await.unwrap() }))
+                .collect();
+            let mut s = 0;
+            for h in handles {
+                s += h.await;
+            }
+            s
+        });
+        firing.join().unwrap();
+        assert_eq!(sum, (0..n as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn off_runtime_waiting_path() {
+        // Completed op polled off any runtime resolves via the waker path.
+        let (c, mut op) = external_op::<u32>();
+        use std::task::Wake;
+        struct Flag(std::sync::atomic::AtomicBool);
+        impl Wake for Flag {
+            fn wake(self: Arc<Self>) {
+                self.0.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let flag = Arc::new(Flag(std::sync::atomic::AtomicBool::new(false)));
+        let waker = Waker::from(flag.clone());
+        let mut cx = Context::from_waker(&waker);
+        assert!(Pin::new(&mut op).poll(&mut cx).is_pending());
+        c.complete(5);
+        assert!(flag.0.load(std::sync::atomic::Ordering::SeqCst));
+        assert_eq!(Pin::new(&mut op).poll(&mut cx), Poll::Ready(Ok(5)));
+    }
+}

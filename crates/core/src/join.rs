@@ -1,0 +1,218 @@
+//! Join handles: awaiting another task's result.
+//!
+//! A join edge is a *light* synchronization edge in the paper's model: the
+//! joining task suspends without charging the active deque's suspension
+//! counter, and the completing child re-enables it through the ordinary
+//! waker path (pushed onto the completer's active deque — the enabling-edge
+//! semantics of work stealing).
+
+use std::any::Any;
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use parking_lot::Mutex;
+
+/// Payload of a propagated panic.
+pub(crate) type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Shared completion cell between a task and its join handle.
+#[derive(Debug)]
+pub(crate) struct JoinCell<T> {
+    inner: Mutex<JoinState<T>>,
+}
+
+#[derive(Debug)]
+struct JoinState<T> {
+    result: Option<Result<T, PanicPayload>>,
+    waker: Option<Waker>,
+}
+
+impl<T> JoinCell<T> {
+    pub fn new() -> Arc<Self> {
+        Arc::new(JoinCell {
+            inner: Mutex::new(JoinState {
+                result: None,
+                waker: None,
+            }),
+        })
+    }
+
+    /// Stores the result and wakes the joiner, if any.
+    pub fn complete(&self, result: Result<T, PanicPayload>) {
+        let waker = {
+            let mut s = self.inner.lock();
+            debug_assert!(s.result.is_none(), "task completed twice");
+            s.result = Some(result);
+            s.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+
+    fn poll_result(&self, cx: &mut Context<'_>) -> Poll<Result<T, PanicPayload>> {
+        let mut s = self.inner.lock();
+        if let Some(r) = s.result.take() {
+            Poll::Ready(r)
+        } else {
+            // Replace rather than clone_from: wakers are cheap Arc clones.
+            s.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+
+    /// Non-blocking check used by `JoinHandle::is_finished`.
+    pub fn is_done(&self) -> bool {
+        self.inner.lock().result.is_some()
+    }
+}
+
+/// Handle to a spawned task. Awaiting it yields the task's output; if the
+/// task panicked, the panic is propagated to the awaiter (matching the
+/// fork-join semantics where a child's panic surfaces at the join point).
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    cell: Arc<JoinCell<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub(crate) fn new(cell: Arc<JoinCell<T>>) -> Self {
+        JoinHandle { cell }
+    }
+
+    /// True if the task has completed (successfully or by panic).
+    pub fn is_finished(&self) -> bool {
+        self.cell.is_done()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        match self.cell.poll_result(cx) {
+            Poll::Ready(Ok(v)) => Poll::Ready(v),
+            Poll::Ready(Err(payload)) => std::panic::resume_unwind(payload),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Future adapter that converts a panic during `poll` into a
+/// `Ready(Err(payload))`, so task bodies never unwind through the worker.
+pub(crate) struct CatchUnwind<F> {
+    inner: F,
+}
+
+impl<F> CatchUnwind<F> {
+    pub fn new(inner: F) -> Self {
+        CatchUnwind { inner }
+    }
+}
+
+impl<F: Future> Future for CatchUnwind<F> {
+    type Output = Result<F::Output, PanicPayload>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Safety: structural pinning of the only field.
+        let inner = unsafe { self.map_unchecked_mut(|s| &mut s.inner) };
+        match catch_unwind(AssertUnwindSafe(|| inner.poll(cx))) {
+            Ok(Poll::Ready(v)) => Poll::Ready(Ok(v)),
+            Ok(Poll::Pending) => Poll::Pending,
+            Err(payload) => Poll::Ready(Err(payload)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::task::Wake;
+
+    struct NoopWake;
+    impl Wake for NoopWake {
+        fn wake(self: Arc<Self>) {}
+    }
+
+    fn noop_cx_waker() -> Waker {
+        Waker::from(Arc::new(NoopWake))
+    }
+
+    #[test]
+    fn complete_then_poll() {
+        let cell = JoinCell::new();
+        cell.complete(Ok(42));
+        let mut h = JoinHandle::new(cell);
+        let waker = noop_cx_waker();
+        let mut cx = Context::from_waker(&waker);
+        assert!(matches!(Pin::new(&mut h).poll(&mut cx), Poll::Ready(42)));
+    }
+
+    #[test]
+    fn poll_then_complete_wakes() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        struct Flag(AtomicBool);
+        impl Wake for Flag {
+            fn wake(self: Arc<Self>) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+        let flag = Arc::new(Flag(AtomicBool::new(false)));
+        let waker = Waker::from(flag.clone());
+        let mut cx = Context::from_waker(&waker);
+
+        let cell = JoinCell::new();
+        let mut h = JoinHandle::new(cell.clone());
+        assert!(Pin::new(&mut h).poll(&mut cx).is_pending());
+        assert!(!h.is_finished());
+        cell.complete(Ok("done"));
+        assert!(flag.0.load(Ordering::SeqCst), "completion wakes the joiner");
+        assert!(h.is_finished());
+        assert!(matches!(
+            Pin::new(&mut h).poll(&mut cx),
+            Poll::Ready("done")
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "child panicked")]
+    fn panic_propagates_at_join() {
+        let cell = JoinCell::<()>::new();
+        cell.complete(Err(Box::new("child panicked".to_string())));
+        let mut h = JoinHandle::new(cell);
+        let waker = noop_cx_waker();
+        let mut cx = Context::from_waker(&waker);
+        let _ = Pin::new(&mut h).poll(&mut cx);
+    }
+
+    #[test]
+    fn catch_unwind_maps_panic() {
+        struct Bomb;
+        impl Future for Bomb {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, _: &mut Context<'_>) -> Poll<()> {
+                panic!("boom");
+            }
+        }
+        let mut f = CatchUnwind::new(Bomb);
+        let waker = noop_cx_waker();
+        let mut cx = Context::from_waker(&waker);
+        // Silence the default panic hook for this expected panic.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = Pin::new(&mut f).poll(&mut cx);
+        std::panic::set_hook(prev);
+        assert!(matches!(out, Poll::Ready(Err(_))));
+    }
+
+    #[test]
+    fn catch_unwind_passes_values() {
+        let mut f = CatchUnwind::new(std::future::ready(5));
+        let waker = noop_cx_waker();
+        let mut cx = Context::from_waker(&waker);
+        assert!(matches!(Pin::new(&mut f).poll(&mut cx), Poll::Ready(Ok(5))));
+    }
+}

@@ -1,0 +1,216 @@
+//! Latency-hiding work-stealing runtime.
+//!
+//! The primary contribution of *Muller & Acar, SPAA 2016*, as a real
+//! multithreaded executor: user-level tasks (futures) are scheduled by work
+//! stealing where each worker owns **many deques**, one active at a time. A
+//! task that performs a latency-incurring operation ([`simulate_latency`],
+//! [`RemoteService`]) *suspends* — its worker switches to other work
+//! instead of blocking — and is reinjected in parallel with its batch when
+//! the latency expires. On computations with no latency the runtime
+//! behaves exactly like standard work stealing (one deque per worker).
+//!
+//! The paper's experimental baseline is one config knob away:
+//! [`LatencyMode::Block`] makes latency operations block the worker thread,
+//! turning the runtime into a conventional work stealer.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lhws_core::{Runtime, Config, fork2, simulate_latency};
+//! use std::time::Duration;
+//!
+//! let rt = Runtime::new(Config::default().workers(2)).unwrap();
+//! let sum = rt.block_on(async {
+//!     let (a, b) = fork2(
+//!         async { 20u32 },
+//!         async {
+//!             simulate_latency(Duration::from_millis(2)).await; // suspends
+//!             22u32
+//!         },
+//!     )
+//!     .await;
+//!     a + b
+//! });
+//! assert_eq!(sum, 42);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod channel;
+mod config;
+pub mod external;
+mod join;
+mod latency;
+mod metrics;
+mod pfor;
+mod runtime;
+mod task;
+mod timer;
+mod worker;
+
+pub use config::{Config, LatencyMode, StealPolicy};
+pub use external::{external_op, Canceled, Completer, ExternalOp};
+pub use join::JoinHandle;
+pub use latency::{latency_until, simulate_latency, LatencyFuture, LatencyProfile, RemoteService};
+pub use metrics::Metrics;
+pub use runtime::{Runtime, RuntimeError};
+
+use std::future::Future;
+
+/// Spawns a task onto the current runtime's active deque (the fork of a
+/// fork-join). Must be called from inside a task (`Runtime::block_on` /
+/// `Runtime::spawn`).
+///
+/// # Panics
+/// Panics when called off a runtime worker thread.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let rt = worker_runtime_or_panic();
+    runtime_spawn(&rt, fut)
+}
+
+fn worker_runtime_or_panic() -> std::sync::Arc<runtime::RtInner> {
+    worker_current().expect(
+        "lhws::spawn / lhws::fork2 require a worker context: \
+         call them inside Runtime::block_on or Runtime::spawn",
+    )
+}
+
+fn worker_current() -> Option<std::sync::Arc<runtime::RtInner>> {
+    worker::current_runtime()
+}
+
+fn runtime_spawn<F>(rt: &std::sync::Arc<runtime::RtInner>, fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    runtime::spawn_on(rt, fut)
+}
+
+/// Binary fork-join: spawns `right` as a stealable child task, runs `left`
+/// inline as the continuation (the left child keeps the higher priority,
+/// as in the paper's edge ordering), then joins.
+///
+/// Mirrors the paper's `fork2(e1, e2)` (Figures 8 and 10). A panic in
+/// either branch propagates at the join point.
+pub async fn fork2<A, B>(left: A, right: B) -> (A::Output, B::Output)
+where
+    A: Future,
+    B: Future + Send + 'static,
+    B::Output: Send + 'static,
+{
+    let handle = spawn(right);
+    let la = left.await;
+    let rb = handle.await;
+    (la, rb)
+}
+
+/// Recursively fork-joins `f` over `lo..hi`, two halves at a time — the
+/// skeleton of the paper's `distMapReduce` (Figure 8). Results are combined
+/// with `g` (associative, with identity `id` for the empty range).
+pub fn par_map_reduce<T, Ff, Fut, G>(
+    lo: u64,
+    hi: u64,
+    f: Ff,
+    g: G,
+    id: T,
+) -> std::pin::Pin<Box<dyn Future<Output = T> + Send>>
+where
+    T: Send + 'static,
+    Ff: Fn(u64) -> Fut + Send + Sync + Clone + 'static,
+    Fut: Future<Output = T> + Send + 'static,
+    G: Fn(T, T) -> T + Send + Sync + Clone + 'static,
+{
+    Box::pin(async move {
+        let n = hi.saturating_sub(lo);
+        match n {
+            0 => id,
+            1 => f(lo).await,
+            _ => {
+                let piv = lo + n / 2;
+                let (r1, r2) = fork2(
+                    par_map_reduce(lo, piv, f.clone(), g.clone(), id),
+                    // The identity for the right half is never used when
+                    // the range is non-empty; synthesize via g on award?
+                    // No: pass through recursion only for empty ranges,
+                    // which cannot occur here (piv < hi).
+                    par_map_reduce_nonempty(piv, hi, f, g.clone()),
+                )
+                .await;
+                g(r1, r2)
+            }
+        }
+    })
+}
+
+fn par_map_reduce_nonempty<T, Ff, Fut, G>(
+    lo: u64,
+    hi: u64,
+    f: Ff,
+    g: G,
+) -> std::pin::Pin<Box<dyn Future<Output = T> + Send>>
+where
+    T: Send + 'static,
+    Ff: Fn(u64) -> Fut + Send + Sync + Clone + 'static,
+    Fut: Future<Output = T> + Send + 'static,
+    G: Fn(T, T) -> T + Send + Sync + Clone + 'static,
+{
+    debug_assert!(lo < hi);
+    Box::pin(async move {
+        if hi - lo == 1 {
+            f(lo).await
+        } else {
+            let piv = lo + (hi - lo) / 2;
+            let (r1, r2) = fork2(
+                par_map_reduce_nonempty(lo, piv, f.clone(), g.clone()),
+                par_map_reduce_nonempty(piv, hi, f, g.clone()),
+            )
+            .await;
+            g(r1, r2)
+        }
+    })
+}
+
+/// Awaits every handle in order, collecting the results. The tasks were
+/// already spawned, so they run in parallel; this only sequences the joins.
+pub async fn join_all<T>(handles: impl IntoIterator<Item = JoinHandle<T>>) -> Vec<T> {
+    let mut out = Vec::new();
+    for h in handles {
+        out.push(h.await);
+    }
+    out
+}
+
+/// Cooperatively yields the current task once: it is requeued at the
+/// bottom of the active deque and re-polled after anything enabled in the
+/// meantime.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+#[derive(Debug)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<()> {
+        if self.yielded {
+            std::task::Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            std::task::Poll::Pending
+        }
+    }
+}

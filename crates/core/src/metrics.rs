@@ -1,0 +1,131 @@
+//! Runtime metrics: relaxed atomic counters, cheap on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters shared by all workers. All updates are `Relaxed`: metrics are
+/// diagnostics, not synchronization.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub polls: AtomicU64,
+    pub tasks_spawned: AtomicU64,
+    pub steals_attempted: AtomicU64,
+    pub steals_succeeded: AtomicU64,
+    pub deque_switches: AtomicU64,
+    pub deques_allocated: AtomicU64,
+    pub suspensions: AtomicU64,
+    pub resumes: AtomicU64,
+    pub pfor_batches: AtomicU64,
+    pub max_deques_per_worker: AtomicU64,
+}
+
+impl Counters {
+    #[inline]
+    pub fn bump(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Monotonic max update.
+    pub fn observe_deques(&self, live: u64) {
+        self.max_deques_per_worker
+            .fetch_max(live, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> Metrics {
+        Metrics {
+            polls: self.polls.load(Ordering::Relaxed),
+            tasks_spawned: self.tasks_spawned.load(Ordering::Relaxed),
+            steals_attempted: self.steals_attempted.load(Ordering::Relaxed),
+            steals_succeeded: self.steals_succeeded.load(Ordering::Relaxed),
+            deque_switches: self.deque_switches.load(Ordering::Relaxed),
+            deques_allocated: self.deques_allocated.load(Ordering::Relaxed),
+            suspensions: self.suspensions.load(Ordering::Relaxed),
+            resumes: self.resumes.load(Ordering::Relaxed),
+            pfor_batches: self.pfor_batches.load(Ordering::Relaxed),
+            max_deques_per_worker: self.max_deques_per_worker.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the runtime's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Task polls performed (≥ task count; re-polls after suspension add).
+    pub polls: u64,
+    /// Tasks ever spawned (including pfor batch tasks).
+    pub tasks_spawned: u64,
+    /// Steal attempts `R`.
+    pub steals_attempted: u64,
+    /// Successful steals.
+    pub steals_succeeded: u64,
+    /// Deque switches (idle worker resumed one of its ready deques).
+    pub deque_switches: u64,
+    /// Deques ever allocated in the global registry.
+    pub deques_allocated: u64,
+    /// Latency suspensions recorded.
+    pub suspensions: u64,
+    /// Resume events delivered.
+    pub resumes: u64,
+    /// Resumed-vertex batches injected (pfor vertices pushed).
+    pub pfor_batches: u64,
+    /// Maximum live (non-freed) deques any worker owned at once
+    /// (Lemma 7: ≤ U + 1).
+    pub max_deques_per_worker: u64,
+}
+
+impl Metrics {
+    /// Difference between two snapshots (per-run metrics from a long-lived
+    /// runtime).
+    pub fn since(&self, earlier: &Metrics) -> Metrics {
+        Metrics {
+            polls: self.polls - earlier.polls,
+            tasks_spawned: self.tasks_spawned - earlier.tasks_spawned,
+            steals_attempted: self.steals_attempted - earlier.steals_attempted,
+            steals_succeeded: self.steals_succeeded - earlier.steals_succeeded,
+            deque_switches: self.deque_switches - earlier.deque_switches,
+            deques_allocated: self.deques_allocated - earlier.deques_allocated,
+            suspensions: self.suspensions - earlier.suspensions,
+            resumes: self.resumes - earlier.resumes,
+            pfor_batches: self.pfor_batches - earlier.pfor_batches,
+            // Max is global, not differentiable; keep the later value.
+            max_deques_per_worker: self.max_deques_per_worker,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let c = Counters::default();
+        c.bump(&c.polls);
+        c.bump(&c.polls);
+        c.bump(&c.suspensions);
+        let m = c.snapshot();
+        assert_eq!(m.polls, 2);
+        assert_eq!(m.suspensions, 1);
+        assert_eq!(m.resumes, 0);
+    }
+
+    #[test]
+    fn observe_deques_keeps_max() {
+        let c = Counters::default();
+        c.observe_deques(3);
+        c.observe_deques(1);
+        c.observe_deques(7);
+        c.observe_deques(2);
+        assert_eq!(c.snapshot().max_deques_per_worker, 7);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let c = Counters::default();
+        c.bump(&c.polls);
+        let a = c.snapshot();
+        c.bump(&c.polls);
+        c.bump(&c.polls);
+        let b = c.snapshot();
+        assert_eq!(b.since(&a).polls, 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Pfor tasks: parallel reinjection of resumed vertices.
+//!
+//! When several suspended tasks belonging to one deque resume together, the
+//! owner cannot afford to re-schedule them one by one (the paper: "since
+//! there can be arbitrarily many resumed vertices at a check point, a
+//! worker cannot handle them by itself without harming performance").
+//! Instead, `addResumedVertices` pushes a single *pfor* task holding the
+//! whole batch. When that task runs — on the owner or on a thief — it
+//! splits the batch in half, re-pushing one half as a fresh stealable pfor
+//! task, until batches reach the configured grain and the resumed tasks
+//! themselves are scheduled. The unfolding forms a balanced binary tree
+//! with logarithmic span and at most one internal node per leaf, exactly
+//! the pfor tree of the paper's analysis (§4.1).
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll};
+
+use crate::runtime::RtInner;
+use crate::task::{Task, TaskRef};
+use crate::worker;
+
+/// Future body of a pfor task.
+struct PforFuture {
+    tasks: Vec<TaskRef>,
+    grain: usize,
+}
+
+impl Future for PforFuture {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let grain = self.grain.max(1);
+        let mut tasks = std::mem::take(&mut self.tasks);
+        // Split off stealable halves until the remainder fits the grain.
+        while tasks.len() > grain {
+            let right = tasks.split_off(tasks.len() / 2);
+            let rt = worker::current_runtime().expect("pfor tasks only run on worker threads");
+            let sub = new_pfor_task(&rt, right);
+            worker::push_queued_task(sub);
+        }
+        worker::schedule_resumed_batch(tasks);
+        Poll::Ready(())
+    }
+}
+
+/// Creates a QUEUED pfor task over `tasks` (ready to be pushed to a deque).
+pub(crate) fn new_pfor_task(rt: &Arc<RtInner>, tasks: Vec<TaskRef>) -> TaskRef {
+    debug_assert!(!tasks.is_empty());
+    rt.counters.bump(&rt.counters.tasks_spawned);
+    let fut = PforFuture {
+        tasks,
+        grain: rt.config.pfor_grain,
+    };
+    Task::new_queued(Arc::downgrade(rt), Box::pin(fut))
+}

@@ -1,0 +1,282 @@
+//! The runtime: worker threads, the global deque registry, the injector,
+//! and the timer, assembled into a public [`Runtime`] handle.
+
+use std::future::Future;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::{JoinHandle as ThreadHandle, Thread};
+
+use crossbeam::channel::{unbounded, Sender};
+use crossbeam::queue::SegQueue;
+use lhws_deque::{DequeId, Registry};
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::Config;
+use crate::join::{CatchUnwind, JoinCell, JoinHandle, PanicPayload};
+use crate::metrics::{Counters, Metrics};
+use crate::task::{Task, TaskRef};
+use crate::timer::{ResumeEvent, ResumeSink, Timer};
+use crate::worker::{self, Worker};
+
+/// Shared runtime internals.
+pub(crate) struct RtInner {
+    /// Immutable configuration.
+    pub config: Config,
+    /// The global deque registry (`gDeques` + `gTotalDeques`).
+    pub registry: Registry<TaskRef>,
+    /// External submissions and off-runtime wake-ups.
+    injector: SegQueue<TaskRef>,
+    /// Per-worker resume inboxes (sender side; receivers live in workers).
+    inboxes: Vec<Sender<ResumeEvent>>,
+    /// Worker `Thread` handles for unparking, registered at startup.
+    threads: Mutex<Vec<Option<Thread>>>,
+    /// Shutdown flag checked by every worker iteration.
+    shutdown: AtomicBool,
+    /// The timer thread handle (set right after construction).
+    timer: OnceLock<Arc<Timer>>,
+    /// Metrics counters.
+    pub counters: Counters,
+    /// Advertised stealable deques per worker (WorkerThenDeque policy).
+    pub shared_steal: Vec<Mutex<Vec<DequeId>>>,
+}
+
+impl RtInner {
+    pub fn timer(&self) -> &Arc<Timer> {
+        self.timer.get().expect("timer started in Runtime::new")
+    }
+
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Pushes an external task/wake-up and wakes a worker.
+    pub fn inject(&self, task: TaskRef) {
+        self.injector.push(task);
+        self.unpark_all();
+    }
+
+    pub fn pop_injected(&self) -> Option<TaskRef> {
+        self.injector.pop()
+    }
+
+    pub fn register_thread(&self, index: usize) {
+        self.threads.lock()[index] = Some(std::thread::current());
+    }
+
+    pub fn unpark_worker(&self, index: usize) {
+        if let Some(t) = &self.threads.lock()[index] {
+            t.unpark();
+        }
+    }
+
+    pub fn unpark_all(&self) {
+        for t in self.threads.lock().iter().flatten() {
+            t.unpark();
+        }
+    }
+}
+
+impl RtInner {
+    /// Routes a resume event to a worker's inbox (the paper's
+    /// `callback(v, q)` delivery). Used by the timer and by external
+    /// completions.
+    pub fn deliver_resume(&self, worker: usize, event: ResumeEvent) {
+        // A send can only fail at shutdown, when the receiver is gone; the
+        // task is then dropped with the runtime.
+        let _ = self.inboxes[worker].send(event);
+        self.unpark_worker(worker);
+    }
+}
+
+impl ResumeSink for RtInner {
+    fn deliver(&self, worker: usize, event: ResumeEvent) {
+        self.deliver_resume(worker, event);
+    }
+}
+
+/// A latency-hiding work-stealing runtime.
+///
+/// Dropping the runtime shuts it down: workers and the timer thread are
+/// joined. Tasks still pending at shutdown are dropped.
+pub struct Runtime {
+    inner: Arc<RtInner>,
+    workers: Vec<ThreadHandle<()>>,
+    timer_thread: Option<ThreadHandle<()>>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.inner.config.workers)
+            .field("mode", &self.inner.config.mode)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Errors from runtime construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Failed to spawn a worker or timer thread.
+    ThreadSpawn(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::ThreadSpawn(e) => write!(f, "failed to spawn thread: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl Runtime {
+    /// Starts a runtime with the given configuration.
+    pub fn new(config: Config) -> Result<Runtime, RuntimeError> {
+        let p = config.workers;
+        let mut inbox_senders = Vec::with_capacity(p);
+        let mut inbox_receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            inbox_senders.push(tx);
+            inbox_receivers.push(rx);
+        }
+        let inner = Arc::new(RtInner {
+            config,
+            registry: Registry::with_capacity(config.registry_capacity),
+            injector: SegQueue::new(),
+            inboxes: inbox_senders,
+            threads: Mutex::new(vec![None; p]),
+            shutdown: AtomicBool::new(false),
+            timer: OnceLock::new(),
+            counters: Counters::default(),
+            shared_steal: (0..p).map(|_| Mutex::new(Vec::new())).collect(),
+        });
+
+        let (timer, timer_thread) = Timer::start(inner.clone() as Arc<dyn ResumeSink>);
+        inner
+            .timer
+            .set(timer)
+            .unwrap_or_else(|_| unreachable!("timer set once"));
+
+        let mut workers = Vec::with_capacity(p);
+        for (i, rx) in inbox_receivers.into_iter().enumerate() {
+            let w = Worker::new(inner.clone(), i, rx);
+            let handle = std::thread::Builder::new()
+                .name(format!("lhws-worker-{i}"))
+                .spawn(move || w.run())
+                .map_err(|e| RuntimeError::ThreadSpawn(e.to_string()))?;
+            workers.push(handle);
+        }
+
+        Ok(Runtime {
+            inner,
+            workers,
+            timer_thread: Some(timer_thread),
+        })
+    }
+
+    /// Spawns a task onto the runtime, returning its join handle.
+    ///
+    /// From a worker thread of this runtime, the task is pushed onto the
+    /// current active deque (a fork edge); from outside it enters through
+    /// the global injector.
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        spawn_on(&self.inner, fut)
+    }
+
+    /// Runs a future to completion on the runtime, blocking the calling
+    /// thread (which must not be a worker of this runtime).
+    pub fn block_on<F>(&self, fut: F) -> F::Output
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        if let Some(cur) = worker::current_runtime() {
+            assert!(
+                !Arc::ptr_eq(&cur, &self.inner),
+                "Runtime::block_on called from one of this runtime's own                  worker threads; this would deadlock — use spawn instead"
+            );
+        }
+        struct BlockCell<T> {
+            slot: Mutex<Option<Result<T, PanicPayload>>>,
+            cond: Condvar,
+        }
+        let cell = Arc::new(BlockCell {
+            slot: Mutex::new(None),
+            cond: Condvar::new(),
+        });
+        let c2 = cell.clone();
+        let body = async move {
+            let result = CatchUnwind::new(fut).await;
+            let mut slot = c2.slot.lock();
+            *slot = Some(result);
+            c2.cond.notify_all();
+        };
+        self.inner.counters.bump(&self.inner.counters.tasks_spawned);
+        let task = Task::new_queued(Arc::downgrade(&self.inner), Box::pin(body));
+        self.inner.inject(task);
+
+        let mut slot = cell.slot.lock();
+        while slot.is_none() {
+            cell.cond.wait(&mut slot);
+        }
+        match slot.take().expect("just checked") {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// A snapshot of the runtime's metrics counters.
+    pub fn metrics(&self) -> Metrics {
+        self.inner.counters.snapshot()
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.inner.config.workers
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &Config {
+        &self.inner.config
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.timer().shutdown();
+        self.inner.unpark_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(t) = self.timer_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawns `fut` as a task on `rt` (worker-local push when possible).
+pub(crate) fn spawn_on<F>(rt: &Arc<RtInner>, fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let cell = JoinCell::new();
+    let c2 = cell.clone();
+    let body = async move {
+        let result = CatchUnwind::new(fut).await;
+        c2.complete(result);
+    };
+    rt.counters.bump(&rt.counters.tasks_spawned);
+    let task = Task::new_queued(Arc::downgrade(rt), Box::pin(body));
+    if !worker::enqueue_local_if_same_runtime(rt, &task) {
+        rt.inject(task);
+    }
+    JoinHandle::new(cell)
+}

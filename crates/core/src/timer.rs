@@ -1,0 +1,261 @@
+//! The timer substrate: delivers latency expirations.
+//!
+//! The paper's model assumes an external world (remote servers, users,
+//! storage) that makes suspended vertices ready again after their latency.
+//! This module is that world's stand-in: a dedicated timer thread holds a
+//! min-heap of deadlines and, when one expires, routes a
+//! [`ResumeEvent`] to the inbox of the worker owning the suspended task's
+//! deque — the paper's `callback(v, q)`, realized with the "polling in a
+//! separate (system) thread" option its §3 footnote describes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::task::TaskRef;
+
+/// A latency expiration to deliver.
+#[derive(Debug)]
+pub(crate) struct TimerEntry {
+    /// When the latency expires.
+    pub deadline: Instant,
+    /// The suspended task.
+    pub task: TaskRef,
+    /// Worker owning the deque the task suspended on.
+    pub worker: usize,
+    /// The owner's local index of that deque.
+    pub local_deque: usize,
+}
+
+/// Resume event delivered to a worker inbox: the paper's `callback(v, q)`
+/// arguments.
+#[derive(Debug)]
+pub(crate) struct ResumeEvent {
+    /// The resumed task (`v`).
+    pub task: TaskRef,
+    /// The owner's local index of the deque it belongs to (`q`).
+    pub local_deque: usize,
+}
+
+/// Where the timer delivers events: one sender per worker plus an unpark
+/// hook. Provided by the runtime.
+pub(crate) trait ResumeSink: Send + Sync + 'static {
+    /// Delivers `event` to worker `worker`'s inbox and wakes it.
+    fn deliver(&self, worker: usize, event: ResumeEvent);
+}
+
+struct HeapEntry {
+    deadline: Instant,
+    seq: u64,
+    entry: TimerEntry,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+#[derive(Default)]
+struct TimerState {
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    seq: u64,
+    shutdown: bool,
+}
+
+/// Handle to the timer thread (shared with the runtime).
+pub(crate) struct Timer {
+    state: Mutex<TimerState>,
+    cond: Condvar,
+}
+
+impl Timer {
+    /// Creates the timer and spawns its thread, delivering into `sink`.
+    pub fn start(sink: Arc<dyn ResumeSink>) -> (Arc<Timer>, std::thread::JoinHandle<()>) {
+        let timer = Arc::new(Timer {
+            state: Mutex::new(TimerState::default()),
+            cond: Condvar::new(),
+        });
+        let t2 = timer.clone();
+        let handle = std::thread::Builder::new()
+            .name("lhws-timer".into())
+            .spawn(move || t2.run(sink))
+            .expect("spawn timer thread");
+        (timer, handle)
+    }
+
+    /// Registers a latency expiration.
+    pub fn register(&self, entry: TimerEntry) {
+        let mut s = self.state.lock();
+        let seq = s.seq;
+        s.seq += 1;
+        s.heap.push(Reverse(HeapEntry {
+            deadline: entry.deadline,
+            seq,
+            entry,
+        }));
+        drop(s);
+        self.cond.notify_one();
+    }
+
+    /// Signals the timer thread to exit.
+    pub fn shutdown(&self) {
+        self.state.lock().shutdown = true;
+        self.cond.notify_one();
+    }
+
+    fn run(&self, sink: Arc<dyn ResumeSink>) {
+        let mut s = self.state.lock();
+        loop {
+            if s.shutdown {
+                return;
+            }
+            match s.heap.peek() {
+                None => {
+                    self.cond.wait(&mut s);
+                }
+                Some(Reverse(top)) => {
+                    let now = Instant::now();
+                    if top.deadline <= now {
+                        let Reverse(he) = s.heap.pop().expect("peeked");
+                        // Deliver without holding the lock: the sink may
+                        // unpark threads or touch channels.
+                        drop(s);
+                        sink.deliver(
+                            he.entry.worker,
+                            ResumeEvent {
+                                task: he.entry.task,
+                                local_deque: he.entry.local_deque,
+                            },
+                        );
+                        s = self.state.lock();
+                    } else {
+                        let deadline = top.deadline;
+                        self.cond.wait_until(&mut s, deadline);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{BoxFuture, Task};
+    use parking_lot::Mutex as PlMutex;
+    use std::time::Duration;
+
+    struct CollectSink {
+        got: PlMutex<Vec<(usize, usize)>>,
+    }
+    impl ResumeSink for CollectSink {
+        fn deliver(&self, worker: usize, event: ResumeEvent) {
+            self.got.lock().push((worker, event.local_deque));
+        }
+    }
+
+    fn dummy_task() -> TaskRef {
+        let fut: BoxFuture = Box::pin(async {});
+        Task::new_queued(std::sync::Weak::new(), fut)
+    }
+
+    #[test]
+    fn delivers_in_deadline_order() {
+        let sink = Arc::new(CollectSink {
+            got: PlMutex::new(Vec::new()),
+        });
+        let (timer, handle) = Timer::start(sink.clone());
+        let now = Instant::now();
+        timer.register(TimerEntry {
+            deadline: now + Duration::from_millis(30),
+            task: dummy_task(),
+            worker: 2,
+            local_deque: 20,
+        });
+        timer.register(TimerEntry {
+            deadline: now + Duration::from_millis(10),
+            task: dummy_task(),
+            worker: 1,
+            local_deque: 10,
+        });
+        std::thread::sleep(Duration::from_millis(80));
+        {
+            let got = sink.got.lock();
+            assert_eq!(got.as_slice(), &[(1, 10), (2, 20)]);
+        }
+        timer.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn past_deadline_fires_immediately() {
+        let sink = Arc::new(CollectSink {
+            got: PlMutex::new(Vec::new()),
+        });
+        let (timer, handle) = Timer::start(sink.clone());
+        timer.register(TimerEntry {
+            deadline: Instant::now() - Duration::from_millis(5),
+            task: dummy_task(),
+            worker: 0,
+            local_deque: 0,
+        });
+        // Generous bound for slow CI machines.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while sink.got.lock().is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(sink.got.lock().len(), 1);
+        timer.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_unblocks_empty_wait() {
+        let sink = Arc::new(CollectSink {
+            got: PlMutex::new(Vec::new()),
+        });
+        let (timer, handle) = Timer::start(sink);
+        std::thread::sleep(Duration::from_millis(10));
+        timer.shutdown();
+        handle.join().unwrap(); // must not hang
+    }
+
+    #[test]
+    fn many_timers_all_fire() {
+        let sink = Arc::new(CollectSink {
+            got: PlMutex::new(Vec::new()),
+        });
+        let (timer, handle) = Timer::start(sink.clone());
+        let now = Instant::now();
+        for i in 0..50 {
+            timer.register(TimerEntry {
+                deadline: now + Duration::from_millis(5 + (i % 7)),
+                task: dummy_task(),
+                worker: i as usize,
+                local_deque: 0,
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while sink.got.lock().len() < 50 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(sink.got.lock().len(), 50);
+        timer.shutdown();
+        handle.join().unwrap();
+    }
+}

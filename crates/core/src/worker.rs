@@ -1,0 +1,584 @@
+//! Worker threads: Figure 3's scheduling loop over real OS threads.
+//!
+//! Each worker owns a collection of deques, one active at a time:
+//!
+//! * With an **assigned task**, the worker polls it. Children spawned
+//!   during the poll (fork2's right children) and wake-ups delivered on
+//!   this thread land in a thread-local pending buffer, flushed to the
+//!   bottom of the active deque after the poll — then resumed vertices are
+//!   injected (`addResumedVertices`), and the next assigned task is popped
+//!   from the bottom.
+//! * Without one, the worker releases its active deque (freeing it when it
+//!   has no suspensions), switches to a ready deque if it has one, checks
+//!   the global injector, and otherwise becomes a thief stealing from a
+//!   random deque of the global registry, starting a fresh deque on
+//!   success.
+//!
+//! Suspensions: a latency future calls [`register_latency`] during its
+//! poll, which books a timer entry against the current (worker, active
+//! deque) pair and marks the poll as suspending; after the poll the worker
+//! increments the deque's `suspendCtr`. When the timer fires, a
+//! [`ResumeEvent`] arrives in this worker's inbox; draining it is the
+//! paper's `callback(v, q)`, and the batched reinjection through a pfor
+//! task is `addResumedVertices()`.
+
+use std::cell::{Cell, RefCell};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::Receiver;
+use lhws_deque::{DequeId, WorkerHandle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{LatencyMode, StealPolicy};
+use crate::runtime::RtInner;
+use crate::task::{Task, TaskRef};
+use crate::timer::{ResumeEvent, TimerEntry};
+
+/// Sentinel for "no active deque" in the TLS cell.
+const NO_DEQUE: usize = usize::MAX;
+
+/// Thread-local context installed on worker threads.
+struct WorkerTls {
+    rt: Weak<RtInner>,
+    index: usize,
+    active_local: Cell<usize>,
+    current_task: RefCell<Option<TaskRef>>,
+    /// Latency registrations made during the current poll.
+    suspend_count: Cell<u32>,
+    /// Tasks enabled on this thread during the current poll (fork2 spawns,
+    /// join wake-ups, pfor unfolding); flushed to the active deque.
+    pending_local: RefCell<Vec<TaskRef>>,
+}
+
+thread_local! {
+    static TLS: RefCell<Option<WorkerTls>> = const { RefCell::new(None) };
+}
+
+/// If the current thread is a worker of `rt`, buffer `task` for its active
+/// deque and return true.
+pub(crate) fn enqueue_local_if_same_runtime(rt: &Arc<RtInner>, task: &TaskRef) -> bool {
+    TLS.with(|t| {
+        let borrow = t.borrow();
+        match &*borrow {
+            Some(tls) if std::ptr::eq(tls.rt.as_ptr(), Arc::as_ptr(rt)) => {
+                tls.pending_local.borrow_mut().push(task.clone());
+                true
+            }
+            _ => false,
+        }
+    })
+}
+
+/// Buffers a freshly created (QUEUED) task for the current worker's active
+/// deque. Panics when called off a worker thread.
+pub(crate) fn spawn_local(task: TaskRef) {
+    TLS.with(|t| {
+        let borrow = t.borrow();
+        let tls = borrow
+            .as_ref()
+            .expect("spawn/fork2 requires a worker context: run inside Runtime::block_on");
+        tls.pending_local.borrow_mut().push(task);
+    });
+}
+
+/// The runtime owning the current worker thread, if any.
+pub(crate) fn current_runtime() -> Option<Arc<RtInner>> {
+    TLS.with(|t| t.borrow().as_ref().and_then(|tls| tls.rt.upgrade()))
+}
+
+/// The runtime's latency mode as seen from the current thread.
+pub(crate) fn current_latency_mode() -> Option<LatencyMode> {
+    current_runtime().map(|rt| rt.config.mode)
+}
+
+/// Registers a latency expiration for the currently polled task against
+/// the current active deque, marking this poll as suspending. Returns
+/// false (no registration) off worker threads.
+pub(crate) fn register_latency(deadline: Instant) -> bool {
+    TLS.with(|t| {
+        let borrow = t.borrow();
+        let Some(tls) = borrow.as_ref() else {
+            return false;
+        };
+        let Some(rt) = tls.rt.upgrade() else {
+            return false;
+        };
+        let task = match &*tls.current_task.borrow() {
+            Some(task) => task.clone(),
+            None => return false,
+        };
+        let local_deque = tls.active_local.get();
+        if local_deque == NO_DEQUE {
+            return false;
+        }
+        rt.timer().register(TimerEntry {
+            deadline,
+            task,
+            worker: tls.index,
+            local_deque,
+        });
+        tls.suspend_count.set(tls.suspend_count.get() + 1);
+        rt.counters.bump(&rt.counters.suspensions);
+        true
+    })
+}
+
+/// A task's suspension placement: which runtime/worker/deque it suspended
+/// on, recorded when an external operation registers during a poll.
+pub(crate) struct ExternalRegistration {
+    pub rt: Weak<RtInner>,
+    pub worker: usize,
+    pub local_deque: usize,
+    pub task: TaskRef,
+}
+
+/// Registers the currently polled task for an external completion against
+/// its active deque, marking this poll as suspending. Returns `None` off
+/// worker threads or in blocking mode (callers fall back to waker-based
+/// waiting).
+pub(crate) fn register_external() -> Option<ExternalRegistration> {
+    TLS.with(|t| {
+        let borrow = t.borrow();
+        let tls = borrow.as_ref()?;
+        let rt = tls.rt.upgrade()?;
+        if rt.config.mode != crate::config::LatencyMode::Hide {
+            return None;
+        }
+        let task = tls.current_task.borrow().clone()?;
+        let local_deque = tls.active_local.get();
+        if local_deque == NO_DEQUE {
+            return None;
+        }
+        tls.suspend_count.set(tls.suspend_count.get() + 1);
+        rt.counters.bump(&rt.counters.suspensions);
+        Some(ExternalRegistration {
+            rt: tls.rt.clone(),
+            worker: tls.index,
+            local_deque,
+            task,
+        })
+    })
+}
+
+/// One deque owned by this worker. The owner end lives here forever; the
+/// thief end was registered in the global registry at allocation.
+struct OwnedDeque {
+    global: DequeId,
+    handle: WorkerHandle<TaskRef>,
+    suspend_ctr: u64,
+    resumed: Vec<TaskRef>,
+    in_ready: bool,
+    in_resumed: bool,
+    freed: bool,
+}
+
+/// A worker thread's state and main loop.
+pub(crate) struct Worker {
+    rt: Arc<RtInner>,
+    index: usize,
+    inbox: Receiver<ResumeEvent>,
+    owned: Vec<OwnedDeque>,
+    active: Option<usize>,
+    ready: std::collections::VecDeque<usize>,
+    resumed_list: Vec<usize>,
+    empty: Vec<usize>,
+    live_deques: u64,
+    assigned: Option<TaskRef>,
+    rng: StdRng,
+}
+
+impl Worker {
+    pub fn new(rt: Arc<RtInner>, index: usize, inbox: Receiver<ResumeEvent>) -> Self {
+        let seed = rt
+            .config
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
+        Worker {
+            rt,
+            index,
+            inbox,
+            owned: Vec::new(),
+            active: None,
+            ready: std::collections::VecDeque::new(),
+            resumed_list: Vec::new(),
+            empty: Vec::new(),
+            live_deques: 0,
+            assigned: None,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Runs the scheduling loop until shutdown.
+    pub fn run(mut self) {
+        self.install_tls();
+        self.rt.register_thread(self.index);
+        // Line 26: every worker starts with an empty active deque.
+        let q = self.new_deque();
+        self.activate(q);
+
+        loop {
+            if self.rt.is_shutdown() {
+                break;
+            }
+            if let Some(task) = self.assigned.take() {
+                self.poll_task(task);
+                self.flush_pending();
+                self.drain_resumes();
+                if let Some(a) = self.active {
+                    self.assigned = self.owned[a].handle.pop_bottom();
+                }
+            } else {
+                self.idle_step();
+            }
+        }
+        self.clear_tls();
+    }
+
+    /// Lines 41–56 plus injector check and parking.
+    fn idle_step(&mut self) {
+        self.release_active_if_empty();
+        if self.active.is_none() {
+            if let Some(q) = self.pop_ready() {
+                self.rt.counters.bump(&self.rt.counters.deque_switches);
+                self.activate(q);
+            } else if let Some(task) = self.rt.pop_injected() {
+                self.assigned = Some(task);
+                let q = self.new_deque();
+                self.activate(q);
+            } else {
+                self.rt.counters.bump(&self.rt.counters.steals_attempted);
+                if let Some(task) = self.try_steal() {
+                    self.rt.counters.bump(&self.rt.counters.steals_succeeded);
+                    self.assigned = Some(task);
+                    let q = self.new_deque();
+                    self.activate(q);
+                }
+            }
+        }
+        self.drain_resumes();
+        self.flush_pending();
+        if self.assigned.is_none() {
+            if let Some(a) = self.active {
+                self.assigned = self.owned[a].handle.pop_bottom();
+            }
+        }
+        if self.assigned.is_none() && self.active.is_none() && self.ready.is_empty() {
+            // Nothing to do: park briefly. Events (inbox/injector) unpark
+            // us; the timeout bounds staleness for races with parking.
+            std::thread::park_timeout(Duration::from_micros(self.rt.config.park_micros));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Polling.
+    // ------------------------------------------------------------------
+
+    fn poll_task(&mut self, task: TaskRef) {
+        task.begin_poll();
+        self.rt.counters.bump(&self.rt.counters.polls);
+        TLS.with(|t| {
+            let borrow = t.borrow();
+            let tls = borrow.as_ref().expect("worker TLS installed");
+            *tls.current_task.borrow_mut() = Some(task.clone());
+            tls.suspend_count.set(0);
+        });
+
+        // Task bodies are wrapped in CatchUnwind, so a panic here indicates
+        // a bug in runtime-internal futures; contain it anyway.
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.poll_future()));
+
+        let suspends = TLS.with(|t| {
+            let borrow = t.borrow();
+            let tls = borrow.as_ref().expect("worker TLS installed");
+            *tls.current_task.borrow_mut() = None;
+            tls.suspend_count.get()
+        });
+
+        match res {
+            Ok(std::task::Poll::Ready(())) => task.complete(),
+            Ok(std::task::Poll::Pending) => {
+                if task.finish_pending() {
+                    // Woken during the poll: runnable again right away.
+                    TLS.with(|t| {
+                        let borrow = t.borrow();
+                        let tls = borrow.as_ref().expect("worker TLS installed");
+                        tls.pending_local.borrow_mut().push(task.clone());
+                    });
+                }
+            }
+            Err(_panic) => {
+                // Internal future panicked; mark done so joiners don't hang
+                // forever on a poisoned task (user-facing panics travel via
+                // CatchUnwind + JoinCell instead).
+                task.complete();
+            }
+        }
+
+        if suspends > 0 {
+            let a = self
+                .active
+                .expect("a suspending task was polled from an active deque");
+            self.owned[a].suspend_ctr += suspends as u64;
+        }
+    }
+
+    /// Flushes the TLS pending buffer to the bottom of the active deque.
+    fn flush_pending(&mut self) {
+        let pending: Vec<TaskRef> = TLS.with(|t| {
+            let borrow = t.borrow();
+            let tls = borrow.as_ref().expect("worker TLS installed");
+            let taken = std::mem::take(&mut *tls.pending_local.borrow_mut());
+            taken
+        });
+        if pending.is_empty() {
+            return;
+        }
+        let a = match self.active {
+            Some(a) => a,
+            None => {
+                // Wakes can arrive while idling between deques (e.g. a
+                // steal victim's child completing our joined task): give
+                // them a fresh deque.
+                let q = self.new_deque();
+                self.activate(q);
+                q
+            }
+        };
+        for t in pending {
+            self.owned[a].handle.push_bottom(t);
+        }
+        self.advertise();
+    }
+
+    // ------------------------------------------------------------------
+    // Resumes (callback + addResumedVertices).
+    // ------------------------------------------------------------------
+
+    fn drain_resumes(&mut self) {
+        // callback(v, q) for every delivered expiration.
+        while let Ok(ev) = self.inbox.try_recv() {
+            self.rt.counters.bump(&self.rt.counters.resumes);
+            let d = &mut self.owned[ev.local_deque];
+            debug_assert!(d.suspend_ctr > 0, "resume without suspension");
+            d.suspend_ctr -= 1;
+            d.resumed.push(ev.task);
+            if !d.in_resumed {
+                d.in_resumed = true;
+                self.resumed_list.push(ev.local_deque);
+            }
+        }
+        if self.resumed_list.is_empty() {
+            return;
+        }
+        // addResumedVertices(): one pfor batch per resumed deque.
+        let list = std::mem::take(&mut self.resumed_list);
+        for q in list {
+            let d = &mut self.owned[q];
+            d.in_resumed = false;
+            let vs = std::mem::take(&mut d.resumed);
+            debug_assert!(!vs.is_empty());
+            if vs.len() == 1 {
+                // Singleton: schedule the task directly (a pfor tree with
+                // one leaf is just the leaf).
+                let task = vs.into_iter().next().expect("len 1");
+                if task.try_claim_for_queue() {
+                    self.owned[q].handle.push_bottom(task);
+                }
+            } else {
+                self.rt.counters.bump(&self.rt.counters.pfor_batches);
+                let pfor = crate::pfor::new_pfor_task(&self.rt, vs);
+                self.owned[q].handle.push_bottom(pfor);
+            }
+            self.mark_ready(q);
+        }
+        self.advertise();
+    }
+
+    fn mark_ready(&mut self, q: usize) {
+        if self.active == Some(q) || self.owned[q].in_ready {
+            return;
+        }
+        self.owned[q].in_ready = true;
+        self.ready.push_back(q);
+    }
+
+    fn pop_ready(&mut self) -> Option<usize> {
+        let q = self.ready.pop_front()?;
+        self.owned[q].in_ready = false;
+        Some(q)
+    }
+
+    // ------------------------------------------------------------------
+    // Deque lifecycle (Figure 5).
+    // ------------------------------------------------------------------
+
+    fn new_deque(&mut self) -> usize {
+        let q = match self.empty.pop() {
+            Some(q) => {
+                self.owned[q].freed = false;
+                q
+            }
+            None => {
+                let (worker_end, stealer) = WorkerHandle::new(self.rt.config.deque_kind);
+                let global = self
+                    .rt
+                    .registry
+                    .register(self.index, stealer)
+                    .expect("deque registry exhausted; raise Config::registry_capacity");
+                self.rt.counters.bump(&self.rt.counters.deques_allocated);
+                self.owned.push(OwnedDeque {
+                    global,
+                    handle: worker_end,
+                    suspend_ctr: 0,
+                    resumed: Vec::new(),
+                    in_ready: false,
+                    in_resumed: false,
+                    freed: false,
+                });
+                self.owned.len() - 1
+            }
+        };
+        self.live_deques += 1;
+        self.rt.counters.observe_deques(self.live_deques);
+        q
+    }
+
+    fn free_deque(&mut self, q: usize) {
+        debug_assert!(self.owned[q].handle.is_empty());
+        debug_assert_eq!(self.owned[q].suspend_ctr, 0);
+        debug_assert!(self.owned[q].resumed.is_empty());
+        self.owned[q].freed = true;
+        self.empty.push(q);
+        self.live_deques -= 1;
+    }
+
+    fn activate(&mut self, q: usize) {
+        self.active = Some(q);
+        TLS.with(|t| {
+            let borrow = t.borrow();
+            if let Some(tls) = borrow.as_ref() {
+                tls.active_local.set(q);
+            }
+        });
+        self.advertise();
+    }
+
+    fn release_active_if_empty(&mut self) {
+        let Some(a) = self.active else { return };
+        if !self.owned[a].handle.is_empty() {
+            return;
+        }
+        self.active = None;
+        TLS.with(|t| {
+            let borrow = t.borrow();
+            if let Some(tls) = borrow.as_ref() {
+                tls.active_local.set(NO_DEQUE);
+            }
+        });
+        if self.owned[a].suspend_ctr == 0 && self.owned[a].resumed.is_empty() {
+            self.free_deque(a);
+        }
+        // Otherwise the deque parks as a suspended deque until a resume.
+        self.advertise();
+    }
+
+    // ------------------------------------------------------------------
+    // Stealing.
+    // ------------------------------------------------------------------
+
+    fn try_steal(&mut self) -> Option<TaskRef> {
+        match self.rt.config.steal_policy {
+            StealPolicy::RandomDeque => {
+                let id = self.rt.registry.random_id(self.rng.gen())?;
+                self.rt.registry.steal(id).success()
+            }
+            StealPolicy::WorkerThenDeque => {
+                let p = self.rt.config.workers;
+                if p == 1 {
+                    return None;
+                }
+                let mut victim = self.rng.gen_range(0..p - 1);
+                if victim >= self.index {
+                    victim += 1;
+                }
+                let ids: Vec<DequeId> = self.rt.shared_steal[victim].lock().clone();
+                if ids.is_empty() {
+                    return None;
+                }
+                let id = ids[self.rng.gen_range(0..ids.len())];
+                self.rt.registry.steal(id).success()
+            }
+        }
+    }
+
+    /// Publishes this worker's stealable deques (active + ready) for the
+    /// WorkerThenDeque policy.
+    fn advertise(&mut self) {
+        if self.rt.config.steal_policy != StealPolicy::WorkerThenDeque {
+            return;
+        }
+        let mut ids = Vec::with_capacity(1 + self.ready.len());
+        if let Some(a) = self.active {
+            ids.push(self.owned[a].global);
+        }
+        for &q in &self.ready {
+            ids.push(self.owned[q].global);
+        }
+        *self.rt.shared_steal[self.index].lock() = ids;
+    }
+
+    // ------------------------------------------------------------------
+    // TLS plumbing.
+    // ------------------------------------------------------------------
+
+    fn install_tls(&self) {
+        TLS.with(|t| {
+            *t.borrow_mut() = Some(WorkerTls {
+                rt: Arc::downgrade(&self.rt),
+                index: self.index,
+                active_local: Cell::new(NO_DEQUE),
+                current_task: RefCell::new(None),
+                suspend_count: Cell::new(0),
+                pending_local: RefCell::new(Vec::new()),
+            });
+        });
+    }
+
+    fn clear_tls(&self) {
+        TLS.with(|t| {
+            *t.borrow_mut() = None;
+        });
+    }
+}
+
+/// Schedules a batch of resumed tasks from inside a pfor task's poll: each
+/// task that is still idle is claimed and buffered for the active deque.
+pub(crate) fn schedule_resumed_batch(tasks: Vec<TaskRef>) {
+    TLS.with(|t| {
+        let borrow = t.borrow();
+        let tls = borrow
+            .as_ref()
+            .expect("pfor tasks only run on worker threads");
+        let mut pending = tls.pending_local.borrow_mut();
+        for task in tasks {
+            if task.try_claim_for_queue() {
+                pending.push(task);
+            }
+        }
+    });
+}
+
+/// Creates and immediately buffers a task (used by pfor splitting); the
+/// task must already be in the QUEUED state.
+pub(crate) fn push_queued_task(task: TaskRef) {
+    spawn_local(task);
+}
+
+/// Marker impl so `Task::state` reads in this module optimize well.
+#[allow(dead_code)]
+fn _assert_send() {
+    fn is_send<T: Send>() {}
+    is_send::<Task>();
+}

@@ -1,0 +1,390 @@
+//! Block combinators: a tiny "program" language that compiles to valid
+//! weighted dags.
+//!
+//! The paper's programming model is fork-join parallelism plus
+//! latency-incurring instructions. A [`Block`] is one of:
+//!
+//! * [`Block::Work`]`(k)` — a chain of `k` unit-work compute vertices;
+//! * [`Block::Latency`]`(δ)` — one `Io` vertex whose *outgoing* edge carries
+//!   weight `δ` (the paper's `input()` pattern: a unit of work that starts
+//!   an operation completing `δ − 1` steps later);
+//! * [`Block::Seq`] — sequential composition;
+//! * [`Block::Par`] — binary fork-join of two blocks (a `Fork` vertex, the
+//!   two branches, a `Join` vertex).
+//!
+//! Compilation maintains the paper's structural assumptions by
+//! construction. In particular, when a `Par` branch ends in a pending heavy
+//! edge, a `Nop` *buffer* vertex is inserted before the join so the join
+//! never has a heavy in-edge together with in-degree two — the
+//! "distributing edges over multiple vertices" fix the paper describes for
+//! assumption 3.
+//!
+//! Each block also knows its **analytic** work, span and suspension width,
+//! which the test-suite cross-checks against the values computed from the
+//! compiled dag ([`crate::metrics`], [`crate::suspension`]).
+
+use crate::dag::{RawDagBuilder, VertexId, VertexKind, WDag, Weight};
+
+/// A composable program fragment that compiles to part of a weighted dag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Block {
+    /// `k ≥ 1` unit-work instructions in sequence.
+    Work(u64),
+    /// One instruction that initiates an operation with latency `δ ≥ 1`;
+    /// its outgoing edge has weight `δ`. `Latency(1)` is just a unit of
+    /// work with an ordinary light out-edge.
+    Latency(Weight),
+    /// Sequential composition (must be non-empty).
+    Seq(Vec<Block>),
+    /// Fork-join parallel pair: left branch is the continuation (left
+    /// child), right branch is the spawned thread (right child).
+    Par(Box<Block>, Box<Block>),
+}
+
+impl Block {
+    /// A chain of `k` unit-work vertices (`k` is clamped to ≥ 1).
+    pub fn work(k: u64) -> Block {
+        Block::Work(k.max(1))
+    }
+
+    /// A latency-incurring instruction with latency `δ` (clamped to ≥ 1).
+    pub fn latency(delta: Weight) -> Block {
+        Block::Latency(delta.max(1))
+    }
+
+    /// Sequential composition of the given blocks.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty.
+    pub fn seq(items: impl IntoIterator<Item = Block>) -> Block {
+        let v: Vec<Block> = items.into_iter().collect();
+        assert!(!v.is_empty(), "Block::seq of zero blocks");
+        if v.len() == 1 {
+            v.into_iter().next().unwrap()
+        } else {
+            Block::Seq(v)
+        }
+    }
+
+    /// Fork-join parallel pair.
+    pub fn par(a: Block, b: Block) -> Block {
+        Block::Par(Box::new(a), Box::new(b))
+    }
+
+    /// Balanced parallel tree over `n ≥ 1` leaves produced by `leaf(i)`.
+    pub fn par_tree(n: u64, leaf: &mut impl FnMut(u64) -> Block) -> Block {
+        fn go(lo: u64, hi: u64, leaf: &mut impl FnMut(u64) -> Block) -> Block {
+            debug_assert!(lo < hi);
+            if hi - lo == 1 {
+                leaf(lo)
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                Block::par(go(lo, mid, leaf), go(mid, hi, leaf))
+            }
+        }
+        assert!(n >= 1, "par_tree over zero leaves");
+        go(0, n, leaf)
+    }
+
+    /// Predicted number of vertices the block compiles to — its
+    /// contribution to the work `W`. Includes fork/join/buffer vertices.
+    pub fn analytic_work(&self) -> u64 {
+        match self {
+            Block::Work(k) => (*k).max(1),
+            Block::Latency(_) => 1,
+            Block::Seq(items) => items.iter().map(Block::analytic_work).sum(),
+            Block::Par(a, b) => {
+                // fork + join + branches + buffer vertices for pending
+                // heavy branch exits.
+                let buf = u64::from(a.exit_weight() > 1) + u64::from(b.exit_weight() > 1);
+                2 + buf + a.analytic_work() + b.analytic_work()
+            }
+        }
+    }
+
+    /// The weight of the (pending) edge leaving this block's exit vertex.
+    fn exit_weight(&self) -> Weight {
+        match self {
+            Block::Work(_) => 1,
+            Block::Latency(d) => *d,
+            Block::Seq(items) => items.last().expect("non-empty").exit_weight(),
+            Block::Par(_, _) => 1, // exits at the join vertex
+        }
+    }
+
+    /// Longest weighted path (sum of edge weights) from the block's entry
+    /// vertex to its exit vertex.
+    fn internal_span(&self) -> u64 {
+        match self {
+            Block::Work(k) => (*k).max(1) - 1,
+            Block::Latency(_) => 0,
+            Block::Seq(items) => {
+                let mut s = 0;
+                for (i, item) in items.iter().enumerate() {
+                    s += item.internal_span();
+                    if i + 1 < items.len() {
+                        s += item.exit_weight(); // connecting edge
+                    }
+                }
+                s
+            }
+            Block::Par(a, b) => {
+                // fork -> branch entry (1), branch internal, branch exit ->
+                // [buffer ->] join. A buffered exit contributes δ + 1, an
+                // unbuffered one contributes 1 (its light exit edge).
+                let arm = |x: &Block| {
+                    let w = x.exit_weight();
+                    let tail = if w > 1 { w + 1 } else { 1 };
+                    1 + x.internal_span() + tail
+                };
+                arm(a).max(arm(b))
+            }
+        }
+    }
+
+    /// Predicted weighted span `S` of the compiled dag: the longest
+    /// weighted path from root to final vertex.
+    pub fn analytic_span(&self) -> u64 {
+        // The top-level dag may gain a terminal Nop when the program ends
+        // in a pending heavy edge.
+        let extra = if self.exit_weight() > 1 {
+            self.exit_weight()
+        } else {
+            0
+        };
+        self.internal_span() + extra
+    }
+
+    /// Predicted suspension width of the compiled dag: the maximum number
+    /// of heavy edges leaving any "executed prefix" of the computation.
+    ///
+    /// For series-parallel blocks this is exactly computable: a `Latency`
+    /// contributes 1 while pending; sequential parts cannot overlap
+    /// (max over items); parallel branches can (sum over branches).
+    pub fn analytic_suspension_width(&self) -> u64 {
+        match self {
+            Block::Work(_) => 0,
+            Block::Latency(d) => u64::from(*d > 1),
+            Block::Seq(items) => items
+                .iter()
+                .map(Block::analytic_suspension_width)
+                .max()
+                .unwrap_or(0),
+            Block::Par(a, b) => a.analytic_suspension_width() + b.analytic_suspension_width(),
+        }
+    }
+
+    /// Compiles the block to a validated weighted dag.
+    pub fn build(&self) -> WDag {
+        let mut b = RawDagBuilder::with_capacity(self.analytic_work() as usize + 1);
+        let (_, exit, w) = self.emit(&mut b);
+        if w > 1 {
+            // The program ends in a pending latency; give it a target.
+            let t = b.add_vertex(VertexKind::Nop);
+            b.add_edge(exit, t, w);
+        }
+        b.build()
+            .expect("Block compilation produces valid dags by construction")
+    }
+
+    /// Emits the block into `b`, returning `(entry, exit, exit_weight)`.
+    fn emit(&self, b: &mut RawDagBuilder) -> (VertexId, VertexId, Weight) {
+        match self {
+            Block::Work(k) => {
+                let k = (*k).max(1);
+                let first = b.add_vertex(VertexKind::Compute);
+                let mut last = first;
+                for _ in 1..k {
+                    let v = b.add_vertex(VertexKind::Compute);
+                    b.add_edge(last, v, 1);
+                    last = v;
+                }
+                (first, last, 1)
+            }
+            Block::Latency(d) => {
+                let v = b.add_vertex(VertexKind::Io);
+                (v, v, *d)
+            }
+            Block::Seq(items) => {
+                let mut it = items.iter();
+                let (entry, mut exit, mut w) = it.next().expect("non-empty Seq").emit(b);
+                for item in it {
+                    let (e2, x2, w2) = item.emit(b);
+                    b.add_edge(exit, e2, w);
+                    exit = x2;
+                    w = w2;
+                }
+                (entry, exit, w)
+            }
+            Block::Par(left, right) => {
+                let fork = b.add_vertex(VertexKind::Fork);
+                let (el, mut xl, wl) = left.emit(b);
+                let (er, mut xr, wr) = right.emit(b);
+                let join = b.add_vertex(VertexKind::Join);
+                // Left child first: it is the continuation edge.
+                b.add_edge(fork, el, 1);
+                b.add_edge(fork, er, 1);
+                if wl > 1 {
+                    let buf = b.add_vertex(VertexKind::Nop);
+                    b.add_edge(xl, buf, wl);
+                    xl = buf;
+                }
+                if wr > 1 {
+                    let buf = b.add_vertex(VertexKind::Nop);
+                    b.add_edge(xr, buf, wr);
+                    xr = buf;
+                }
+                b.add_edge(xl, join, 1);
+                b.add_edge(xr, join, 1);
+                (fork, join, 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    #[test]
+    fn work_block_is_chain() {
+        let d = Block::work(5).build();
+        assert_eq!(d.work(), 5);
+        let m = Metrics::compute(&d);
+        assert_eq!(m.span, 4);
+        assert!(d.is_unweighted());
+    }
+
+    #[test]
+    fn work_zero_clamps_to_one() {
+        let d = Block::work(0).build();
+        assert_eq!(d.work(), 1);
+    }
+
+    #[test]
+    fn latency_block_gets_terminal_nop() {
+        let d = Block::latency(10).build();
+        // Io vertex plus the appended Nop target.
+        assert_eq!(d.work(), 2);
+        assert_eq!(d.heavy_edge_count(), 1);
+        let m = Metrics::compute(&d);
+        assert_eq!(m.span, 10);
+    }
+
+    #[test]
+    fn latency_one_is_light() {
+        let d = Block::seq([Block::latency(1), Block::work(1)]).build();
+        assert!(d.is_unweighted());
+        assert_eq!(d.work(), 2);
+    }
+
+    #[test]
+    fn seq_connects_with_exit_weight() {
+        // input() ; compute — the paper's Figure 1 right branch.
+        let b = Block::seq([Block::latency(7), Block::work(3)]);
+        let d = b.build();
+        assert_eq!(d.work(), 4);
+        let m = Metrics::compute(&d);
+        // io -(7)-> c1 -> c2 -> c3 : span 7 + 2.
+        assert_eq!(m.span, 9);
+        assert_eq!(m.span, b.analytic_span());
+    }
+
+    #[test]
+    fn par_inserts_fork_and_join() {
+        let b = Block::par(Block::work(1), Block::work(1));
+        let d = b.build();
+        assert_eq!(d.work(), 4); // fork + 2 + join
+        let m = Metrics::compute(&d);
+        assert_eq!(m.span, 2); // fork -> leaf -> join
+        assert_eq!(b.analytic_work(), 4);
+        assert_eq!(b.analytic_span(), 2);
+    }
+
+    #[test]
+    fn figure_one_dag() {
+        // The paper's Figure 1: fork; left = 6*7 (1 unit); right =
+        // input() then double (heavy edge δ); join adds.
+        let delta = 5;
+        let b = Block::par(
+            Block::work(1),
+            Block::seq([Block::latency(delta), Block::work(1)]),
+        );
+        let d = b.build();
+        // fork, left work, io, double, join = 5 vertices.
+        assert_eq!(d.work(), 5);
+        assert_eq!(d.heavy_edge_count(), 1);
+        let m = Metrics::compute(&d);
+        // fork -> io -(δ)-> double -> join = 2 + δ.
+        assert_eq!(m.span, 2 + delta);
+        assert_eq!(b.analytic_span(), 2 + delta);
+        assert_eq!(b.analytic_work(), d.work());
+    }
+
+    #[test]
+    fn par_branch_ending_in_latency_gets_buffer() {
+        // Both branches end in a pending heavy edge; joins must not
+        // receive heavy in-edges with in-degree 2.
+        let b = Block::par(Block::latency(4), Block::latency(9));
+        let d = b.build(); // would fail validation without buffers
+        assert_eq!(d.heavy_edge_count(), 2);
+        assert_eq!(d.work(), 6); // fork, 2 io, 2 buffers, join
+        assert_eq!(b.analytic_work(), 6);
+        let m = Metrics::compute(&d);
+        // fork -> io -(9)-> buf -> join = 1 + 9 + 1.
+        assert_eq!(m.span, 11);
+        assert_eq!(b.analytic_span(), 11);
+    }
+
+    #[test]
+    fn par_tree_leaf_count() {
+        let b = Block::par_tree(8, &mut |_| Block::work(1));
+        let d = b.build();
+        // 8 leaves + 7 forks + 7 joins.
+        assert_eq!(d.work(), 22);
+        let m = Metrics::compute(&d);
+        assert_eq!(m.span, 6); // 3 forks + leaf + 3 joins edges
+    }
+
+    #[test]
+    fn par_tree_single_leaf() {
+        let b = Block::par_tree(1, &mut |_| Block::work(3));
+        assert_eq!(b, Block::Work(3));
+    }
+
+    #[test]
+    fn analytic_matches_computed_on_nested_block() {
+        let b = Block::seq([
+            Block::work(2),
+            Block::par(
+                Block::seq([Block::latency(6), Block::work(2)]),
+                Block::par(Block::latency(3), Block::work(4)),
+            ),
+            Block::work(1),
+        ]);
+        let d = b.build();
+        assert_eq!(b.analytic_work(), d.work());
+        let m = Metrics::compute(&d);
+        assert_eq!(b.analytic_span(), m.span);
+    }
+
+    #[test]
+    fn analytic_suspension_width_cases() {
+        assert_eq!(Block::work(10).analytic_suspension_width(), 0);
+        assert_eq!(Block::latency(5).analytic_suspension_width(), 1);
+        assert_eq!(Block::latency(1).analytic_suspension_width(), 0);
+        // Sequential latencies never overlap.
+        let s = Block::seq([Block::latency(5), Block::latency(5)]);
+        assert_eq!(s.analytic_suspension_width(), 1);
+        // Parallel latencies do.
+        let p = Block::par(Block::latency(5), Block::latency(5));
+        assert_eq!(p.analytic_suspension_width(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "Block::seq of zero blocks")]
+    fn empty_seq_panics() {
+        let _ = Block::seq([]);
+    }
+}

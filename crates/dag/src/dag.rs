@@ -1,0 +1,637 @@
+//! The weighted-dag representation and its structural validation.
+//!
+//! A [`WDag`] is an immutable, validated weighted computation dag satisfying
+//! the paper's four structural assumptions (§2):
+//!
+//! 1. exactly one *root* (in-degree 0) and one *final* vertex (out-degree 0);
+//! 2. out-degree at most two (an instruction spawns or synchronizes with at
+//!    most one other thread);
+//! 3. a vertex with a heavy in-edge has in-degree exactly one (so a
+//!    suspended vertex waits on exactly one latency);
+//! 4. the structure is fixed (determinism is the *user's* obligation; the
+//!    representation itself is immutable).
+//!
+//! Dags are constructed through [`RawDagBuilder`] (or the higher-level
+//! [`crate::builder::Block`] combinators) and validated by
+//! [`RawDagBuilder::build`].
+
+use std::fmt;
+
+/// Edge latency. `1` means a light edge; `> 1` is heavy.
+pub type Weight = u64;
+
+/// Identifies a vertex of a [`WDag`]. Indices are dense: `0..dag.work()`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The dense index of this vertex.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// What a vertex models. Purely descriptive: scheduling treats all vertices
+/// as one unit of work; the kind is used by generators, statistics, and
+/// debugging output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VertexKind {
+    /// Ordinary computational instruction.
+    Compute,
+    /// A fork point (spawns a second thread).
+    Fork,
+    /// A join/synchronization point.
+    Join,
+    /// An instruction that *initiates* a latency-incurring operation — the
+    /// `input()` / `getValue()` of the paper's examples. Its outgoing edge
+    /// is typically heavy.
+    Io,
+    /// Structural no-op (e.g. the buffer vertex inserted so a join never has
+    /// a heavy in-edge with in-degree 2).
+    Nop,
+}
+
+/// A directed edge `(u, v, δ)`, stored on `u`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutEdge {
+    /// Target vertex.
+    pub dst: VertexId,
+    /// Latency δ ≥ 1. `1` = light, `> 1` = heavy.
+    pub weight: Weight,
+}
+
+impl OutEdge {
+    /// True if this edge carries latency (δ > 1).
+    #[inline]
+    pub fn is_heavy(&self) -> bool {
+        self.weight > 1
+    }
+}
+
+/// Compact out-edge storage: 0, 1 or 2 edges per vertex.
+///
+/// When two edges are present, index 0 is the **left** child (the
+/// continuation of the same thread — higher priority) and index 1 the
+/// **right** child (the spawned thread), matching the paper's edge ordering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OutEdges {
+    edges: [Option<OutEdge>; 2],
+}
+
+impl OutEdges {
+    /// Number of out-edges (0–2).
+    pub fn len(&self) -> usize {
+        self.edges.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// True if the vertex has no out-edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges[0].is_none() && self.edges[1].is_none()
+    }
+
+    /// Iterates the present edges, left child first.
+    pub fn iter(&self) -> impl Iterator<Item = &OutEdge> {
+        self.edges.iter().filter_map(|e| e.as_ref())
+    }
+
+    /// The left child edge (continuation), if any.
+    pub fn left(&self) -> Option<&OutEdge> {
+        self.edges[0].as_ref()
+    }
+
+    /// The right child edge (spawn), if any.
+    pub fn right(&self) -> Option<&OutEdge> {
+        self.edges[1].as_ref()
+    }
+
+    fn push(&mut self, e: OutEdge) -> Result<(), ()> {
+        if self.edges[0].is_none() {
+            self.edges[0] = Some(e);
+            Ok(())
+        } else if self.edges[1].is_none() {
+            self.edges[1] = Some(e);
+            Ok(())
+        } else {
+            Err(())
+        }
+    }
+}
+
+/// Validation errors for weighted dags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// The dag has no vertices.
+    Empty,
+    /// A vertex was given more than two out-edges.
+    TooManyOutEdges(VertexId),
+    /// An edge was declared with latency 0 (latencies are ≥ 1).
+    ZeroWeight(VertexId, VertexId),
+    /// An edge references a vertex id that was never allocated.
+    DanglingEdge(VertexId, VertexId),
+    /// A duplicate edge between the same pair of vertices.
+    DuplicateEdge(VertexId, VertexId),
+    /// Self-loop.
+    SelfLoop(VertexId),
+    /// No vertex has in-degree 0, or more than one does.
+    RootCount(usize),
+    /// No vertex has out-degree 0, or more than one does.
+    FinalCount(usize),
+    /// A vertex with a heavy in-edge has in-degree greater than one
+    /// (violates assumption 3).
+    HeavyInEdgeShared(VertexId),
+    /// The edge relation contains a cycle.
+    Cycle,
+    /// A vertex is not reachable from the root.
+    Unreachable(VertexId),
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::Empty => write!(f, "dag has no vertices"),
+            DagError::TooManyOutEdges(v) => write!(f, "{v} has more than two out-edges"),
+            DagError::ZeroWeight(u, v) => write!(f, "edge ({u}, {v}) has weight 0"),
+            DagError::DanglingEdge(u, v) => write!(f, "edge ({u}, {v}) references unknown vertex"),
+            DagError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
+            DagError::SelfLoop(v) => write!(f, "self-loop on {v}"),
+            DagError::RootCount(n) => write!(f, "expected exactly one root, found {n}"),
+            DagError::FinalCount(n) => write!(f, "expected exactly one final vertex, found {n}"),
+            DagError::HeavyInEdgeShared(v) => {
+                write!(f, "{v} has a heavy in-edge but in-degree > 1")
+            }
+            DagError::Cycle => write!(f, "edge relation contains a cycle"),
+            DagError::Unreachable(v) => write!(f, "{v} is unreachable from the root"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// Mutable dag under construction. See [`RawDagBuilder::build`].
+#[derive(Debug, Default, Clone)]
+pub struct RawDagBuilder {
+    outs: Vec<OutEdges>,
+    kinds: Vec<VertexKind>,
+    overflow: Option<VertexId>,
+}
+
+impl RawDagBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity reserved for `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        RawDagBuilder {
+            outs: Vec::with_capacity(n),
+            kinds: Vec::with_capacity(n),
+            overflow: None,
+        }
+    }
+
+    /// Adds a vertex of the given kind, returning its id.
+    pub fn add_vertex(&mut self, kind: VertexKind) -> VertexId {
+        let id = VertexId(self.outs.len() as u32);
+        self.outs.push(OutEdges::default());
+        self.kinds.push(kind);
+        id
+    }
+
+    /// Adds an edge `(u, v, δ)`. Edge order matters: the first edge added to
+    /// `u` is its left (continuation) child, the second its right (spawned)
+    /// child.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, weight: Weight) {
+        if self.outs[u.index()]
+            .push(OutEdge { dst: v, weight })
+            .is_err()
+        {
+            // Recorded and reported by `build` so callers get a `DagError`
+            // rather than a panic deep inside a generator.
+            self.overflow.get_or_insert(u);
+        }
+    }
+
+    /// Current number of vertices.
+    pub fn len(&self) -> usize {
+        self.outs.len()
+    }
+
+    /// True if no vertex was added yet.
+    pub fn is_empty(&self) -> bool {
+        self.outs.is_empty()
+    }
+
+    /// Validates the paper's structural assumptions and freezes the dag.
+    pub fn build(self) -> Result<WDag, DagError> {
+        let n = self.outs.len();
+        if n == 0 {
+            return Err(DagError::Empty);
+        }
+        if let Some(v) = self.overflow {
+            return Err(DagError::TooManyOutEdges(v));
+        }
+
+        // Edge sanity + in-degrees + heavy-in flags.
+        let mut in_deg = vec![0u32; n];
+        let mut heavy_in = vec![false; n];
+        for (ui, out) in self.outs.iter().enumerate() {
+            let u = VertexId(ui as u32);
+            let mut seen: [Option<VertexId>; 2] = [None, None];
+            for (k, e) in out.iter().enumerate() {
+                if e.weight == 0 {
+                    return Err(DagError::ZeroWeight(u, e.dst));
+                }
+                if e.dst.index() >= n {
+                    return Err(DagError::DanglingEdge(u, e.dst));
+                }
+                if e.dst == u {
+                    return Err(DagError::SelfLoop(u));
+                }
+                if seen.iter().flatten().any(|&d| d == e.dst) {
+                    return Err(DagError::DuplicateEdge(u, e.dst));
+                }
+                seen[k] = Some(e.dst);
+                in_deg[e.dst.index()] += 1;
+                if e.is_heavy() {
+                    heavy_in[e.dst.index()] = true;
+                }
+            }
+        }
+
+        // Assumption 3: heavy in-edge implies in-degree 1.
+        for v in 0..n {
+            if heavy_in[v] && in_deg[v] != 1 {
+                return Err(DagError::HeavyInEdgeShared(VertexId(v as u32)));
+            }
+        }
+
+        // Assumption 1: unique root and final vertex.
+        let roots: Vec<usize> = (0..n).filter(|&v| in_deg[v] == 0).collect();
+        if roots.len() != 1 {
+            return Err(DagError::RootCount(roots.len()));
+        }
+        let finals: Vec<usize> = (0..n).filter(|&v| self.outs[v].is_empty()).collect();
+        if finals.len() != 1 {
+            return Err(DagError::FinalCount(finals.len()));
+        }
+
+        // Acyclicity + reachability via Kahn's algorithm from the root.
+        let mut remaining = in_deg.clone();
+        let mut stack = vec![roots[0]];
+        let mut topo = Vec::with_capacity(n);
+        while let Some(v) = stack.pop() {
+            topo.push(VertexId(v as u32));
+            for e in self.outs[v].iter() {
+                let d = e.dst.index();
+                remaining[d] -= 1;
+                if remaining[d] == 0 {
+                    stack.push(d);
+                }
+            }
+        }
+        if topo.len() != n {
+            // Either a cycle or an unreachable component. A plain DFS from
+            // the root (ignoring in-degrees) separates the two: vertices
+            // the DFS misses are unreachable; if the DFS reaches everything
+            // yet Kahn stalled, the stall was caused by a cycle.
+            let mut seen = vec![false; n];
+            seen[roots[0]] = true;
+            let mut dfs = vec![roots[0]];
+            while let Some(v) = dfs.pop() {
+                for e in self.outs[v].iter() {
+                    let d = e.dst.index();
+                    if !seen[d] {
+                        seen[d] = true;
+                        dfs.push(d);
+                    }
+                }
+            }
+            if let Some(v) = (0..n).find(|&v| !seen[v]) {
+                return Err(DagError::Unreachable(VertexId(v as u32)));
+            }
+            return Err(DagError::Cycle);
+        }
+
+        Ok(WDag {
+            outs: self.outs.into_boxed_slice(),
+            kinds: self.kinds.into_boxed_slice(),
+            in_deg: in_deg.into_boxed_slice(),
+            topo: topo.into_boxed_slice(),
+            root: VertexId(roots[0] as u32),
+            final_v: VertexId(finals[0] as u32),
+        })
+    }
+}
+
+/// A validated, immutable weighted computation dag.
+#[derive(Debug, Clone)]
+pub struct WDag {
+    outs: Box<[OutEdges]>,
+    kinds: Box<[VertexKind]>,
+    in_deg: Box<[u32]>,
+    topo: Box<[VertexId]>,
+    root: VertexId,
+    final_v: VertexId,
+}
+
+impl WDag {
+    /// Number of vertices — the **work** `W` of the computation (§2: edge
+    /// weights do not count toward the work).
+    #[inline]
+    pub fn work(&self) -> u64 {
+        self.outs.len() as u64
+    }
+
+    /// Number of vertices as a `usize` (for indexing).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.outs.len()
+    }
+
+    /// A dag always has at least one vertex.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The unique root vertex.
+    #[inline]
+    pub fn root(&self) -> VertexId {
+        self.root
+    }
+
+    /// The unique final vertex.
+    #[inline]
+    pub fn final_vertex(&self) -> VertexId {
+        self.final_v
+    }
+
+    /// Out-edges of `v` (left child first).
+    #[inline]
+    pub fn out(&self, v: VertexId) -> &OutEdges {
+        &self.outs[v.index()]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> u32 {
+        self.in_deg[v.index()]
+    }
+
+    /// Kind tag of `v`.
+    #[inline]
+    pub fn kind(&self, v: VertexId) -> VertexKind {
+        self.kinds[v.index()]
+    }
+
+    /// A topological order with the root first (cached from validation).
+    #[inline]
+    pub fn topo_order(&self) -> &[VertexId] {
+        &self.topo
+    }
+
+    /// Iterates all vertex ids in index order.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.outs.len() as u32).map(VertexId)
+    }
+
+    /// Iterates all edges as `(u, edge)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, &OutEdge)> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.out(u).iter().map(move |e| (u, e)))
+    }
+
+    /// Iterates the heavy edges only.
+    pub fn heavy_edges(&self) -> impl Iterator<Item = (VertexId, &OutEdge)> + '_ {
+        self.edges().filter(|(_, e)| e.is_heavy())
+    }
+
+    /// Number of heavy edges.
+    pub fn heavy_edge_count(&self) -> u64 {
+        self.heavy_edges().count() as u64
+    }
+
+    /// True if the dag has no heavy edges (a traditional unweighted dag).
+    pub fn is_unweighted(&self) -> bool {
+        self.heavy_edges().next().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> RawDagBuilder {
+        let mut b = RawDagBuilder::new();
+        let vs: Vec<_> = (0..n).map(|_| b.add_vertex(VertexKind::Compute)).collect();
+        for w in vs.windows(2) {
+            b.add_edge(w[0], w[1], 1);
+        }
+        b
+    }
+
+    #[test]
+    fn single_vertex_dag() {
+        let mut b = RawDagBuilder::new();
+        let v = b.add_vertex(VertexKind::Compute);
+        let d = b.build().unwrap();
+        assert_eq!(d.work(), 1);
+        assert_eq!(d.root(), v);
+        assert_eq!(d.final_vertex(), v);
+        assert!(d.is_unweighted());
+    }
+
+    #[test]
+    fn chain_dag_basics() {
+        let d = chain(5).build().unwrap();
+        assert_eq!(d.work(), 5);
+        assert_eq!(d.root(), VertexId(0));
+        assert_eq!(d.final_vertex(), VertexId(4));
+        assert_eq!(d.topo_order().len(), 5);
+        assert_eq!(d.in_degree(VertexId(0)), 0);
+        assert_eq!(d.in_degree(VertexId(3)), 1);
+    }
+
+    #[test]
+    fn empty_dag_rejected() {
+        assert_eq!(RawDagBuilder::new().build().unwrap_err(), DagError::Empty);
+    }
+
+    #[test]
+    fn diamond_is_valid() {
+        let mut b = RawDagBuilder::new();
+        let a = b.add_vertex(VertexKind::Fork);
+        let l = b.add_vertex(VertexKind::Compute);
+        let r = b.add_vertex(VertexKind::Compute);
+        let j = b.add_vertex(VertexKind::Join);
+        b.add_edge(a, l, 1);
+        b.add_edge(a, r, 1);
+        b.add_edge(l, j, 1);
+        b.add_edge(r, j, 1);
+        let d = b.build().unwrap();
+        assert_eq!(d.out(a).len(), 2);
+        assert_eq!(d.out(a).left().unwrap().dst, l);
+        assert_eq!(d.out(a).right().unwrap().dst, r);
+        assert_eq!(d.in_degree(j), 2);
+    }
+
+    #[test]
+    fn three_out_edges_rejected() {
+        let mut b = RawDagBuilder::new();
+        let a = b.add_vertex(VertexKind::Fork);
+        let x = b.add_vertex(VertexKind::Compute);
+        let y = b.add_vertex(VertexKind::Compute);
+        let z = b.add_vertex(VertexKind::Compute);
+        let f = b.add_vertex(VertexKind::Join);
+        b.add_edge(a, x, 1);
+        b.add_edge(a, y, 1);
+        b.add_edge(a, z, 1);
+        b.add_edge(x, f, 1);
+        b.add_edge(y, f, 1);
+        // z dangling on purpose; overflow is reported first.
+        assert_eq!(b.build().unwrap_err(), DagError::TooManyOutEdges(a));
+    }
+
+    #[test]
+    fn zero_weight_rejected() {
+        let mut b = RawDagBuilder::new();
+        let a = b.add_vertex(VertexKind::Compute);
+        let c = b.add_vertex(VertexKind::Compute);
+        b.add_edge(a, c, 0);
+        assert_eq!(b.build().unwrap_err(), DagError::ZeroWeight(a, c));
+    }
+
+    #[test]
+    fn heavy_in_edge_with_indegree_two_rejected() {
+        let mut b = RawDagBuilder::new();
+        let a = b.add_vertex(VertexKind::Fork);
+        let l = b.add_vertex(VertexKind::Io);
+        let r = b.add_vertex(VertexKind::Compute);
+        let j = b.add_vertex(VertexKind::Join);
+        b.add_edge(a, l, 1);
+        b.add_edge(a, r, 1);
+        b.add_edge(l, j, 10); // heavy into a join with in-degree 2
+        b.add_edge(r, j, 1);
+        assert_eq!(b.build().unwrap_err(), DagError::HeavyInEdgeShared(j));
+    }
+
+    #[test]
+    fn heavy_in_edge_with_indegree_one_accepted() {
+        let mut b = RawDagBuilder::new();
+        let a = b.add_vertex(VertexKind::Io);
+        let c = b.add_vertex(VertexKind::Compute);
+        b.add_edge(a, c, 10);
+        let d = b.build().unwrap();
+        assert!(!d.is_unweighted());
+        assert_eq!(d.heavy_edge_count(), 1);
+    }
+
+    #[test]
+    fn two_roots_rejected() {
+        let mut b = RawDagBuilder::new();
+        let a = b.add_vertex(VertexKind::Compute);
+        let c = b.add_vertex(VertexKind::Compute);
+        let f = b.add_vertex(VertexKind::Join);
+        b.add_edge(a, f, 1);
+        b.add_edge(c, f, 1);
+        assert_eq!(b.build().unwrap_err(), DagError::RootCount(2));
+    }
+
+    #[test]
+    fn two_finals_rejected() {
+        let mut b = RawDagBuilder::new();
+        let a = b.add_vertex(VertexKind::Fork);
+        let x = b.add_vertex(VertexKind::Compute);
+        let y = b.add_vertex(VertexKind::Compute);
+        b.add_edge(a, x, 1);
+        b.add_edge(a, y, 1);
+        assert_eq!(b.build().unwrap_err(), DagError::FinalCount(2));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = RawDagBuilder::new();
+        let r = b.add_vertex(VertexKind::Compute);
+        let a = b.add_vertex(VertexKind::Compute);
+        let c = b.add_vertex(VertexKind::Compute);
+        let f = b.add_vertex(VertexKind::Compute);
+        b.add_edge(r, a, 1);
+        b.add_edge(a, c, 1);
+        b.add_edge(c, a, 1); // cycle a <-> c
+        b.add_edge(c, f, 1);
+        assert_eq!(b.build().unwrap_err(), DagError::Cycle);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = RawDagBuilder::new();
+        let r = b.add_vertex(VertexKind::Compute);
+        let a = b.add_vertex(VertexKind::Compute);
+        b.add_edge(r, a, 1);
+        b.add_edge(a, a, 1);
+        assert_eq!(b.build().unwrap_err(), DagError::SelfLoop(a));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut b = RawDagBuilder::new();
+        let r = b.add_vertex(VertexKind::Compute);
+        let a = b.add_vertex(VertexKind::Compute);
+        b.add_edge(r, a, 1);
+        b.add_edge(r, a, 1);
+        assert_eq!(b.build().unwrap_err(), DagError::DuplicateEdge(r, a));
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let mut b = RawDagBuilder::new();
+        let a = b.add_vertex(VertexKind::Fork);
+        let l = b.add_vertex(VertexKind::Compute);
+        let r = b.add_vertex(VertexKind::Compute);
+        let j = b.add_vertex(VertexKind::Join);
+        b.add_edge(a, l, 1);
+        b.add_edge(a, r, 1);
+        b.add_edge(l, j, 1);
+        b.add_edge(r, j, 1);
+        let d = b.build().unwrap();
+        let pos: std::collections::HashMap<VertexId, usize> = d
+            .topo_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
+        for (u, e) in d.edges() {
+            assert!(pos[&u] < pos[&e.dst], "edge {u}->{} out of order", e.dst);
+        }
+    }
+
+    #[test]
+    fn edge_iterators() {
+        let mut b = RawDagBuilder::new();
+        let a = b.add_vertex(VertexKind::Io);
+        let c = b.add_vertex(VertexKind::Compute);
+        let f = b.add_vertex(VertexKind::Compute);
+        b.add_edge(a, c, 5);
+        b.add_edge(c, f, 1);
+        let d = b.build().unwrap();
+        assert_eq!(d.edges().count(), 2);
+        assert_eq!(d.heavy_edges().count(), 1);
+        let (u, e) = d.heavy_edges().next().unwrap();
+        assert_eq!((u, e.dst, e.weight), (a, c, 5));
+        assert_eq!(d.kind(a), VertexKind::Io);
+    }
+}

@@ -1,0 +1,149 @@
+//! Graphviz export and text rendering of weighted dags.
+//!
+//! [`to_dot`] emits a `.dot` graph in the paper's visual convention:
+//! light edges thin, heavy edges thick and labelled with their latency
+//! (Figure 1). [`to_dot_with_partition`] additionally shades a source-sink
+//! partition, which together with
+//! [`suspension_width_witness`](crate::suspension::suspension_width_witness)
+//! visualizes where the suspension width is attained. [`summary`] renders a
+//! one-paragraph structural description for logs and example output.
+
+use std::fmt::Write as _;
+
+use crate::dag::{VertexKind, WDag};
+use crate::metrics::Metrics;
+
+/// Renders the dag as a Graphviz digraph.
+pub fn to_dot(dag: &WDag) -> String {
+    to_dot_impl(dag, None)
+}
+
+/// Renders the dag with the vertices of `in_s` (a source-side partition
+/// membership vector, e.g. a suspension-width witness) filled.
+pub fn to_dot_with_partition(dag: &WDag, in_s: &[bool]) -> String {
+    to_dot_impl(dag, Some(in_s))
+}
+
+fn to_dot_impl(dag: &WDag, partition: Option<&[bool]>) -> String {
+    let mut out = String::new();
+    out.push_str("digraph lhws {\n");
+    out.push_str("  rankdir=TB;\n  node [fontsize=10];\n");
+    for v in dag.vertices() {
+        let (shape, label) = match dag.kind(v) {
+            VertexKind::Compute => ("circle", format!("{v}")),
+            VertexKind::Fork => ("triangle", format!("{v}\\nfork")),
+            VertexKind::Join => ("invtriangle", format!("{v}\\njoin")),
+            VertexKind::Io => ("doublecircle", format!("{v}\\nio")),
+            VertexKind::Nop => ("point", String::new()),
+        };
+        let fill = match partition {
+            Some(in_s) if in_s[v.index()] => ", style=filled, fillcolor=lightgrey",
+            _ => "",
+        };
+        let _ = writeln!(out, "  {} [shape={shape}, label=\"{label}\"{fill}];", v.0);
+    }
+    for (u, e) in dag.edges() {
+        if e.is_heavy() {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [penwidth=2.5, label=\"{}\"];",
+                u.0, e.dst.0, e.weight
+            );
+        } else {
+            let _ = writeln!(out, "  {} -> {};", u.0, e.dst.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// One-paragraph structural summary of a dag.
+pub fn summary(dag: &WDag) -> String {
+    let m = Metrics::compute(dag);
+    let u = crate::suspension::suspension_width(dag);
+    format!(
+        "dag: W={} S={} U={} heavy={} (total latency {}) \
+         [compute={} fork={} join={} io={} nop={}] parallelism≈{}.{:02}",
+        m.work,
+        m.span,
+        u,
+        m.heavy_edges,
+        m.total_latency,
+        m.kind_counts.compute,
+        m.kind_counts.fork,
+        m.kind_counts.join,
+        m.kind_counts.io,
+        m.kind_counts.nop,
+        m.parallelism_x100 / 100,
+        m.parallelism_x100 % 100,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Block;
+    use crate::suspension::suspension_width_witness;
+
+    fn fig1() -> WDag {
+        Block::par(
+            Block::work(1),
+            Block::seq([Block::latency(5), Block::work(1)]),
+        )
+        .build()
+    }
+
+    #[test]
+    fn dot_contains_all_vertices_and_edges() {
+        let d = fig1();
+        let dot = to_dot(&d);
+        assert!(dot.starts_with("digraph lhws {"));
+        assert!(dot.ends_with("}\n"));
+        for v in d.vertices() {
+            assert!(
+                dot.contains(&format!("  {} [", v.0)),
+                "vertex {v} missing from dot output"
+            );
+        }
+        let edge_lines = dot.lines().filter(|l| l.contains(" -> ")).count();
+        assert_eq!(edge_lines, d.edges().count());
+    }
+
+    #[test]
+    fn heavy_edges_are_thick_and_labelled() {
+        let d = fig1();
+        let dot = to_dot(&d);
+        assert!(dot.contains("penwidth=2.5"));
+        assert!(dot.contains("label=\"5\""));
+    }
+
+    #[test]
+    fn partition_shading() {
+        let d =
+            Block::par_tree(4, &mut |_| Block::seq([Block::latency(9), Block::work(1)])).build();
+        let (_u, in_s) = suspension_width_witness(&d);
+        let dot = to_dot_with_partition(&d, &in_s);
+        assert!(dot.contains("fillcolor=lightgrey"));
+        // Exactly the S-side vertices are shaded.
+        let shaded = dot.matches("fillcolor=lightgrey").count();
+        assert_eq!(shaded, in_s.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn summary_mentions_key_stats() {
+        let d = fig1();
+        let s = summary(&d);
+        assert!(s.contains("W=5"));
+        assert!(s.contains("U=1"));
+        assert!(s.contains("heavy=1"));
+    }
+
+    #[test]
+    fn dot_kind_shapes() {
+        let d = fig1();
+        let dot = to_dot(&d);
+        assert!(dot.contains("shape=triangle"), "fork shape");
+        assert!(dot.contains("shape=invtriangle"), "join shape");
+        assert!(dot.contains("shape=doublecircle"), "io shape");
+    }
+}

@@ -1,0 +1,273 @@
+//! A from-scratch Dinic max-flow solver.
+//!
+//! Substrate for the exact suspension-width computation
+//! ([`crate::suspension`]), which reduces to a maximum-weight-closure
+//! problem and hence to a single s-t min-cut. Kept deliberately small and
+//! dependency-free: integer capacities, adjacency-list representation,
+//! level-graph BFS + blocking-flow DFS.
+
+/// Capacity type. `CAP_INF` represents an uncuttable edge.
+pub type Cap = u64;
+
+/// Effectively infinite capacity (safe to sum without overflow).
+pub const CAP_INF: Cap = u64::MAX / 4;
+
+#[derive(Debug, Clone)]
+struct FlowEdge {
+    to: usize,
+    cap: Cap,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: usize,
+}
+
+/// A flow network on `n` nodes.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    graph: Vec<Vec<FlowEdge>>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            graph: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// True if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Adds a directed edge `from -> to` with capacity `cap` (and the
+    /// implicit residual reverse edge with capacity 0).
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: Cap) {
+        debug_assert!(from < self.graph.len() && to < self.graph.len());
+        debug_assert_ne!(from, to, "self-loops are useless in a flow network");
+        let rev_from = self.graph[to].len();
+        let rev_to = self.graph[from].len();
+        self.graph[from].push(FlowEdge {
+            to,
+            cap,
+            rev: rev_from,
+        });
+        self.graph[to].push(FlowEdge {
+            to: from,
+            cap: 0,
+            rev: rev_to,
+        });
+    }
+
+    /// Computes the maximum flow from `s` to `t` (Dinic's algorithm),
+    /// mutating residual capacities in place.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> Cap {
+        assert_ne!(s, t);
+        let n = self.graph.len();
+        let mut flow = 0;
+        let mut level = vec![-1i32; n];
+        let mut iter = vec![0usize; n];
+
+        loop {
+            // BFS: build the level graph.
+            level.iter_mut().for_each(|l| *l = -1);
+            level[s] = 0;
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(s);
+            while let Some(v) = queue.pop_front() {
+                for e in &self.graph[v] {
+                    if e.cap > 0 && level[e.to] < 0 {
+                        level[e.to] = level[v] + 1;
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if level[t] < 0 {
+                return flow;
+            }
+            // DFS: find blocking flow.
+            iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, CAP_INF, &level, &mut iter);
+                if f == 0 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, up_to: Cap, level: &[i32], iter: &mut [usize]) -> Cap {
+        if v == t {
+            return up_to;
+        }
+        while iter[v] < self.graph[v].len() {
+            let (to, cap, rev) = {
+                let e = &self.graph[v][iter[v]];
+                (e.to, e.cap, e.rev)
+            };
+            if cap > 0 && level[v] < level[to] {
+                let d = self.dfs(to, t, up_to.min(cap), level, iter);
+                if d > 0 {
+                    self.graph[v][iter[v]].cap -= d;
+                    self.graph[to][rev].cap += d;
+                    return d;
+                }
+            }
+            iter[v] += 1;
+        }
+        0
+    }
+
+    /// After [`Self::max_flow`], returns the source side of a minimum cut:
+    /// nodes reachable from `s` in the residual graph.
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
+        let n = self.graph.len();
+        let mut seen = vec![false; n];
+        seen[s] = true;
+        let mut stack = vec![s];
+        while let Some(v) = stack.pop() {
+            for e in &self.graph[v] {
+                if e.cap > 0 && !seen[e.to] {
+                    seen[e.to] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut f = FlowNetwork::new(2);
+        f.add_edge(0, 1, 7);
+        assert_eq!(f.max_flow(0, 1), 7);
+    }
+
+    #[test]
+    fn series_edges_bottleneck() {
+        let mut f = FlowNetwork::new(3);
+        f.add_edge(0, 1, 10);
+        f.add_edge(1, 2, 3);
+        assert_eq!(f.max_flow(0, 2), 3);
+    }
+
+    #[test]
+    fn parallel_paths_sum() {
+        let mut f = FlowNetwork::new(4);
+        f.add_edge(0, 1, 4);
+        f.add_edge(1, 3, 4);
+        f.add_edge(0, 2, 5);
+        f.add_edge(2, 3, 5);
+        assert_eq!(f.max_flow(0, 3), 9);
+    }
+
+    #[test]
+    fn classic_textbook_network() {
+        // CLRS-style 6-node example; known max flow 23.
+        let mut f = FlowNetwork::new(6);
+        f.add_edge(0, 1, 16);
+        f.add_edge(0, 2, 13);
+        f.add_edge(1, 2, 10);
+        f.add_edge(2, 1, 4);
+        f.add_edge(1, 3, 12);
+        f.add_edge(3, 2, 9);
+        f.add_edge(2, 4, 14);
+        f.add_edge(4, 3, 7);
+        f.add_edge(3, 5, 20);
+        f.add_edge(4, 5, 4);
+        assert_eq!(f.max_flow(0, 5), 23);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut f = FlowNetwork::new(4);
+        f.add_edge(0, 1, 5);
+        f.add_edge(2, 3, 5);
+        assert_eq!(f.max_flow(0, 3), 0);
+    }
+
+    #[test]
+    fn min_cut_matches_flow_value() {
+        let mut f = FlowNetwork::new(6);
+        f.add_edge(0, 1, 16);
+        f.add_edge(0, 2, 13);
+        f.add_edge(1, 3, 12);
+        f.add_edge(2, 4, 14);
+        f.add_edge(3, 5, 20);
+        f.add_edge(4, 5, 4);
+        f.add_edge(3, 2, 9);
+        f.add_edge(4, 3, 7);
+        let orig = f.clone();
+        let value = f.max_flow(0, 5);
+        let side = f.min_cut_source_side(0);
+        assert!(side[0] && !side[5]);
+        // Sum original capacities crossing the cut equals the flow value.
+        let mut cut = 0;
+        for v in 0..6 {
+            if !side[v] {
+                continue;
+            }
+            for e in &orig.graph[v] {
+                // Skip residual (cap-0) reverse edges.
+                if e.cap > 0 && !side[e.to] {
+                    cut += e.cap;
+                }
+            }
+        }
+        assert_eq!(cut, value);
+    }
+
+    #[test]
+    fn infinite_edges_never_cut() {
+        let mut f = FlowNetwork::new(4);
+        f.add_edge(0, 1, 5);
+        f.add_edge(1, 2, CAP_INF);
+        f.add_edge(2, 3, 7);
+        assert_eq!(f.max_flow(0, 3), 5);
+        let side = f.min_cut_source_side(0);
+        // The infinite edge must not cross the cut.
+        assert_eq!(side[1], side[2]);
+    }
+
+    #[test]
+    fn randomized_flow_conservation() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let n = rng.gen_range(4..12);
+            let mut f = FlowNetwork::new(n);
+            let mut caps = Vec::new();
+            for u in 0..n - 1 {
+                for v in u + 1..n {
+                    if rng.gen_bool(0.5) {
+                        let c = rng.gen_range(1..20);
+                        f.add_edge(u, v, c);
+                        caps.push((u, v, c));
+                    }
+                }
+            }
+            let orig = f.clone();
+            let value = f.max_flow(0, n - 1);
+            // Max-flow = min-cut check on the residual graph.
+            let side = f.min_cut_source_side(0);
+            let mut cut = 0;
+            for (u, v, c) in &caps {
+                if side[*u] && !side[*v] {
+                    cut += c;
+                }
+            }
+            assert_eq!(cut, value, "max-flow equals min-cut");
+            drop(orig);
+        }
+    }
+}

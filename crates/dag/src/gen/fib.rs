@@ -1,0 +1,97 @@
+//! Pure fork-join Fibonacci: the `U = 0` workload.
+//!
+//! `fib(n)` forks `fib(n−1)` and `fib(n−2)` and adds the results. No edge
+//! carries latency, so the dag is a traditional unweighted computation and
+//! the paper proves the latency-hiding scheduler *is* standard work
+//! stealing on it (one deque per worker, classic `O(W/P + S)` bound). The
+//! benchmark harness uses this workload to demonstrate the "no penalty for
+//! computations that don't suspend" claim.
+
+use super::Workload;
+use crate::builder::Block;
+
+/// Builds the fork-join Fibonacci dag.
+///
+/// * `n` — Fibonacci index.
+/// * `grain` — sequential cutoff: calls with `n ≤ grain` become a single
+///   work chain whose length models the sequential fib cost (`fib(n)`
+///   additions, clamped to ≥ 1).
+///
+/// Analytic values: `U = 0`; work grows as the Fibonacci tree above the
+/// cutoff.
+pub fn fib(n: u64, grain: u64) -> Workload {
+    let block = fib_block(n, grain);
+    Workload::from_block(format!("fib(n={n}, grain={grain})"), block)
+}
+
+fn fib_block(n: u64, grain: u64) -> Block {
+    if n <= grain.max(1) {
+        Block::work(seq_cost(n))
+    } else {
+        Block::seq([
+            Block::par(fib_block(n - 1, grain), fib_block(n - 2, grain)),
+            Block::work(1), // the addition
+        ])
+    }
+}
+
+/// Number of unit operations sequential fib(n) performs (≈ number of calls).
+fn seq_cost(n: u64) -> u64 {
+    // fib_count(n) = 2·fib(n+1) − 1 calls; cap to keep leaf chains sane.
+    let mut a = 1u64; // fib(1)
+    let mut b = 1u64; // fib(2)
+    for _ in 2..=n {
+        let c = a.saturating_add(b);
+        a = b;
+        b = c;
+    }
+    (2 * b - 1).min(1 << 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::suspension::suspension_width;
+
+    #[test]
+    fn fib_is_unweighted() {
+        let w = fib(12, 3);
+        assert!(w.dag.is_unweighted());
+        assert_eq!(w.expected_u, 0);
+        assert_eq!(suspension_width(&w.dag), 0);
+    }
+
+    #[test]
+    fn small_n_is_single_chain() {
+        let w = fib(2, 5);
+        let m = Metrics::compute(&w.dag);
+        assert_eq!(m.kind_counts.fork, 0);
+        assert_eq!(m.work, m.span + 1); // pure chain
+    }
+
+    #[test]
+    fn fork_count_follows_fib_recursion() {
+        // Number of Par nodes for fib(n) with grain g equals the number of
+        // internal calls: T(n) = T(n-1) + T(n-2) + 1, T(k<=g) = 0.
+        fn forks(n: u64, g: u64) -> u64 {
+            if n <= g {
+                0
+            } else {
+                1 + forks(n - 1, g) + forks(n - 2, g)
+            }
+        }
+        for (n, g) in [(8u64, 2u64), (10, 3), (12, 5)] {
+            let w = fib(n, g);
+            let m = Metrics::compute(&w.dag);
+            assert_eq!(m.kind_counts.fork, forks(n, g), "n={n} g={g}");
+        }
+    }
+
+    #[test]
+    fn parallelism_grows_with_n() {
+        let small = Metrics::compute(&fib(8, 2).dag);
+        let large = Metrics::compute(&fib(14, 2).dag);
+        assert!(large.parallelism_x100 > small.parallelism_x100);
+    }
+}

@@ -1,0 +1,117 @@
+//! Distributed map-and-reduce (the paper's Figures 7 and 8).
+//!
+//! `distMapReduce(f, g, id, lo, hi)` forks a balanced binary tree over `n`
+//! values; each leaf fetches its value from a remote server (`getValue`, a
+//! latency-incurring instruction), applies `f`, and the results are
+//! combined up the tree with `g`. All `n` fetches can be outstanding
+//! simultaneously, so the suspension width equals `n` — the paper's maximal
+//! example, and the workload of its Figure 11 evaluation.
+
+use super::Workload;
+use crate::builder::Block;
+use crate::dag::Weight;
+
+/// Builds the map-reduce workload.
+///
+/// * `n` — number of remote values (leaves). Must be ≥ 1.
+/// * `delta` — latency of each `getValue` in steps (δ > 1 makes it heavy).
+/// * `leaf_work` — units of work for `f(x)` at each leaf (the paper's
+///   evaluation used `fib(30)` here).
+/// * `reduce_work` — units of work for each combine `g(x, y)`.
+///
+/// Analytic values: `U = n` (for `delta > 1`),
+/// `W = n·(1 + leaf_work) + (n−1)·(2 + reduce_work + …buffers)`, and the
+/// span is `O(lg n) + delta + leaf_work + O(lg n · reduce_work)`.
+pub fn map_reduce(n: u64, delta: Weight, leaf_work: u64, reduce_work: u64) -> Workload {
+    assert!(n >= 1, "map_reduce needs at least one value");
+    let mut leaf = |_i: u64| {
+        Block::seq([
+            Block::latency(delta),         // getValue(i)
+            Block::work(leaf_work.max(1)), // f(x)
+        ])
+    };
+    let tree = Block::par_tree(n, &mut leaf);
+    // Reductions happen at the join vertices; model g's cost as extra work
+    // after each join by wrapping levels — simplest faithful shape: a
+    // combine chain after the whole tree per internal node is wrong, so we
+    // instead attach g to each Par via composition below.
+    let block = attach_reduce(tree, reduce_work);
+    Workload::from_block(
+        format!("map_reduce(n={n}, delta={delta}, leaf={leaf_work}, g={reduce_work})"),
+        block,
+    )
+}
+
+/// Recursively rewrites `Par(a, b)` into `Seq[Par(a', b'), Work(g)]` so each
+/// combine performs `g_work` units after its join, matching Figure 8 where
+/// `g(res1, res2)` runs after the fork2 returns.
+fn attach_reduce(b: Block, g_work: u64) -> Block {
+    match b {
+        Block::Par(l, r) => {
+            let l = attach_reduce(*l, g_work);
+            let r = attach_reduce(*r, g_work);
+            Block::seq([Block::par(l, r), Block::work(g_work.max(1))])
+        }
+        Block::Seq(items) => Block::Seq(
+            items
+                .into_iter()
+                .map(|i| attach_reduce(i, g_work))
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::suspension::suspension_width;
+
+    #[test]
+    fn u_equals_n() {
+        for n in [1u64, 2, 5, 16, 33] {
+            let w = map_reduce(n, 100, 10, 2);
+            assert_eq!(suspension_width(&w.dag), n);
+            assert_eq!(w.expected_u, n);
+        }
+    }
+
+    #[test]
+    fn light_delta_means_u_zero() {
+        let w = map_reduce(8, 1, 10, 2);
+        assert_eq!(w.expected_u, 0);
+        assert_eq!(suspension_width(&w.dag), 0);
+        assert!(w.dag.is_unweighted());
+    }
+
+    #[test]
+    fn work_scales_linearly_in_n() {
+        let w1 = map_reduce(16, 10, 8, 1);
+        let w2 = map_reduce(32, 10, 8, 1);
+        let m1 = Metrics::compute(&w1.dag);
+        let m2 = Metrics::compute(&w2.dag);
+        assert!(m2.work > 19 * m1.work / 10, "roughly doubles");
+        assert!(m2.work < 21 * m1.work / 10);
+    }
+
+    #[test]
+    fn span_contains_single_delta() {
+        // The critical path goes through exactly one leaf fetch, so span
+        // grows by ~delta when delta grows, not n·delta.
+        let w_small = map_reduce(16, 10, 8, 1);
+        let w_big = map_reduce(16, 1_010, 8, 1);
+        let s_small = Metrics::compute(&w_small.dag).span;
+        let s_big = Metrics::compute(&w_big.dag).span;
+        assert_eq!(s_big - s_small, 1_000);
+    }
+
+    #[test]
+    fn leaf_count_matches_io_vertices() {
+        let w = map_reduce(13, 50, 4, 1);
+        let m = Metrics::compute(&w.dag);
+        assert_eq!(m.kind_counts.io, 13);
+        assert_eq!(m.kind_counts.fork, 12);
+        assert_eq!(m.kind_counts.join, 12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Workload generators.
+//!
+//! Each generator produces a [`Workload`]: a validated weighted dag plus the
+//! analytically known values of its structural parameters, so tests can
+//! cross-check the computed metrics ([`crate::metrics`],
+//! [`crate::suspension`]) against closed forms.
+//!
+//! The first two generators are the paper's own examples (§5):
+//!
+//! * [`map_reduce`] — distributed map-and-reduce over `n` remote values
+//!   (Figures 7/8): every `getValue` can be suspended at once, `U = n`.
+//! * [`server`] — the interactive "server" (Figures 9/10): inputs arrive
+//!   one at a time, `U = 1`.
+//!
+//! The rest parameterize the space between those extremes:
+//!
+//! * [`fib`] — pure fork-join Fibonacci, `U = 0` (the reduction-to-standard
+//!   work-stealing case).
+//! * [`pipeline`] — `width` parallel lanes each performing `depth`
+//!   latency/compute stages sequentially: `U = width`, independent of the
+//!   number of heavy edges (`width × depth`).
+//! * [`random_sp`] — seeded random series-parallel programs with latency
+//!   leaves, for property tests.
+//! * [`scatter_gather`] — `n` requests answered simultaneously: the
+//!   synchronized-mass-resume regime that exercises the pfor machinery.
+
+mod fib;
+mod map_reduce;
+mod pipeline;
+mod random_sp;
+mod scatter_gather;
+mod server;
+
+pub use fib::fib;
+pub use map_reduce::map_reduce;
+pub use pipeline::pipeline;
+pub use random_sp::{random_sp, RandomSpParams};
+pub use scatter_gather::scatter_gather;
+pub use server::server;
+
+use crate::builder::Block;
+use crate::dag::WDag;
+
+/// A generated dag together with its analytically known parameters.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable name including the parameters.
+    pub name: String,
+    /// The block program the dag was compiled from.
+    pub block: Block,
+    /// The compiled, validated dag.
+    pub dag: WDag,
+    /// Analytic suspension width (what Definition 1 should evaluate to).
+    pub expected_u: u64,
+}
+
+impl Workload {
+    pub(crate) fn from_block(name: String, block: Block) -> Workload {
+        let dag = block.build();
+        let expected_u = block.analytic_suspension_width();
+        Workload {
+            name,
+            block,
+            dag,
+            expected_u,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::suspension::suspension_width;
+
+    /// Every generator's dag must validate and match its analytic numbers.
+    #[test]
+    fn all_generators_consistent() {
+        let workloads = vec![
+            map_reduce(8, 20, 5, 1),
+            map_reduce(1, 20, 5, 1),
+            server(12, 30, 4, 1),
+            fib(10, 3),
+            pipeline(4, 5, 15, 3),
+            random_sp(RandomSpParams::default().seed(7)),
+        ];
+        for w in workloads {
+            let m = Metrics::compute(&w.dag);
+            assert_eq!(m.work, w.block.analytic_work(), "{}: work", w.name);
+            assert_eq!(m.span, w.block.analytic_span(), "{}: span", w.name);
+            assert_eq!(suspension_width(&w.dag), w.expected_u, "{}: U", w.name);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Bounded-suspension pipeline: `U = width`, decoupled from the number of
+//! heavy edges.
+//!
+//! `width` parallel lanes run concurrently; each lane sequentially performs
+//! `depth` rounds of (latency, compute). The dag has `width × depth` heavy
+//! edges, but within a lane at most one can be pending, so the suspension
+//! width is exactly `width`. Sweeping `width` at fixed total latency lets
+//! the bound tables isolate the `U`-dependence of
+//! `O(W/P + S·U·(1 + lg U))` — something neither of the paper's two
+//! examples can do alone.
+
+use super::Workload;
+use crate::builder::Block;
+use crate::dag::Weight;
+
+/// Builds the pipeline workload.
+///
+/// * `width` — number of parallel lanes (`U = width` when `delta > 1`).
+/// * `depth` — latency/compute stages per lane.
+/// * `delta` — latency per stage.
+/// * `stage_work` — compute units per stage.
+pub fn pipeline(width: u64, depth: u64, delta: Weight, stage_work: u64) -> Workload {
+    assert!(width >= 1 && depth >= 1);
+    let mut lane = |_i: u64| {
+        Block::seq((0..depth).flat_map(|_| [Block::latency(delta), Block::work(stage_work.max(1))]))
+    };
+    let block = Block::par_tree(width, &mut lane);
+    Workload::from_block(
+        format!("pipeline(width={width}, depth={depth}, delta={delta}, work={stage_work})"),
+        block,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::suspension::suspension_width;
+
+    #[test]
+    fn u_equals_width_not_heavy_count() {
+        for (w, d) in [(1u64, 8u64), (3, 5), (8, 4), (16, 2)] {
+            let wl = pipeline(w, d, 25, 2);
+            let m = Metrics::compute(&wl.dag);
+            assert_eq!(m.heavy_edges, w * d, "heavy edges = width×depth");
+            assert_eq!(suspension_width(&wl.dag), w, "U = width");
+            assert_eq!(wl.expected_u, w);
+        }
+    }
+
+    #[test]
+    fn span_scales_with_depth_times_delta() {
+        let a = Metrics::compute(&pipeline(4, 2, 100, 1).dag).span;
+        let b = Metrics::compute(&pipeline(4, 4, 100, 1).dag).span;
+        assert_eq!(b - a, 2 * 101); // two more (latency+work) stages
+    }
+
+    #[test]
+    fn single_lane_is_sequential_chain_of_stages() {
+        let wl = pipeline(1, 3, 10, 2);
+        let m = Metrics::compute(&wl.dag);
+        assert_eq!(m.kind_counts.fork, 0);
+        assert_eq!(m.kind_counts.io, 3);
+    }
+}

@@ -1,0 +1,171 @@
+//! Seeded random series-parallel programs with latency leaves.
+//!
+//! Generates random [`Block`] trees; every dag they compile to satisfies
+//! the paper's structural assumptions by construction, so these are the
+//! fuzzing workhorse for the property tests (metrics agreement, suspension
+//! width, scheduler correctness, bound checks).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::Workload;
+use crate::builder::Block;
+use crate::dag::Weight;
+
+/// Parameters for [`random_sp`]. Build with the fluent setters.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSpParams {
+    /// RNG seed (same seed ⇒ same dag).
+    pub seed: u64,
+    /// Rough target for the number of leaves (work/latency blocks).
+    pub target_leaves: u32,
+    /// Probability that a leaf is a latency instruction.
+    pub latency_prob: f64,
+    /// Latencies are drawn uniformly from `2..=max_delta`.
+    pub max_delta: Weight,
+    /// Work chains are drawn uniformly from `1..=max_work`.
+    pub max_work: u64,
+}
+
+impl Default for RandomSpParams {
+    fn default() -> Self {
+        RandomSpParams {
+            seed: 0,
+            target_leaves: 40,
+            latency_prob: 0.3,
+            max_delta: 50,
+            max_work: 8,
+        }
+    }
+}
+
+impl RandomSpParams {
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the target leaf count.
+    pub fn target_leaves(mut self, n: u32) -> Self {
+        self.target_leaves = n.max(1);
+        self
+    }
+
+    /// Sets the probability that a leaf incurs latency.
+    pub fn latency_prob(mut self, p: f64) -> Self {
+        self.latency_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the maximum latency.
+    pub fn max_delta(mut self, d: Weight) -> Self {
+        self.max_delta = d.max(2);
+        self
+    }
+
+    /// Sets the maximum leaf work-chain length.
+    pub fn max_work(mut self, w: u64) -> Self {
+        self.max_work = w.max(1);
+        self
+    }
+}
+
+/// Generates a random series-parallel workload.
+pub fn random_sp(params: RandomSpParams) -> Workload {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let block = gen_block(&mut rng, params.target_leaves, &params);
+    Workload::from_block(
+        format!(
+            "random_sp(seed={}, leaves={}, p_lat={})",
+            params.seed, params.target_leaves, params.latency_prob
+        ),
+        block,
+    )
+}
+
+fn gen_block(rng: &mut StdRng, budget: u32, p: &RandomSpParams) -> Block {
+    if budget <= 1 {
+        return gen_leaf(rng, p);
+    }
+    // Split the leaf budget between two children, composed either
+    // sequentially or in parallel.
+    let left = rng.gen_range(1..budget);
+    let right = budget - left;
+    let a = gen_block(rng, left, p);
+    let b = gen_block(rng, right, p);
+    if rng.gen_bool(0.5) {
+        Block::seq([a, b])
+    } else {
+        Block::par(a, b)
+    }
+}
+
+fn gen_leaf(rng: &mut StdRng, p: &RandomSpParams) -> Block {
+    if rng.gen_bool(p.latency_prob) {
+        // A latency followed by a unit of post-processing keeps the dag
+        // shaped like the paper's `input(); use(x)` pattern.
+        Block::seq([
+            Block::latency(rng.gen_range(2..=p.max_delta)),
+            Block::work(1),
+        ])
+    } else {
+        Block::work(rng.gen_range(1..=p.max_work))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::suspension::suspension_width;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_sp(RandomSpParams::default().seed(11));
+        let b = random_sp(RandomSpParams::default().seed(11));
+        assert_eq!(a.dag.work(), b.dag.work());
+        assert_eq!(Metrics::compute(&a.dag).span, Metrics::compute(&b.dag).span);
+        let c = random_sp(RandomSpParams::default().seed(12));
+        // Overwhelmingly likely to differ.
+        assert!(
+            a.dag.work() != c.dag.work()
+                || Metrics::compute(&a.dag).span != Metrics::compute(&c.dag).span
+        );
+    }
+
+    #[test]
+    fn analytic_values_hold_for_many_seeds() {
+        for seed in 0..25 {
+            let w = random_sp(RandomSpParams::default().seed(seed));
+            let m = Metrics::compute(&w.dag);
+            assert_eq!(m.work, w.block.analytic_work(), "seed {seed}");
+            assert_eq!(m.span, w.block.analytic_span(), "seed {seed}");
+            assert_eq!(
+                suspension_width(&w.dag),
+                w.expected_u,
+                "seed {seed}: exact U must match the block's analytic U"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_latency_prob_is_unweighted() {
+        let w = random_sp(RandomSpParams::default().seed(3).latency_prob(0.0));
+        assert!(w.dag.is_unweighted());
+        assert_eq!(w.expected_u, 0);
+    }
+
+    #[test]
+    fn all_latency_leaves() {
+        let w = random_sp(
+            RandomSpParams::default()
+                .seed(5)
+                .latency_prob(1.0)
+                .target_leaves(20),
+        );
+        let m = Metrics::compute(&w.dag);
+        assert_eq!(m.kind_counts.io, 20);
+        assert!(w.expected_u >= 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Scatter–gather: synchronized mass resume.
+//!
+//! A single thread issues `n` asynchronous requests one per step (a chain
+//! of `Io` vertices); the remote side answers all of them at the same
+//! instant (`round_trip` steps after the first request), so all `n`
+//! suspended continuations resume **in the same round on the same deque**.
+//! This is the regime the paper's pfor-tree machinery exists for: "since
+//! there can be arbitrarily many resumed vertices at a check point, a
+//! worker cannot handle them by itself without harming performance" (§3).
+//!
+//! Request `i` is issued at step `i + 1` and carries latency
+//! `round_trip − i`, so every response lands at step `round_trip + 1`.
+//! Each response runs a `tail_work`-vertex continuation; the results are
+//! combined by a binary join tree.
+
+use super::Workload;
+use crate::builder::Block;
+use crate::dag::{RawDagBuilder, VertexId, VertexKind, WDag};
+
+/// Builds the scatter–gather workload directly (it is not expressible as a
+/// series-parallel [`Block`], so the analytic numbers are computed here).
+///
+/// * `n` — number of outstanding requests (`U = n`).
+/// * `round_trip` — steps until the synchronized response (must exceed
+///   `n`, so every latency stays heavy).
+/// * `tail_work` — vertices per response continuation.
+pub fn scatter_gather(n: u64, round_trip: u64, tail_work: u64) -> Workload {
+    assert!(n >= 1);
+    assert!(
+        round_trip >= n + 2,
+        "round_trip must exceed n+1 so every request latency is >= 2 (heavy)"
+    );
+    let tail_work = tail_work.max(1);
+
+    let mut b = RawDagBuilder::with_capacity((n * (tail_work + 2)) as usize);
+
+    // The request chain: c_0 -> c_1 -> ... ; c_i also fires request i.
+    let chain: Vec<VertexId> = (0..n).map(|_| b.add_vertex(VertexKind::Io)).collect();
+    for w in chain.windows(2) {
+        b.add_edge(w[0], w[1], 1);
+    }
+
+    // Response tails: request i resumes at round round_trip + 1.
+    let mut tails = Vec::with_capacity(n as usize);
+    for (i, &c) in chain.iter().enumerate() {
+        let entry = b.add_vertex(VertexKind::Compute);
+        b.add_edge(c, entry, round_trip - i as u64);
+        let mut cur = entry;
+        for _ in 1..tail_work {
+            let v = b.add_vertex(VertexKind::Compute);
+            b.add_edge(cur, v, 1);
+            cur = v;
+        }
+        tails.push(cur);
+    }
+
+    // Binary join tree over the tails.
+    let mut layer = tails;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len() / 2 + 1);
+        let mut it = layer.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(bv) => {
+                    let j = b.add_vertex(VertexKind::Join);
+                    b.add_edge(a, j, 1);
+                    b.add_edge(bv, j, 1);
+                    next.push(j);
+                }
+                None => next.push(a),
+            }
+        }
+        layer = next;
+    }
+
+    let dag: WDag = b.build().expect("scatter_gather builds a valid dag");
+    Workload {
+        name: format!("scatter_gather(n={n}, rt={round_trip}, tail={tail_work})"),
+        // Not series-parallel; keep a trivial placeholder block with the
+        // right vertex count semantics unused by consumers of this field.
+        block: Block::work(1),
+        dag,
+        expected_u: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::suspension::suspension_width;
+
+    #[test]
+    fn u_equals_n() {
+        for n in [1u64, 4, 16, 50] {
+            let w = scatter_gather(n, n + 10, 3);
+            assert_eq!(suspension_width(&w.dag), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn structure_counts() {
+        let n = 8;
+        let tail = 4;
+        let w = scatter_gather(n, 20, tail);
+        let m = Metrics::compute(&w.dag);
+        assert_eq!(m.kind_counts.io, n);
+        assert_eq!(m.kind_counts.compute, n * tail);
+        assert_eq!(m.kind_counts.join, n - 1);
+        assert_eq!(m.heavy_edges, n);
+    }
+
+    #[test]
+    fn span_reflects_round_trip() {
+        // Critical path: c_0 -(rt)-> tail -> join tree.
+        let w = scatter_gather(16, 100, 2);
+        let m = Metrics::compute(&w.dag);
+        // rt + (tail-1) + ceil(lg 16) join edges.
+        assert_eq!(m.span, 100 + 1 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "round_trip must exceed")]
+    fn rejects_short_round_trip() {
+        let _ = scatter_gather(10, 5, 1);
+    }
+}

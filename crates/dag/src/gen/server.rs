@@ -1,0 +1,102 @@
+//! The "server" example (the paper's Figures 9 and 10).
+//!
+//! The server takes inputs one at a time from a user: `getInput()` incurs
+//! latency; on each input the computation forks `f(input)` in parallel with
+//! a recursive server instance, and all results are reduced with `g` as the
+//! recursion unwinds. Because the recursive call happens only *after*
+//! `getInput()` returns, at most one instruction is suspended at any time:
+//! `U = 1` — the paper's minimal example.
+
+use super::Workload;
+use crate::builder::Block;
+use crate::dag::Weight;
+
+/// Builds the server workload.
+///
+/// * `requests` — number of inputs before the user types "Done".
+/// * `delta` — latency of each `getInput()`.
+/// * `f_work` — units of work to process one input (`f(input)`).
+/// * `g_work` — units of work per combine `g(res1, res2)`.
+///
+/// Analytic values: `U = 1` (for `delta > 1`, `requests ≥ 1`);
+/// `W = Θ(requests · (f_work + g_work))`;
+/// span = `Θ(requests · (delta + g_work))` — the latencies of sequential
+/// inputs all sit on the critical path, which is exactly why the paper's
+/// bound charges latency only through `S`.
+pub fn server(requests: u64, delta: Weight, f_work: u64, g_work: u64) -> Workload {
+    fn go(k: u64, delta: Weight, f_work: u64, g_work: u64) -> Block {
+        if k == 0 {
+            // input = "Done": return the identity.
+            Block::work(1)
+        } else {
+            Block::seq([
+                Block::latency(delta), // getInput()
+                Block::par(
+                    Block::work(f_work.max(1)),       // f(input)
+                    go(k - 1, delta, f_work, g_work), // server(f, g)
+                ),
+                Block::work(g_work.max(1)), // g(res1, res2)
+            ])
+        }
+    }
+    let block = go(requests, delta, f_work, g_work);
+    Workload::from_block(
+        format!("server(requests={requests}, delta={delta}, f={f_work}, g={g_work})"),
+        block,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::suspension::suspension_width;
+
+    #[test]
+    fn u_is_one_regardless_of_requests() {
+        for k in [1u64, 2, 10, 50] {
+            let w = server(k, 40, 6, 1);
+            assert_eq!(suspension_width(&w.dag), 1, "requests={k}");
+            assert_eq!(w.expected_u, 1);
+        }
+    }
+
+    #[test]
+    fn zero_requests_is_trivial() {
+        let w = server(0, 40, 6, 1);
+        assert_eq!(w.expected_u, 0);
+        assert_eq!(w.dag.work(), 1);
+    }
+
+    #[test]
+    fn latencies_accumulate_on_span() {
+        let w1 = server(10, 100, 4, 1);
+        let w2 = server(10, 200, 4, 1);
+        let s1 = Metrics::compute(&w1.dag).span;
+        let s2 = Metrics::compute(&w2.dag).span;
+        // 10 sequential getInputs: span grows by 10 × 100.
+        assert_eq!(s2 - s1, 1_000);
+    }
+
+    #[test]
+    fn f_work_is_mostly_off_critical_path() {
+        // With long latencies, all f branches except the innermost one
+        // (which has no further getInput to hide behind) stay off the
+        // critical path: growing f from 2 to 500 moves the span only by
+        // the innermost arm's difference, not by 5 × 498.
+        let w1 = server(5, 1_000, 2, 1);
+        let w2 = server(5, 1_000, 500, 1);
+        let s1 = Metrics::compute(&w1.dag).span;
+        let s2 = Metrics::compute(&w2.dag).span;
+        // Innermost Par: f arm = f+1, base-case arm = 2.
+        assert_eq!(s2 - s1, (500 + 1) - 3);
+    }
+
+    #[test]
+    fn io_count_matches_requests() {
+        let w = server(17, 30, 5, 2);
+        let m = Metrics::compute(&w.dag);
+        assert_eq!(m.kind_counts.io, 17);
+        assert_eq!(m.kind_counts.fork, 17);
+    }
+}

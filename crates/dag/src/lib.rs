@@ -1,0 +1,51 @@
+//! Weighted computation-dag model for latency-hiding work stealing.
+//!
+//! This crate implements §2 of the SPAA'16 paper: parallel computations are
+//! **weighted dags** whose vertices are unit-work instructions and whose
+//! edges carry integer latencies. An edge of weight 1 is *light* (the child
+//! may run immediately after the parent); weight `δ > 1` is *heavy* (the
+//! child is *enabled* when its parent executes but *ready* only `δ` steps
+//! later — it is *suspended* in between).
+//!
+//! Provided here:
+//!
+//! * [`WDag`] — the dag representation with validation of the paper's four
+//!   structural assumptions (single root/final, out-degree ≤ 2, heavy
+//!   in-edge ⇒ in-degree 1, acyclicity).
+//! * [`builder`] — a [`Block`] combinator language (work /
+//!   latency / sequence / parallel-pair) mirroring the fork-join-with-
+//!   latency programming model, guaranteed to emit valid dags.
+//! * [`metrics`] — work `W`, weighted span `S`, weighted depths, per-kind
+//!   counts.
+//! * [`flow`] — a from-scratch Dinic max-flow solver (substrate for the
+//!   suspension-width computation).
+//! * [`suspension`] — **exact suspension width `U`** via a max-weight-
+//!   closure reduction solved with min-cut, plus prefix-based lower bounds.
+//! * [`gen`] — workload generators: the paper's distributed map-reduce
+//!   (Figure 7/8, `U = n`) and server (Figure 9/10, `U = 1`), fork-join
+//!   Fibonacci (`U = 0`), a bounded-width pipeline (`U = width`), and
+//!   seeded random series-parallel dags.
+//! * [`offline`] — offline schedulers: the greedy scheduler of Theorem 1
+//!   (length ≤ `W/P + S`), Brent-style level-by-level for unweighted dags,
+//!   and schedule validation.
+//! * [`dot`] — Graphviz export (heavy edges drawn thick, as in the paper's
+//!   figures) and textual summaries.
+//! * [`serial`] — plain-text save/load of dags for reproducible experiment
+//!   inputs.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod dag;
+pub mod dot;
+pub mod flow;
+pub mod gen;
+pub mod metrics;
+pub mod offline;
+pub mod serial;
+pub mod suspension;
+
+pub use builder::Block;
+pub use dag::{DagError, OutEdge, RawDagBuilder, VertexId, VertexKind, WDag, Weight};
+pub use metrics::Metrics;
+pub use suspension::suspension_width;

@@ -1,0 +1,302 @@
+//! Work, span, and depth metrics for weighted dags (§2 of the paper).
+//!
+//! * **Work** `W` — number of vertices (edge weights excluded).
+//! * **Span** `S` — longest weighted path, i.e. sum of edge weights along a
+//!   root-to-final path; for an unweighted dag this is the classic
+//!   edge-count span.
+//! * **Weighted depth** `d_G(v)` — length of the longest weighted path from
+//!   the root to `v` (used by the paper's enabling-tree analysis).
+
+use crate::dag::{VertexId, VertexKind, WDag, Weight};
+
+/// Summary metrics of a weighted dag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metrics {
+    /// Work `W`: number of vertices.
+    pub work: u64,
+    /// Weighted span `S`: longest weighted root-to-final path (edge-weight
+    /// sum).
+    pub span: u64,
+    /// Number of heavy edges in the dag.
+    pub heavy_edges: u64,
+    /// Sum of `δ − 1` over all heavy edges: the total latency that could be
+    /// hidden.
+    pub total_latency: u64,
+    /// Number of vertices of each kind `(compute, fork, join, io, nop)`.
+    pub kind_counts: KindCounts,
+    /// Average parallelism `W / S` (floored; `S ≥ 1` for any dag with ≥ 2
+    /// vertices, and defined as `W` for a single-vertex dag).
+    pub parallelism_x100: u64,
+}
+
+/// Vertex counts per [`VertexKind`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounts {
+    /// `VertexKind::Compute` count.
+    pub compute: u64,
+    /// `VertexKind::Fork` count.
+    pub fork: u64,
+    /// `VertexKind::Join` count.
+    pub join: u64,
+    /// `VertexKind::Io` count.
+    pub io: u64,
+    /// `VertexKind::Nop` count.
+    pub nop: u64,
+}
+
+impl Metrics {
+    /// Computes all metrics in one topological pass.
+    pub fn compute(dag: &WDag) -> Metrics {
+        let depths = weighted_depths(dag);
+        let span = depths[dag.final_vertex().index()];
+
+        let mut heavy_edges = 0;
+        let mut total_latency = 0;
+        for (_, e) in dag.heavy_edges() {
+            heavy_edges += 1;
+            total_latency += e.weight - 1;
+        }
+
+        let mut kind_counts = KindCounts::default();
+        for v in dag.vertices() {
+            match dag.kind(v) {
+                VertexKind::Compute => kind_counts.compute += 1,
+                VertexKind::Fork => kind_counts.fork += 1,
+                VertexKind::Join => kind_counts.join += 1,
+                VertexKind::Io => kind_counts.io += 1,
+                VertexKind::Nop => kind_counts.nop += 1,
+            }
+        }
+
+        let work = dag.work();
+        let parallelism_x100 = (work * 100).checked_div(span).unwrap_or(work * 100);
+
+        Metrics {
+            work,
+            span,
+            heavy_edges,
+            total_latency,
+            kind_counts,
+            parallelism_x100,
+        }
+    }
+}
+
+/// Longest weighted path from the root to each vertex (`d_G(v)`), measured
+/// as the sum of edge weights; the root has depth 0.
+pub fn weighted_depths(dag: &WDag) -> Vec<u64> {
+    let mut d = vec![0u64; dag.len()];
+    for &u in dag.topo_order() {
+        let du = d[u.index()];
+        for e in dag.out(u).iter() {
+            let cand = du + e.weight;
+            if cand > d[e.dst.index()] {
+                d[e.dst.index()] = cand;
+            }
+        }
+    }
+    d
+}
+
+/// Unweighted depth (edge count on the longest path, ignoring weights) of
+/// each vertex — the traditional "level".
+pub fn levels(dag: &WDag) -> Vec<u64> {
+    let mut d = vec![0u64; dag.len()];
+    for &u in dag.topo_order() {
+        let du = d[u.index()];
+        for e in dag.out(u).iter() {
+            let cand = du + 1;
+            if cand > d[e.dst.index()] {
+                d[e.dst.index()] = cand;
+            }
+        }
+    }
+    d
+}
+
+/// The longest weighted path from each vertex *to the final vertex* —
+/// the "remaining span" of a vertex. The final vertex has remaining span 0.
+pub fn remaining_span(dag: &WDag) -> Vec<u64> {
+    let mut d = vec![0u64; dag.len()];
+    for &u in dag.topo_order().iter().rev() {
+        let mut best = 0;
+        for e in dag.out(u).iter() {
+            best = best.max(e.weight + d[e.dst.index()]);
+        }
+        d[u.index()] = best;
+    }
+    d
+}
+
+/// Finds one critical (longest weighted) path from root to final vertex.
+pub fn critical_path(dag: &WDag) -> Vec<VertexId> {
+    let rem = remaining_span(dag);
+    let mut path = vec![dag.root()];
+    let mut cur = dag.root();
+    while cur != dag.final_vertex() {
+        // Follow an out-edge on the critical path: weight + remaining of
+        // target equals remaining of cur.
+        let next = dag
+            .out(cur)
+            .iter()
+            .find(|e| e.weight + rem[e.dst.index()] == rem[cur.index()])
+            .expect("critical path is connected");
+        cur = next.dst;
+        path.push(cur);
+    }
+    path
+}
+
+/// Per-level vertex counts on *unweighted* levels — used by the Brent
+/// level-by-level scheduler.
+pub fn level_histogram(dag: &WDag) -> Vec<u64> {
+    let lv = levels(dag);
+    let max = lv.iter().copied().max().unwrap_or(0) as usize;
+    let mut hist = vec![0u64; max + 1];
+    for l in lv {
+        hist[l as usize] += 1;
+    }
+    hist
+}
+
+/// Sum of edge weights along an explicit path (for tests/diagnostics).
+pub fn path_weight(dag: &WDag, path: &[VertexId]) -> Option<Weight> {
+    let mut total = 0;
+    for w in path.windows(2) {
+        let e = dag.out(w[0]).iter().find(|e| e.dst == w[1])?;
+        total += e.weight;
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Block;
+    use crate::dag::{RawDagBuilder, VertexKind};
+
+    fn figure_one(delta: u64) -> WDag {
+        Block::par(
+            Block::work(1),
+            Block::seq([Block::latency(delta), Block::work(1)]),
+        )
+        .build()
+    }
+
+    #[test]
+    fn single_vertex_metrics() {
+        let mut b = RawDagBuilder::new();
+        b.add_vertex(VertexKind::Compute);
+        let d = b.build().unwrap();
+        let m = Metrics::compute(&d);
+        assert_eq!(m.work, 1);
+        assert_eq!(m.span, 0);
+        assert_eq!(m.heavy_edges, 0);
+        assert_eq!(m.parallelism_x100, 100);
+    }
+
+    #[test]
+    fn chain_span_counts_edges() {
+        let d = Block::work(10).build();
+        let m = Metrics::compute(&d);
+        assert_eq!(m.work, 10);
+        assert_eq!(m.span, 9);
+    }
+
+    #[test]
+    fn figure_one_metrics() {
+        let d = figure_one(8);
+        let m = Metrics::compute(&d);
+        assert_eq!(m.work, 5);
+        assert_eq!(m.span, 10); // fork -> io -(8)-> double -> join
+        assert_eq!(m.heavy_edges, 1);
+        assert_eq!(m.total_latency, 7);
+        assert_eq!(m.kind_counts.fork, 1);
+        assert_eq!(m.kind_counts.join, 1);
+        assert_eq!(m.kind_counts.io, 1);
+        assert_eq!(m.kind_counts.compute, 2);
+    }
+
+    #[test]
+    fn weighted_vs_unweighted_depth() {
+        let d = figure_one(8);
+        let wd = weighted_depths(&d);
+        let lv = levels(&d);
+        let m = Metrics::compute(&d);
+        assert_eq!(*wd.iter().max().unwrap(), m.span);
+        // Unweighted span of the same dag is 3 edges.
+        assert_eq!(*lv.iter().max().unwrap(), 3);
+    }
+
+    #[test]
+    fn remaining_span_root_equals_span() {
+        let d = figure_one(5);
+        let rem = remaining_span(&d);
+        let m = Metrics::compute(&d);
+        assert_eq!(rem[d.root().index()], m.span);
+        assert_eq!(rem[d.final_vertex().index()], 0);
+    }
+
+    #[test]
+    fn critical_path_has_span_weight() {
+        let b = Block::seq([
+            Block::work(3),
+            Block::par(
+                Block::seq([Block::latency(20), Block::work(1)]),
+                Block::work(50),
+            ),
+            Block::work(2),
+        ]);
+        let d = b.build();
+        let m = Metrics::compute(&d);
+        let p = critical_path(&d);
+        assert_eq!(p.first().copied(), Some(d.root()));
+        assert_eq!(p.last().copied(), Some(d.final_vertex()));
+        assert_eq!(path_weight(&d, &p), Some(m.span));
+    }
+
+    #[test]
+    fn critical_path_prefers_long_latency() {
+        // Latency 100 dominates a 50-vertex chain.
+        let b = Block::par(
+            Block::seq([Block::latency(100), Block::work(1)]),
+            Block::work(50),
+        );
+        let d = b.build();
+        let m = Metrics::compute(&d);
+        assert_eq!(m.span, 102); // fork -> io -(100)-> work -> join
+    }
+
+    #[test]
+    fn work_path_dominates_short_latency() {
+        let b = Block::par(
+            Block::seq([Block::latency(5), Block::work(1)]),
+            Block::work(50),
+        );
+        let d = b.build();
+        let m = Metrics::compute(&d);
+        assert_eq!(m.span, 51); // fork -> 50-chain -> join
+    }
+
+    #[test]
+    fn level_histogram_sums_to_work() {
+        let d = Block::par_tree(16, &mut |_| Block::work(2)).build();
+        let h = level_histogram(&d);
+        assert_eq!(h.iter().sum::<u64>(), d.work());
+        assert_eq!(h[0], 1); // only the root at level 0
+    }
+
+    #[test]
+    fn path_weight_rejects_non_paths() {
+        let d = Block::work(3).build();
+        let bad = vec![d.final_vertex(), d.root()];
+        assert_eq!(path_weight(&d, &bad), None);
+    }
+
+    #[test]
+    fn parallelism_of_wide_dag() {
+        let d = Block::par_tree(64, &mut |_| Block::work(32)).build();
+        let m = Metrics::compute(&d);
+        assert!(m.parallelism_x100 > 30 * 100, "wide dag is parallel");
+    }
+}

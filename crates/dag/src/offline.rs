@@ -1,0 +1,404 @@
+//! Offline schedulers for weighted dags.
+//!
+//! The paper's Theorem 1 generalizes Brent/Eager-Zahorjan-Lazowska greedy
+//! bounds to weighted dags: **any greedy schedule on `P` workers has length
+//! at most `W/P + S`**. This module provides:
+//!
+//! * [`greedy_schedule`] — a centralized greedy scheduler (all workers busy
+//!   whenever ≥ P vertices are ready), whose length the tests check against
+//!   the Theorem 1 bound on every workload family;
+//! * [`level_by_level_schedule`] — Brent's classic schedule for *unweighted*
+//!   dags (the historical baseline Theorem 1 extends);
+//! * [`validate_schedule`] — an independent checker used to validate both
+//!   the offline schedules and (via the simulator crate) online executions;
+//! * [`lower_bound`] — `max(⌈W/P⌉, S)`, the trivial lower bound any
+//!   schedule must obey.
+//!
+//! ### Round semantics
+//!
+//! A vertex executed in round `r` releases each child over an edge of
+//! weight `δ` at round `r + δ`: light children may run in the next round,
+//! heavy children after the latency expires ("ready only δ steps after u is
+//! executed", §2). Rounds are numbered from 1.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::dag::{VertexId, WDag};
+use crate::metrics::{levels, Metrics};
+
+/// One scheduled vertex execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleEntry {
+    /// Round in which the vertex executes (1-based).
+    pub round: u64,
+    /// Worker that executes it (`0..p`).
+    pub worker: usize,
+    /// The vertex.
+    pub vertex: VertexId,
+}
+
+/// A complete schedule of a dag on `p` workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Number of workers the schedule was built for.
+    pub workers: usize,
+    /// Entries in execution order (sorted by round).
+    pub entries: Vec<ScheduleEntry>,
+    /// Total number of rounds (the schedule length).
+    pub length: u64,
+}
+
+/// Errors found by [`validate_schedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A vertex never executes.
+    Missing(VertexId),
+    /// A vertex executes more than once.
+    Duplicate(VertexId),
+    /// A worker executes two vertices in the same round.
+    WorkerOverload {
+        /// The overloaded worker.
+        worker: usize,
+        /// The round with two executions.
+        round: u64,
+    },
+    /// A worker id is out of range.
+    BadWorker(usize),
+    /// Vertex executed before its parent's edge released it:
+    /// `child_round < parent_round + weight`.
+    NotReady {
+        /// The too-early vertex.
+        vertex: VertexId,
+        /// Its round.
+        round: u64,
+        /// Earliest legal round.
+        earliest: u64,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Missing(v) => write!(f, "{v} never executes"),
+            ScheduleError::Duplicate(v) => write!(f, "{v} executes twice"),
+            ScheduleError::WorkerOverload { worker, round } => {
+                write!(f, "worker {worker} executes two vertices in round {round}")
+            }
+            ScheduleError::BadWorker(w) => write!(f, "worker id {w} out of range"),
+            ScheduleError::NotReady {
+                vertex,
+                round,
+                earliest,
+            } => write!(
+                f,
+                "{vertex} executes in round {round} but is ready only at {earliest}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Builds a greedy schedule: each round executes `min(P, #ready)` ready
+/// vertices (FIFO among ready ones; the bound holds for any greedy choice).
+pub fn greedy_schedule(dag: &WDag, p: usize) -> Schedule {
+    assert!(p >= 1, "need at least one worker");
+    let n = dag.len();
+    let mut indeg: Vec<u32> = (0..n).map(|v| dag.in_degree(VertexId(v as u32))).collect();
+    // (release_round, vertex): vertex may execute at any round >= release.
+    let mut releases: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    releases.push(Reverse((1, dag.root().0)));
+
+    let mut ready: std::collections::VecDeque<VertexId> = std::collections::VecDeque::new();
+    let mut entries = Vec::with_capacity(n);
+    let mut executed = 0usize;
+    let mut round = 0u64;
+
+    while executed < n {
+        // Jump to the next interesting round: either there are ready
+        // vertices now, or the earliest pending release.
+        if ready.is_empty() {
+            let Reverse((r, _)) = *releases.peek().expect("dag is connected");
+            round = round.max(r);
+        } else {
+            round += 1;
+        }
+        // Pull in everything released by `round`.
+        while let Some(&Reverse((r, v))) = releases.peek() {
+            if r <= round {
+                releases.pop();
+                ready.push_back(VertexId(v));
+            } else {
+                break;
+            }
+        }
+        debug_assert!(!ready.is_empty());
+        // Execute up to p ready vertices this round.
+        for worker in 0..p {
+            let Some(v) = ready.pop_front() else { break };
+            entries.push(ScheduleEntry {
+                round,
+                worker,
+                vertex: v,
+            });
+            executed += 1;
+            for e in dag.out(v).iter() {
+                let d = e.dst.index();
+                indeg[d] -= 1;
+                if indeg[d] == 0 {
+                    releases.push(Reverse((round + e.weight, e.dst.0)));
+                }
+            }
+        }
+    }
+
+    Schedule {
+        workers: p,
+        length: round,
+        entries,
+    }
+}
+
+/// Brent's level-by-level schedule for **unweighted** dags: level `ℓ` with
+/// `n_ℓ` vertices runs in `⌈n_ℓ / P⌉` consecutive rounds, after all of
+/// level `ℓ−1`. Returns `None` if the dag has heavy edges.
+pub fn level_by_level_schedule(dag: &WDag, p: usize) -> Option<Schedule> {
+    assert!(p >= 1);
+    if !dag.is_unweighted() {
+        return None;
+    }
+    let lv = levels(dag);
+    let max_level = lv.iter().copied().max().unwrap_or(0) as usize;
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_level + 1];
+    for v in dag.vertices() {
+        buckets[lv[v.index()] as usize].push(v);
+    }
+    let mut entries = Vec::with_capacity(dag.len());
+    let mut round = 0u64;
+    for bucket in &buckets {
+        for chunk in bucket.chunks(p) {
+            round += 1;
+            for (worker, &v) in chunk.iter().enumerate() {
+                entries.push(ScheduleEntry {
+                    round,
+                    worker,
+                    vertex: v,
+                });
+            }
+        }
+    }
+    Some(Schedule {
+        workers: p,
+        length: round,
+        entries,
+    })
+}
+
+/// Independently validates a schedule against the dag semantics.
+pub fn validate_schedule(dag: &WDag, s: &Schedule) -> Result<(), ScheduleError> {
+    let n = dag.len();
+    let mut round_of = vec![0u64; n]; // 0 = not executed
+    let mut per_worker_round = std::collections::HashSet::new();
+    for e in &s.entries {
+        if e.worker >= s.workers {
+            return Err(ScheduleError::BadWorker(e.worker));
+        }
+        if round_of[e.vertex.index()] != 0 {
+            return Err(ScheduleError::Duplicate(e.vertex));
+        }
+        round_of[e.vertex.index()] = e.round;
+        if !per_worker_round.insert((e.worker, e.round)) {
+            return Err(ScheduleError::WorkerOverload {
+                worker: e.worker,
+                round: e.round,
+            });
+        }
+    }
+    for v in dag.vertices() {
+        if round_of[v.index()] == 0 {
+            return Err(ScheduleError::Missing(v));
+        }
+    }
+    for (u, e) in dag.edges() {
+        let earliest = round_of[u.index()] + e.weight;
+        let actual = round_of[e.dst.index()];
+        if actual < earliest {
+            return Err(ScheduleError::NotReady {
+                vertex: e.dst,
+                round: actual,
+                earliest,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The trivial lower bound `max(⌈W/P⌉, S)` on any schedule length.
+pub fn lower_bound(dag: &WDag, p: usize) -> u64 {
+    let m = Metrics::compute(dag);
+    let work_bound = m.work.div_ceil(p as u64);
+    // A chain of k vertices takes k rounds but has span k−1; the +1
+    // accounts for executing the root itself.
+    work_bound.max(m.span + 1)
+}
+
+/// The Theorem 1 upper bound `W/P + S` on greedy schedules (rounded up).
+pub fn greedy_bound(dag: &WDag, p: usize) -> u64 {
+    let m = Metrics::compute(dag);
+    m.work.div_ceil(p as u64) + m.span
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Block;
+    use crate::gen::{fib, map_reduce, pipeline, random_sp, server, RandomSpParams};
+
+    fn check_greedy(dag: &WDag, ps: &[usize]) {
+        for &p in ps {
+            let s = greedy_schedule(dag, p);
+            validate_schedule(dag, &s).unwrap();
+            assert!(
+                s.length <= greedy_bound(dag, p),
+                "greedy length {} exceeds W/P + S = {} at P={p}",
+                s.length,
+                greedy_bound(dag, p)
+            );
+            assert!(s.length >= lower_bound(dag, p));
+            assert_eq!(s.entries.len(), dag.len());
+        }
+    }
+
+    #[test]
+    fn greedy_on_chain() {
+        let d = Block::work(10).build();
+        let s = greedy_schedule(&d, 4);
+        validate_schedule(&d, &s).unwrap();
+        assert_eq!(s.length, 10, "chains cannot be parallelized");
+    }
+
+    #[test]
+    fn greedy_on_wide_tree() {
+        let d = Block::par_tree(32, &mut |_| Block::work(1)).build();
+        let s1 = greedy_schedule(&d, 1);
+        let s8 = greedy_schedule(&d, 8);
+        validate_schedule(&d, &s1).unwrap();
+        validate_schedule(&d, &s8).unwrap();
+        assert_eq!(s1.length, d.work(), "1 worker, no latency: 1 vertex/round");
+        assert!(s8.length < s1.length / 4, "wide tree speeds up");
+    }
+
+    #[test]
+    fn greedy_respects_latency() {
+        let d = Block::seq([Block::latency(100), Block::work(1)]).build();
+        let s = greedy_schedule(&d, 4);
+        validate_schedule(&d, &s).unwrap();
+        // io at round 1, successor no earlier than 101, plus terminal Nop.
+        assert!(s.length >= 101);
+    }
+
+    #[test]
+    fn greedy_hides_off_critical_latency() {
+        // Long latency in one branch, ample parallel work in the other:
+        // the greedy schedule overlaps them, so the latency does not show
+        // up additively in the length.
+        let d = Block::par(
+            Block::seq([Block::latency(50), Block::work(1)]),
+            Block::par_tree(8, &mut |_| Block::work(32)),
+        )
+        .build();
+        let s = greedy_schedule(&d, 2);
+        validate_schedule(&d, &s).unwrap();
+        assert!(s.length <= greedy_bound(&d, 2));
+        // Far below serializing latency + work.
+        assert!(s.length < d.work(), "latency was hidden behind work");
+    }
+
+    #[test]
+    fn theorem_one_on_all_families() {
+        let ps = [1usize, 2, 3, 7, 16];
+        check_greedy(&map_reduce(16, 40, 6, 2).dag, &ps);
+        check_greedy(&server(10, 25, 8, 1).dag, &ps);
+        check_greedy(&fib(10, 3).dag, &ps);
+        check_greedy(&pipeline(4, 4, 30, 2).dag, &ps);
+        for seed in 0..10 {
+            check_greedy(&random_sp(RandomSpParams::default().seed(seed)).dag, &ps);
+        }
+    }
+
+    #[test]
+    fn all_workers_idle_rounds_allowed() {
+        // Theorem 1 discussion: with weighted dags all workers may idle
+        // while waiting on suspensions. Length can exceed W even at P=1.
+        let d = Block::seq([Block::latency(100), Block::work(1)]).build();
+        let s = greedy_schedule(&d, 1);
+        assert!(s.length > d.work());
+        validate_schedule(&d, &s).unwrap();
+    }
+
+    #[test]
+    fn level_by_level_matches_brent_bound() {
+        let d = fib(10, 3).dag;
+        let m = Metrics::compute(&d);
+        for p in [1usize, 2, 4, 8] {
+            let s = level_by_level_schedule(&d, p).unwrap();
+            validate_schedule(&d, &s).unwrap();
+            // Brent: length <= W/P + S (unweighted S counts edges; each
+            // level contributes ceil(n_l/P) <= n_l/P + 1 rounds).
+            assert!(s.length <= m.work.div_ceil(p as u64) + m.span);
+        }
+    }
+
+    #[test]
+    fn level_by_level_rejects_weighted() {
+        let d = Block::seq([Block::latency(5), Block::work(1)]).build();
+        assert!(level_by_level_schedule(&d, 2).is_none());
+    }
+
+    #[test]
+    fn validator_catches_duplicates() {
+        let d = Block::work(2).build();
+        let mut s = greedy_schedule(&d, 1);
+        s.entries[1].vertex = s.entries[0].vertex;
+        assert!(matches!(
+            validate_schedule(&d, &s),
+            Err(ScheduleError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn validator_catches_early_execution() {
+        let d = Block::seq([Block::latency(10), Block::work(1)]).build();
+        let mut s = greedy_schedule(&d, 1);
+        // Pull every entry to round index 1, 2, 3 ... ignoring latency.
+        for (i, e) in s.entries.iter_mut().enumerate() {
+            e.round = i as u64 + 1;
+        }
+        assert!(matches!(
+            validate_schedule(&d, &s),
+            Err(ScheduleError::NotReady { .. })
+        ));
+    }
+
+    #[test]
+    fn validator_catches_overload() {
+        let d = Block::par(Block::work(1), Block::work(1)).build();
+        let mut s = greedy_schedule(&d, 2);
+        for e in &mut s.entries {
+            e.worker = 0; // squeeze everything onto worker 0
+        }
+        let err = validate_schedule(&d, &s).unwrap_err();
+        assert!(matches!(err, ScheduleError::WorkerOverload { .. }));
+    }
+
+    #[test]
+    fn greedy_p1_length_is_work_plus_unhidden_latency() {
+        // Server: every latency sits on the critical path; at P=1 the
+        // schedule must wait out each one.
+        let w = server(5, 20, 1, 1);
+        let s = greedy_schedule(&w.dag, 1);
+        validate_schedule(&w.dag, &s).unwrap();
+        assert!(s.length >= 5 * 20);
+    }
+}

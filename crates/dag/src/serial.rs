@@ -1,0 +1,283 @@
+//! Plain-text serialization of weighted dags.
+//!
+//! A small line-oriented format so experiment inputs can be saved, diffed,
+//! and replayed without extra dependencies:
+//!
+//! ```text
+//! lhws-dag v1
+//! vertices 5
+//! kinds FCIcJ        # one letter per vertex: C/F/J/I/N (case-insensitive)
+//! e 0 1 1            # edge <src> <dst> <weight>
+//! e 0 2 1
+//! e 2 3 7
+//! e 1 4 1
+//! e 3 4 1
+//! ```
+//!
+//! Deserialization re-validates through [`RawDagBuilder::build`], so a
+//! hand-edited file can never produce an invalid dag.
+
+use crate::dag::{DagError, RawDagBuilder, VertexId, VertexKind, WDag};
+
+/// Errors from [`from_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Missing or wrong magic header.
+    BadHeader,
+    /// Malformed line with its 1-based number.
+    BadLine(usize, String),
+    /// Unknown vertex-kind letter.
+    BadKind(char),
+    /// The `kinds` string length disagrees with `vertices`.
+    KindCount {
+        /// Declared vertex count.
+        expected: usize,
+        /// Letters found in the kinds string.
+        got: usize,
+    },
+    /// Vertex index out of range.
+    BadVertex(u64),
+    /// The parsed dag failed structural validation.
+    Invalid(DagError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing 'lhws-dag v1' header"),
+            ParseError::BadLine(n, l) => write!(f, "malformed line {n}: {l:?}"),
+            ParseError::BadKind(c) => write!(f, "unknown vertex kind {c:?}"),
+            ParseError::KindCount { expected, got } => {
+                write!(f, "kinds string has {got} letters, expected {expected}")
+            }
+            ParseError::BadVertex(v) => write!(f, "vertex index {v} out of range"),
+            ParseError::Invalid(e) => write!(f, "invalid dag: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn kind_char(k: VertexKind) -> char {
+    match k {
+        VertexKind::Compute => 'C',
+        VertexKind::Fork => 'F',
+        VertexKind::Join => 'J',
+        VertexKind::Io => 'I',
+        VertexKind::Nop => 'N',
+    }
+}
+
+fn char_kind(c: char) -> Result<VertexKind, ParseError> {
+    match c.to_ascii_uppercase() {
+        'C' => Ok(VertexKind::Compute),
+        'F' => Ok(VertexKind::Fork),
+        'J' => Ok(VertexKind::Join),
+        'I' => Ok(VertexKind::Io),
+        'N' => Ok(VertexKind::Nop),
+        other => Err(ParseError::BadKind(other)),
+    }
+}
+
+/// Serializes the dag to the text format.
+pub fn to_text(dag: &WDag) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("lhws-dag v1\n");
+    let _ = writeln!(out, "vertices {}", dag.len());
+    out.push_str("kinds ");
+    for v in dag.vertices() {
+        out.push(kind_char(dag.kind(v)));
+    }
+    out.push('\n');
+    for (u, e) in dag.edges() {
+        let _ = writeln!(out, "e {} {} {}", u.0, e.dst.0, e.weight);
+    }
+    out
+}
+
+/// Parses the text format, re-validating the dag.
+pub fn from_text(text: &str) -> Result<WDag, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.split('#').next().unwrap_or("").trim()))
+        .filter(|(_, l)| !l.is_empty());
+
+    let (_, header) = lines.next().ok_or(ParseError::BadHeader)?;
+    if header != "lhws-dag v1" {
+        return Err(ParseError::BadHeader);
+    }
+
+    let (ln, vline) = lines.next().ok_or(ParseError::BadHeader)?;
+    let n: usize = vline
+        .strip_prefix("vertices ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| ParseError::BadLine(ln, vline.to_string()))?;
+
+    let (ln, kline) = lines.next().ok_or(ParseError::BadHeader)?;
+    let kinds_str = kline
+        .strip_prefix("kinds ")
+        .ok_or_else(|| ParseError::BadLine(ln, kline.to_string()))?
+        .trim();
+    if kinds_str.chars().count() != n {
+        return Err(ParseError::KindCount {
+            expected: n,
+            got: kinds_str.chars().count(),
+        });
+    }
+
+    let mut b = RawDagBuilder::with_capacity(n);
+    for c in kinds_str.chars() {
+        b.add_vertex(char_kind(c)?);
+    }
+
+    for (ln, line) in lines {
+        let rest = line
+            .strip_prefix("e ")
+            .ok_or_else(|| ParseError::BadLine(ln, line.to_string()))?;
+        let mut it = rest.split_whitespace();
+        let parse3 = (|| {
+            let u: u64 = it.next()?.parse().ok()?;
+            let v: u64 = it.next()?.parse().ok()?;
+            let w: u64 = it.next()?.parse().ok()?;
+            if it.next().is_some() {
+                return None;
+            }
+            Some((u, v, w))
+        })();
+        let (u, v, w) = parse3.ok_or_else(|| ParseError::BadLine(ln, line.to_string()))?;
+        if u >= n as u64 {
+            return Err(ParseError::BadVertex(u));
+        }
+        if v >= n as u64 {
+            return Err(ParseError::BadVertex(v));
+        }
+        b.add_edge(VertexId(u as u32), VertexId(v as u32), w);
+    }
+
+    b.build().map_err(ParseError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Block;
+    use crate::gen::{map_reduce, random_sp, RandomSpParams};
+    use crate::metrics::Metrics;
+    use crate::suspension::suspension_width;
+
+    fn roundtrip(dag: &WDag) {
+        let text = to_text(dag);
+        let back = from_text(&text).expect("roundtrip parses");
+        assert_eq!(back.len(), dag.len());
+        assert_eq!(back.root(), dag.root());
+        assert_eq!(back.final_vertex(), dag.final_vertex());
+        for v in dag.vertices() {
+            assert_eq!(back.kind(v), dag.kind(v));
+            let a: Vec<_> = dag.out(v).iter().copied().collect();
+            let b: Vec<_> = back.out(v).iter().copied().collect();
+            assert_eq!(a, b, "out-edges of {v}");
+        }
+        assert_eq!(Metrics::compute(&back), Metrics::compute(dag));
+        assert_eq!(suspension_width(&back), suspension_width(dag));
+    }
+
+    #[test]
+    fn roundtrip_figure_one() {
+        let d = Block::par(
+            Block::work(1),
+            Block::seq([Block::latency(7), Block::work(1)]),
+        )
+        .build();
+        roundtrip(&d);
+    }
+
+    #[test]
+    fn roundtrip_map_reduce() {
+        roundtrip(&map_reduce(16, 40, 4, 1).dag);
+    }
+
+    #[test]
+    fn roundtrip_random_programs() {
+        for seed in 0..10 {
+            roundtrip(&random_sp(RandomSpParams::default().seed(seed)).dag);
+        }
+    }
+
+    #[test]
+    fn roundtrip_non_series_parallel() {
+        // scatter_gather is built with the raw builder (not expressible as
+        // a Block), exercising the format beyond series-parallel shapes.
+        roundtrip(&crate::gen::scatter_gather(16, 40, 3).dag);
+    }
+
+    #[test]
+    fn text_is_stable() {
+        // Serializing twice yields identical bytes (diffable artifacts).
+        let d = map_reduce(8, 20, 3, 1).dag;
+        assert_eq!(to_text(&d), to_text(&d));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "lhws-dag v1\n\nvertices 2\nkinds IC  # io then compute\n\ne 0 1 5 # heavy\n";
+        let d = from_text(text).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.heavy_edge_count(), 1);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(from_text("nonsense\n").unwrap_err(), ParseError::BadHeader);
+        assert_eq!(from_text("").unwrap_err(), ParseError::BadHeader);
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let text = "lhws-dag v1\nvertices 1\nkinds X\n";
+        assert_eq!(from_text(text).unwrap_err(), ParseError::BadKind('X'));
+    }
+
+    #[test]
+    fn kind_count_mismatch_rejected() {
+        let text = "lhws-dag v1\nvertices 3\nkinds CC\n";
+        assert_eq!(
+            from_text(text).unwrap_err(),
+            ParseError::KindCount {
+                expected: 3,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_vertex_rejected() {
+        let text = "lhws-dag v1\nvertices 2\nkinds CC\ne 0 5 1\n";
+        assert_eq!(from_text(text).unwrap_err(), ParseError::BadVertex(5));
+    }
+
+    #[test]
+    fn invalid_dag_rejected_by_validation() {
+        // Two roots.
+        let text = "lhws-dag v1\nvertices 3\nkinds CCJ\ne 0 2 1\ne 1 2 1\n";
+        assert!(matches!(
+            from_text(text).unwrap_err(),
+            ParseError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn malformed_edge_line_rejected() {
+        let text = "lhws-dag v1\nvertices 2\nkinds CC\ne 0 1\n";
+        assert!(matches!(
+            from_text(text).unwrap_err(),
+            ParseError::BadLine(_, _)
+        ));
+        let text2 = "lhws-dag v1\nvertices 2\nkinds CC\nedge 0 1 1\n";
+        assert!(matches!(
+            from_text(text2).unwrap_err(),
+            ParseError::BadLine(_, _)
+        ));
+    }
+}

@@ -1,0 +1,296 @@
+//! Exact suspension width `U` (Definition 1 of the paper).
+//!
+//! The suspension width of a weighted dag is the maximum number of heavy
+//! edges crossing a source–sink partition `(S, T)` where `S` contains the
+//! root, `T` the final vertex, and both induce connected subdags. The paper
+//! introduces `U` as the operational quantity "the maximum number of
+//! vertices that can be suspended at any point during the run", realized by
+//! partitions `(S_i, T_i)` where `S_i` is the set of instructions executed
+//! by the end of step `i` — i.e. **down-closed** vertex sets (executed
+//! prefixes). We compute the maximum over exactly these prefix partitions.
+//! (Every down-closed `S` containing the root induces a connected subdag —
+//! each `v ∈ S` is reached from the root through ancestors, all in `S` —
+//! and its complement is up-closed and connected to the final vertex
+//! symmetrically, so every prefix partition is admissible in Definition 1.)
+//!
+//! ### Reduction
+//!
+//! For a down-closed `S`, membership indicators satisfy `x_u ≥ x_v` for
+//! every edge `(u, v)`, hence a heavy edge `(u, v)` crosses iff
+//! `x_u − x_v = 1` and the number of crossing heavy edges is
+//!
+//! ```text
+//! Σ_{heavy (u,v)} (x_u − x_v)  =  Σ_u x_u · (heavyOut(u) − heavyIn(u))
+//! ```
+//!
+//! Maximizing this linear objective over down-closed sets is a
+//! **maximum-weight closure** problem with per-vertex weight
+//! `w(u) = heavyOut(u) − heavyIn(u)`, solved with a single s-t min-cut
+//! ([`crate::flow`]): source → `u` with capacity `w(u)` for positive
+//! weights, `u` → sink with capacity `−w(u)` for negative weights, and an
+//! uncuttable edge `v → u` for every dag edge `(u, v)` enforcing
+//! down-closure. The final vertex is forced out of `S` with an uncuttable
+//! edge to the sink; the root needs no forcing (any maximizer can include
+//! it for free).
+
+use crate::dag::{VertexId, WDag};
+use crate::flow::{FlowNetwork, CAP_INF};
+
+/// Computes the exact suspension width `U` of a weighted dag.
+///
+/// Runs one Dinic max-flow on a network with `n + 2` nodes; cost is
+/// polynomial and in practice fast even for dags with millions of edges of
+/// which few are heavy (vertices with weight 0 only contribute closure
+/// edges).
+pub fn suspension_width(dag: &WDag) -> u64 {
+    if dag.is_unweighted() {
+        return 0;
+    }
+
+    let n = dag.len();
+    // Per-vertex weight: heavy out-edges minus heavy in-edges.
+    let mut weight = vec![0i64; n];
+    for (u, e) in dag.heavy_edges() {
+        weight[u.index()] += 1;
+        weight[e.dst.index()] -= 1;
+    }
+
+    let source = n;
+    let sink = n + 1;
+    let mut net = FlowNetwork::new(n + 2);
+    let mut positive_total: u64 = 0;
+
+    for (v, &w) in weight.iter().enumerate() {
+        match w {
+            w if w > 0 => {
+                net.add_edge(source, v, w as u64);
+                positive_total += w as u64;
+            }
+            w if w < 0 => net.add_edge(v, sink, (-w) as u64),
+            _ => {}
+        }
+    }
+    // Closure constraint: selecting v requires selecting each parent u.
+    for (u, e) in dag.edges() {
+        net.add_edge(e.dst.index(), u.index(), CAP_INF);
+    }
+    // The final vertex must stay outside S.
+    net.add_edge(dag.final_vertex().index(), sink, CAP_INF);
+
+    let cut = net.max_flow(source, sink);
+    positive_total - cut
+}
+
+/// Returns a maximizing executed-prefix partition: the down-closed set `S`
+/// (as a boolean membership vector) achieving `U` crossing heavy edges.
+pub fn suspension_width_witness(dag: &WDag) -> (u64, Vec<bool>) {
+    if dag.is_unweighted() {
+        let mut s = vec![false; dag.len()];
+        s[dag.root().index()] = true;
+        return (0, s);
+    }
+    let n = dag.len();
+    let mut weight = vec![0i64; n];
+    for (u, e) in dag.heavy_edges() {
+        weight[u.index()] += 1;
+        weight[e.dst.index()] -= 1;
+    }
+    let source = n;
+    let sink = n + 1;
+    let mut net = FlowNetwork::new(n + 2);
+    let mut positive_total: u64 = 0;
+    for (v, &w) in weight.iter().enumerate() {
+        match w {
+            w if w > 0 => {
+                net.add_edge(source, v, w as u64);
+                positive_total += w as u64;
+            }
+            w if w < 0 => net.add_edge(v, sink, (-w) as u64),
+            _ => {}
+        }
+    }
+    for (u, e) in dag.edges() {
+        net.add_edge(e.dst.index(), u.index(), CAP_INF);
+    }
+    net.add_edge(dag.final_vertex().index(), sink, CAP_INF);
+    let cut = net.max_flow(source, sink);
+    let side = net.min_cut_source_side(source);
+    let s: Vec<bool> = (0..n).map(|v| side[v]).collect();
+    (positive_total - cut, s)
+}
+
+/// Number of heavy edges crossing the prefix consisting of the first `k`
+/// vertices of `order`; `order` must be a topological order. Maximizing over
+/// all `k` and all topological orders yields `U`; any single order yields a
+/// lower bound, which tests use to sandwich the flow-based answer.
+pub fn max_prefix_crossing(dag: &WDag, order: &[VertexId]) -> u64 {
+    debug_assert_eq!(order.len(), dag.len());
+    let mut in_s = vec![false; dag.len()];
+    let mut crossing: i64 = 0;
+    let mut best: i64 = 0;
+    let mut heavy_in_weight = vec![0i64; dag.len()];
+    for (_, e) in dag.heavy_edges() {
+        heavy_in_weight[e.dst.index()] += 1;
+    }
+    for &v in order {
+        // Adding v to S: its heavy out-edges start crossing; its heavy
+        // in-edge (if the parent is already in S) stops crossing.
+        in_s[v.index()] = true;
+        crossing += dag.out(v).iter().filter(|e| e.is_heavy()).count() as i64;
+        crossing -= heavy_in_weight[v.index()];
+        debug_assert!(crossing >= 0, "prefix of a topological order");
+        best = best.max(crossing);
+    }
+    best as u64
+}
+
+/// Verifies that a membership vector is down-closed, contains the root,
+/// excludes the final vertex, and counts its crossing heavy edges.
+/// Diagnostic helper for tests.
+pub fn check_partition(dag: &WDag, in_s: &[bool]) -> Option<u64> {
+    if !in_s[dag.root().index()] || in_s[dag.final_vertex().index()] {
+        return None;
+    }
+    for (u, e) in dag.edges() {
+        // Down-closed: v in S implies u in S.
+        if in_s[e.dst.index()] && !in_s[u.index()] {
+            return None;
+        }
+    }
+    Some(
+        dag.heavy_edges()
+            .filter(|(u, e)| in_s[u.index()] && !in_s[e.dst.index()])
+            .count() as u64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Block;
+
+    #[test]
+    fn unweighted_dag_has_u_zero() {
+        let d = Block::par_tree(8, &mut |_| Block::work(4)).build();
+        assert_eq!(suspension_width(&d), 0);
+    }
+
+    #[test]
+    fn single_latency_has_u_one() {
+        let d = Block::seq([Block::latency(10), Block::work(1)]).build();
+        assert_eq!(suspension_width(&d), 1);
+    }
+
+    #[test]
+    fn sequential_latencies_do_not_stack() {
+        // input(); compute; input(); compute — only one can be pending.
+        let d = Block::seq([
+            Block::latency(10),
+            Block::work(1),
+            Block::latency(10),
+            Block::work(1),
+        ])
+        .build();
+        assert_eq!(suspension_width(&d), 1);
+    }
+
+    #[test]
+    fn parallel_latencies_stack() {
+        let d = Block::par(
+            Block::seq([Block::latency(10), Block::work(1)]),
+            Block::seq([Block::latency(10), Block::work(1)]),
+        )
+        .build();
+        assert_eq!(suspension_width(&d), 2);
+    }
+
+    #[test]
+    fn map_reduce_has_u_n() {
+        for n in [1u64, 2, 3, 8, 13, 64] {
+            let b = Block::par_tree(n, &mut |_| Block::seq([Block::latency(50), Block::work(3)]));
+            let d = b.build();
+            assert_eq!(suspension_width(&d), n, "map-reduce n={n}");
+            assert_eq!(b.analytic_suspension_width(), n);
+        }
+    }
+
+    #[test]
+    fn server_has_u_one() {
+        // getInput; fork(f, recurse); g — Figure 10 with k requests.
+        fn server(k: u64) -> Block {
+            if k == 0 {
+                Block::work(1)
+            } else {
+                Block::seq([
+                    Block::latency(30),
+                    Block::par(Block::work(5), server(k - 1)),
+                    Block::work(1),
+                ])
+            }
+        }
+        let d = server(10).build();
+        assert_eq!(suspension_width(&d), 1);
+    }
+
+    #[test]
+    fn mixed_block_analytic_agreement() {
+        let b = Block::seq([
+            Block::par(
+                Block::seq([Block::latency(9), Block::work(2)]),
+                Block::par(
+                    Block::seq([Block::latency(9), Block::work(2)]),
+                    Block::work(7),
+                ),
+            ),
+            Block::latency(4),
+            Block::work(2),
+        ]);
+        let d = b.build();
+        assert_eq!(suspension_width(&d), b.analytic_suspension_width());
+        assert_eq!(suspension_width(&d), 2);
+    }
+
+    #[test]
+    fn witness_is_valid_and_achieves_u() {
+        let b = Block::par_tree(9, &mut |i| {
+            Block::seq([Block::latency(5 + i), Block::work(2)])
+        });
+        let d = b.build();
+        let (u, in_s) = suspension_width_witness(&d);
+        assert_eq!(u, 9);
+        assert_eq!(check_partition(&d, &in_s), Some(9));
+    }
+
+    #[test]
+    fn prefix_crossing_lower_bounds_u() {
+        let b = Block::par_tree(6, &mut |_| Block::seq([Block::latency(4), Block::work(1)]));
+        let d = b.build();
+        let u = suspension_width(&d);
+        let lb = max_prefix_crossing(&d, d.topo_order());
+        assert!(lb <= u);
+        assert!(lb >= 1);
+    }
+
+    #[test]
+    fn check_partition_rejects_non_downclosed() {
+        let d = Block::work(3).build();
+        // S = {root, final-but-not-middle} is not down-closed / excludes
+        // final incorrectly.
+        let mut in_s = vec![false; d.len()];
+        in_s[d.root().index()] = true;
+        in_s[d.final_vertex().index()] = true;
+        assert_eq!(check_partition(&d, &in_s), None);
+    }
+
+    #[test]
+    fn latency_weight_does_not_change_u() {
+        for delta in [2u64, 10, 1000] {
+            let d = Block::par(
+                Block::seq([Block::latency(delta), Block::work(1)]),
+                Block::seq([Block::latency(delta), Block::work(1)]),
+            )
+            .build();
+            assert_eq!(suspension_width(&d), 2);
+        }
+    }
+}

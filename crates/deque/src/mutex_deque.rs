@@ -1,0 +1,178 @@
+//! A mutex-protected deque with the same owner/thief handle API as the
+//! Chase–Lev implementation.
+//!
+//! Serves two purposes:
+//!
+//! * **Correctness oracle** — property tests drive both implementations with
+//!   identical operation sequences and require identical results.
+//! * **Ablation point** — the benchmark harness can swap this in to measure
+//!   how much the lock-free deque contributes to end-to-end performance
+//!   (`ablation -- deque`).
+//!
+//! The paper notes its prototype "sometimes uses theoretically less
+//! efficient data structures or policies, favoring simplicity and
+//! practicality" — this is exactly that kind of structure.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::Steal;
+
+/// Creates a new mutex-based deque, returning the owner and thief ends.
+pub fn deque<T: Send>() -> (MutexWorker<T>, MutexStealer<T>) {
+    let inner = Arc::new(Mutex::new(VecDeque::new()));
+    (
+        MutexWorker {
+            inner: inner.clone(),
+            _not_sync: PhantomData,
+        },
+        MutexStealer { inner },
+    )
+}
+
+/// Owner end: pushes and pops at the back ("bottom").
+pub struct MutexWorker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+unsafe impl<T: Send> Send for MutexWorker<T> {}
+
+impl<T: Send> MutexWorker<T> {
+    /// Pushes an item at the bottom.
+    pub fn push_bottom(&self, item: T) {
+        self.inner.lock().push_back(item);
+    }
+
+    /// Pops an item from the bottom.
+    pub fn pop_bottom(&self) -> Option<T> {
+        self.inner.lock().pop_back()
+    }
+
+    /// True if the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Current number of items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Creates another stealer end.
+    pub fn stealer(&self) -> MutexStealer<T> {
+        MutexStealer {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> fmt::Debug for MutexWorker<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MutexWorker").finish_non_exhaustive()
+    }
+}
+
+/// Thief end: steals from the front ("top").
+pub struct MutexStealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for MutexStealer<T> {
+    fn clone(&self) -> Self {
+        MutexStealer {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Send> MutexStealer<T> {
+    /// Steals the top item. Never returns [`Steal::Retry`]: the lock
+    /// serializes all contenders.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True if the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+impl<T> fmt::Debug for MutexStealer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MutexStealer").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_owner_fifo_thief() {
+        let (w, s) = deque::<u32>();
+        w.push_bottom(1);
+        w.push_bottom(2);
+        w.push_bottom(3);
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(w.pop_bottom(), Some(3));
+        assert_eq!(w.pop_bottom(), Some(2));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn len_tracks_operations() {
+        let (w, s) = deque::<u32>();
+        assert_eq!(w.len(), 0);
+        w.push_bottom(1);
+        w.push_bottom(2);
+        assert_eq!(w.len(), 2);
+        let _ = s.steal();
+        assert_eq!(w.len(), 1);
+        let _ = w.pop_bottom();
+        assert!(w.is_empty() && s.is_empty());
+    }
+
+    #[test]
+    fn concurrent_sanity() {
+        let (w, s) = deque::<usize>();
+        const N: usize = 10_000;
+        let thief = {
+            let s = s.clone();
+            std::thread::spawn(move || {
+                let mut got = 0usize;
+                let mut empties = 0usize;
+                while empties < 100_000 {
+                    match s.steal() {
+                        Steal::Success(_) => {
+                            got += 1;
+                            empties = 0;
+                        }
+                        _ => empties += 1,
+                    }
+                }
+                got
+            })
+        };
+        let mut own = 0usize;
+        for i in 0..N {
+            w.push_bottom(i);
+            if i % 2 == 0 && w.pop_bottom().is_some() {
+                own += 1;
+            }
+        }
+        while w.pop_bottom().is_some() {
+            own += 1;
+        }
+        let stolen = thief.join().unwrap();
+        assert_eq!(own + stolen, N);
+    }
+}

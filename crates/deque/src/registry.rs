@@ -1,0 +1,266 @@
+//! The global deque registry: the paper's `gDeques` array and `gTotalDeques`
+//! counter (Figure 5).
+//!
+//! The paper's implementation notes, verbatim:
+//!
+//! * a global (across all workers) array of deques, `gDeques`;
+//! * a global counter `gTotalDeques` giving the index of the next deque to
+//!   allocate, incremented with an atomic fetch-and-add;
+//! * `free()` does **not** deallocate — the deque goes onto the owning
+//!   worker's `emptyDeques` set and is reused by later `newDeque()` calls;
+//! * `randomDeque()` picks a uniformly random index in
+//!   `[0, gTotalDeques)`; the chosen deque may have been freed, in which
+//!   case the steal simply fails. The worst-case analysis already accounts
+//!   for these failed steals.
+//!
+//! This module implements exactly that: a fixed-capacity slab of
+//! once-initialized slots. Each slot stores the thief end of one deque plus
+//! the id of the worker that owns it (owners keep the worker end privately
+//! and recycle freed deques through their own free lists). Slots are written
+//! once and never removed, so thieves can read them without locks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::{Steal, StealerHandle};
+
+/// Index of a deque in the global registry.
+///
+/// Identifies a deque for the whole lifetime of the scheduler; because
+/// deques are recycled rather than deallocated, an id stays valid forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DequeId(pub u32);
+
+impl DequeId {
+    /// The slab index of this deque.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for DequeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The fixed-capacity slab is full. The capacity bounds the total number
+    /// of deques ever allocated, which by Lemma 7 is at most `P * (U + 1)`;
+    /// configure the registry capacity accordingly.
+    Full,
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Full => write!(
+                f,
+                "deque registry full: more than capacity deques allocated \
+                 (need capacity >= P * (U + 1))"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// One registered deque: the stealable end plus owner metadata.
+#[derive(Debug)]
+pub struct Slot<T> {
+    /// Thief end of the deque.
+    pub stealer: StealerHandle<T>,
+    /// Id of the worker that owns (and forever will own) this deque.
+    pub owner: usize,
+}
+
+/// The global deque slab (`gDeques` + `gTotalDeques`).
+pub struct Registry<T> {
+    slots: Box<[OnceLock<Slot<T>>]>,
+    count: AtomicUsize,
+}
+
+impl<T: Send> Registry<T> {
+    /// Creates a registry with room for `capacity` deques.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let slots: Box<[OnceLock<Slot<T>>]> = (0..capacity).map(|_| OnceLock::new()).collect();
+        Registry {
+            slots,
+            count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Registers a new deque owned by `owner`, returning its global id.
+    ///
+    /// This is the allocation path of `newDeque()` (Figure 5): an atomic
+    /// fetch-and-add on `gTotalDeques` followed by a write of the slot.
+    /// A thief may observe the incremented counter before the slot write
+    /// lands; it then sees an unset slot and treats it as a failed steal.
+    pub fn register(
+        &self,
+        owner: usize,
+        stealer: StealerHandle<T>,
+    ) -> Result<DequeId, RegistryError> {
+        let i = self.count.fetch_add(1, Ordering::Relaxed);
+        if i >= self.slots.len() {
+            // Back out so `len()` keeps meaning "allocated prefix"; several
+            // racing over-allocations all land here and all back out.
+            self.count.fetch_sub(1, Ordering::Relaxed);
+            return Err(RegistryError::Full);
+        }
+        let slot = Slot { stealer, owner };
+        self.slots[i]
+            .set(slot)
+            .unwrap_or_else(|_| unreachable!("registry slot {i} written twice"));
+        Ok(DequeId(i as u32))
+    }
+
+    /// The current value of `gTotalDeques`: number of deques ever allocated.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Relaxed).min(self.slots.len())
+    }
+
+    /// True if no deque has been allocated yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of deques this registry can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns the slot for `id`, if the registering write has landed.
+    pub fn get(&self, id: DequeId) -> Option<&Slot<T>> {
+        self.slots.get(id.index()).and_then(|s| s.get())
+    }
+
+    /// Attempts to steal from deque `id` (the paper's `popTop` on
+    /// `randomDeque()`'s result). An unset slot reads as an empty deque.
+    pub fn steal(&self, id: DequeId) -> Steal<T> {
+        match self.get(id) {
+            Some(slot) => slot.stealer.steal(),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Maps a uniform random value onto an allocated deque id, i.e.
+    /// `randomDeque()`. Returns `None` when no deque exists yet.
+    pub fn random_id(&self, uniform: u64) -> Option<DequeId> {
+        let n = self.len();
+        if n == 0 {
+            None
+        } else {
+            Some(DequeId((uniform % n as u64) as u32))
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Registry<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("capacity", &self.slots.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DequeKind, WorkerHandle};
+
+    #[test]
+    fn register_and_steal() {
+        let reg = Registry::with_capacity(8);
+        let (w, s) = WorkerHandle::new(DequeKind::ChaseLev);
+        let id = reg.register(0, s).unwrap();
+        assert_eq!(id, DequeId(0));
+        assert_eq!(reg.len(), 1);
+        w.push_bottom(99);
+        assert_eq!(reg.steal(id).success(), Some(99));
+        assert!(reg.steal(id).is_empty());
+    }
+
+    #[test]
+    fn sequential_ids() {
+        let reg: Registry<u32> = Registry::with_capacity(4);
+        for i in 0..4 {
+            let (_w, s) = WorkerHandle::new(DequeKind::Mutex);
+            let id = reg.register(i, s).unwrap();
+            assert_eq!(id.index(), i);
+        }
+        assert_eq!(reg.len(), 4);
+    }
+
+    #[test]
+    fn capacity_exhaustion() {
+        let reg: Registry<u32> = Registry::with_capacity(2);
+        let (_w1, s1) = WorkerHandle::new(DequeKind::Mutex);
+        let (_w2, s2) = WorkerHandle::new(DequeKind::Mutex);
+        let (_w3, s3) = WorkerHandle::new(DequeKind::Mutex);
+        assert!(reg.register(0, s1).is_ok());
+        assert!(reg.register(0, s2).is_ok());
+        assert_eq!(reg.register(0, s3), Err(RegistryError::Full));
+        // A failed registration must not corrupt the count.
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn random_id_distribution_covers_all() {
+        let reg: Registry<u32> = Registry::with_capacity(16);
+        for _ in 0..5 {
+            let (_w, s) = WorkerHandle::new(DequeKind::Mutex);
+            reg.register(0, s).unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        for u in 0..100u64 {
+            seen.insert(reg.random_id(u).unwrap());
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn random_id_empty_registry() {
+        let reg: Registry<u32> = Registry::with_capacity(4);
+        assert_eq!(reg.random_id(12345), None);
+    }
+
+    #[test]
+    fn owner_metadata() {
+        let reg: Registry<u32> = Registry::with_capacity(4);
+        let (_w, s) = WorkerHandle::new(DequeKind::ChaseLev);
+        let id = reg.register(7, s).unwrap();
+        assert_eq!(reg.get(id).unwrap().owner, 7);
+    }
+
+    #[test]
+    fn concurrent_registration_unique_ids() {
+        let reg = std::sync::Arc::new(Registry::<u32>::with_capacity(1024));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut ids = Vec::new();
+                for _ in 0..100 {
+                    let (w, s) = WorkerHandle::new(DequeKind::ChaseLev);
+                    ids.push(reg.register(t, s).unwrap());
+                    // Keep the worker alive long enough to register; deque
+                    // contents do not matter for this test.
+                    drop(w);
+                }
+                ids
+            }));
+        }
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 800, "ids are unique");
+        assert_eq!(reg.len(), 800);
+    }
+}

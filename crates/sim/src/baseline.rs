@@ -1,0 +1,338 @@
+//! The blocking work-stealing baseline (the paper's "WS" comparator).
+//!
+//! A classic Arora–Blumofe–Plaxton work stealer: **one deque per worker**,
+//! owner pops the bottom, thieves steal the top of a random *worker's*
+//! deque. Latency is **not hidden**: when an executed instruction enables a
+//! child over a heavy edge, the worker blocks — exactly as a runtime whose
+//! thread sleeps in a blocking I/O call — until the latency expires, then
+//! continues with that child. While blocked, the worker does nothing, but
+//! its deque remains stealable by other workers (the blocked thread is in
+//! the kernel; the deque lives in shared memory).
+//!
+//! This matches the paper's experimental baseline, where the benchmark's
+//! simulated latency "sleeps for δ milliseconds" on the worker running it.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use lhws_dag::offline::{Schedule, ScheduleEntry};
+use lhws_dag::{VertexId, WDag};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stats::SimStats;
+
+/// Per-worker state of the baseline scheduler.
+#[derive(Debug, Default)]
+struct WsWorker {
+    deque: VecDeque<VertexId>, // back = bottom
+    assigned: Option<VertexId>,
+    /// Children waiting on latency: (ready round, vertex). While non-empty
+    /// the worker is blocked.
+    pending: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl WsWorker {
+    fn blocked_until(&self) -> Option<u64> {
+        self.pending.iter().map(|Reverse((r, _))| *r).max()
+    }
+}
+
+/// The blocking work-stealing simulator.
+#[derive(Debug)]
+pub struct BaselineSim<'a> {
+    dag: &'a WDag,
+    p: usize,
+    rng: StdRng,
+    workers: Vec<WsWorker>,
+    indeg: Vec<u32>,
+    round: u64,
+    executed: usize,
+    max_rounds: Option<u64>,
+    work_tokens: u64,
+    steal_attempts: u64,
+    steal_successes: u64,
+    idle_tokens: u64,
+    max_live_suspended: u64,
+    entries: Vec<ScheduleEntry>,
+}
+
+impl<'a> BaselineSim<'a> {
+    /// Creates a baseline simulator with `p` workers and the given seed.
+    pub fn new(dag: &'a WDag, p: usize, seed: u64) -> Self {
+        assert!(p >= 1);
+        let n = dag.len();
+        let mut sim = BaselineSim {
+            dag,
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            workers: (0..p).map(|_| WsWorker::default()).collect(),
+            indeg: (0..n).map(|v| dag.in_degree(VertexId(v as u32))).collect(),
+            round: 0,
+            executed: 0,
+            max_rounds: None,
+            work_tokens: 0,
+            steal_attempts: 0,
+            steal_successes: 0,
+            idle_tokens: 0,
+            max_live_suspended: 0,
+            entries: Vec::with_capacity(n),
+        };
+        sim.workers[0].assigned = Some(dag.root());
+        sim
+    }
+
+    /// Overrides the livelock-guard round cap.
+    pub fn max_rounds(mut self, cap: u64) -> Self {
+        self.max_rounds = Some(cap);
+        self
+    }
+
+    /// Runs the computation to completion.
+    pub fn run(mut self) -> SimStats {
+        let total_latency: u64 = self
+            .dag
+            .heavy_edges()
+            .map(|(_, e)| e.weight)
+            .sum::<u64>()
+            .max(1);
+        let cap = self
+            .max_rounds
+            .unwrap_or(1_000 + 40 * (self.dag.work() + total_latency) * self.p as u64);
+        while self.executed < self.dag.len() {
+            self.round += 1;
+            assert!(
+                self.round <= cap,
+                "baseline simulator exceeded {cap} rounds — livelock?"
+            );
+            let blocked_now = self
+                .workers
+                .iter()
+                .map(|w| w.pending.len() as u64)
+                .sum::<u64>();
+            self.max_live_suspended = self.max_live_suspended.max(blocked_now);
+            for p in 0..self.p {
+                self.worker_round(p);
+                if self.executed == self.dag.len() {
+                    break;
+                }
+            }
+        }
+        // Account the final partial round's missing tokens as idle.
+        let total = self.round * self.p as u64;
+        self.idle_tokens = total - self.work_tokens - self.steal_attempts;
+        SimStats {
+            workers: self.p,
+            rounds: self.round,
+            work_tokens: self.work_tokens,
+            pfor_vertices: 0,
+            switch_tokens: 0,
+            steal_attempts: self.steal_attempts,
+            steal_successes: self.steal_successes,
+            idle_tokens: self.idle_tokens,
+            deques_allocated: self.p as u64,
+            max_deques_per_worker: 1,
+            max_live_suspended: self.max_live_suspended,
+            enabling_span: 0,
+            vertex_depths: Vec::new(),
+            deviations: 0,
+            trace: None,
+            schedule: Schedule {
+                workers: self.p,
+                entries: self.entries,
+                length: self.round,
+            },
+        }
+    }
+
+    fn worker_round(&mut self, p: usize) {
+        // Blocked in a latency-incurring call: do nothing this round.
+        if let Some(until) = self.workers[p].blocked_until() {
+            if self.round < until {
+                return; // idle (blocked) token
+            }
+            // Latency expired: the continuation(s) become runnable.
+            while let Some(Reverse((_, v))) = self.workers[p].pending.pop() {
+                let v = VertexId(v);
+                match self.workers[p].assigned {
+                    None => self.workers[p].assigned = Some(v),
+                    Some(_) => self.workers[p].deque.push_back(v),
+                }
+            }
+        }
+
+        if let Some(v) = self.workers[p].assigned.take() {
+            self.execute(p, v);
+            self.workers[p].assigned = self.workers[p].deque.pop_back();
+        } else {
+            // Thief: target a random other worker's deque top.
+            self.steal_attempts += 1;
+            if self.p > 1 {
+                let mut victim = self.rng.gen_range(0..self.p - 1);
+                if victim >= p {
+                    victim += 1;
+                }
+                if let Some(v) = self.workers[victim].deque.pop_front() {
+                    self.steal_successes += 1;
+                    self.workers[p].assigned = Some(v);
+                }
+            }
+        }
+    }
+
+    fn execute(&mut self, p: usize, v: VertexId) {
+        self.work_tokens += 1;
+        self.executed += 1;
+        self.entries.push(ScheduleEntry {
+            round: self.round,
+            worker: p,
+            vertex: v,
+        });
+
+        let outs = self.dag.out(v);
+        let mut enabled: Vec<(VertexId, u64)> = Vec::with_capacity(2);
+        // Push right first so the left child ends up at the bottom.
+        if let Some(e) = outs.right() {
+            self.indeg[e.dst.index()] -= 1;
+            if self.indeg[e.dst.index()] == 0 {
+                enabled.push((e.dst, e.weight));
+            }
+        }
+        if let Some(e) = outs.left() {
+            self.indeg[e.dst.index()] -= 1;
+            if self.indeg[e.dst.index()] == 0 {
+                enabled.push((e.dst, e.weight));
+            }
+        }
+        for (c, w) in enabled {
+            if w > 1 {
+                // The worker blocks waiting for this child's latency.
+                self.workers[p].pending.push(Reverse((self.round + w, c.0)));
+            } else {
+                self.workers[p].deque.push_back(c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhws_dag::gen::{fib, map_reduce, random_sp, server, RandomSpParams};
+    use lhws_dag::offline::validate_schedule;
+    use lhws_dag::Block;
+
+    fn run(dag: &WDag, p: usize, seed: u64) -> SimStats {
+        BaselineSim::new(dag, p, seed).run()
+    }
+
+    #[test]
+    fn single_vertex() {
+        let d = Block::work(1).build();
+        let s = run(&d, 1, 0);
+        assert_eq!(s.rounds, 1);
+        validate_schedule(&d, &s.schedule).unwrap();
+    }
+
+    #[test]
+    fn executes_everything_once() {
+        for p in [1usize, 2, 4, 8] {
+            let d = fib(11, 3).dag;
+            let s = run(&d, p, 5);
+            validate_schedule(&d, &s.schedule).unwrap();
+            assert_eq!(s.schedule.entries.len(), d.len());
+            assert!(s.token_identity_holds());
+        }
+    }
+
+    #[test]
+    fn blocking_wastes_the_worker() {
+        // One long latency and plenty of other work: the blocked worker
+        // contributes nothing for delta rounds.
+        let d = Block::par(
+            Block::seq([Block::latency(200), Block::work(1)]),
+            Block::par_tree(8, &mut |_| Block::work(8)),
+        )
+        .build();
+        let s = run(&d, 2, 0);
+        validate_schedule(&d, &s.schedule).unwrap();
+        assert!(s.idle_tokens > 0, "some worker must have blocked");
+    }
+
+    #[test]
+    fn sequential_latencies_serialize() {
+        // The server makes WS wait out every input latency.
+        let wl = server(5, 100, 2, 1);
+        let s = run(&wl.dag, 4, 0);
+        validate_schedule(&wl.dag, &s.schedule).unwrap();
+        assert!(s.rounds >= 500, "five sequential 100-round latencies");
+    }
+
+    #[test]
+    fn map_reduce_blocks_all_workers() {
+        // With P workers and n >> P latencies, WS pays ~ (n/P) * delta.
+        let wl = map_reduce(16, 100, 2, 1);
+        let s = run(&wl.dag, 4, 0);
+        validate_schedule(&wl.dag, &s.schedule).unwrap();
+        assert!(
+            s.rounds >= (16 / 4) * 100,
+            "each worker serially waits out its share of fetches: {}",
+            s.rounds
+        );
+    }
+
+    #[test]
+    fn unweighted_dags_run_fine() {
+        for seed in 0..8 {
+            let wl = random_sp(
+                RandomSpParams::default()
+                    .seed(seed)
+                    .latency_prob(0.0)
+                    .target_leaves(25),
+            );
+            for p in [1usize, 4] {
+                let s = run(&wl.dag, p, seed);
+                validate_schedule(&wl.dag, &s.schedule).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_random_dags_validate() {
+        for seed in 0..8 {
+            let wl = random_sp(RandomSpParams::default().seed(seed).target_leaves(25));
+            for p in [1usize, 3, 6] {
+                let s = run(&wl.dag, p, seed + 100);
+                validate_schedule(&wl.dag, &s.schedule).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let wl = map_reduce(8, 30, 4, 1);
+        let a = run(&wl.dag, 3, 77);
+        let b = run(&wl.dag, 3, 77);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.schedule.entries, b.schedule.entries);
+    }
+
+    #[test]
+    fn stealable_while_blocked() {
+        // Worker 0 blocks on the latency, but the sibling work it pushed
+        // earlier must still be stolen and finished by worker 1 well before
+        // the latency expires.
+        let d = Block::par(
+            Block::seq([Block::latency(1_000), Block::work(1)]),
+            Block::work(50),
+        )
+        .build();
+        let s = run(&d, 2, 0);
+        validate_schedule(&d, &s.schedule).unwrap();
+        let work_round = s.schedule.entries.iter().filter(|e| e.round < 900).count();
+        assert!(
+            work_round > 50,
+            "the 50-vertex chain ran during the block: {work_round}"
+        );
+    }
+}

@@ -1,0 +1,1411 @@
+//! The latency-hiding work-stealing simulator: Figure 3, executed verbatim.
+//!
+//! Every worker takes one action per round, following the pseudocode:
+//!
+//! 1. With an assigned vertex: execute it; handle the right child, call
+//!    `addResumedVertices()`, handle the left child (in that order, so the
+//!    left child keeps the highest priority and the scheduler stays
+//!    non-preemptive); then pop the bottom of the active deque.
+//! 2. Without one: release the active deque (freeing it if it has no
+//!    suspensions); switch to a ready deque if one exists, otherwise pick a
+//!    uniformly random deque from the global registry and try to steal its
+//!    top vertex, starting a fresh active deque on success; then call
+//!    `addResumedVertices()` and pop the bottom of the (possibly new)
+//!    active deque.
+//!
+//! Suspended vertices are paired with the deque that was active when they
+//! suspended (`suspendCtr`); when they resume, `callback(v, q)` moves them
+//! to `q.resumedVertices` and marks `q` resumed, and `addResumedVertices`
+//! pushes one *pfor vertex* per resumed deque that unfolds into a balanced
+//! binary tree executing the resumed vertices in parallel.
+//!
+//! One deliberate deviation from the letter of the pseudocode: a deque is
+//! freed only if it has no suspensions **and** no pending resumed vertices.
+//! The pseudocode's `suspendCtr == 0` check alone would let a worker free
+//! its active deque in the narrow window after `callback` ran (decrementing
+//! the counter) but before `addResumedVertices` drained the resumed set,
+//! stranding those vertices on a recycled deque. Any real implementation
+//! must close this window; ours does it with the extra emptiness check.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use lhws_dag::offline::{Schedule, ScheduleEntry};
+use lhws_dag::{VertexId, WDag};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stats::SimStats;
+
+/// Victim-selection policy for steals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StealPolicy {
+    /// The analyzed algorithm: target a uniformly random *deque* from the
+    /// global registry (which may be freed/empty — a failed attempt).
+    #[default]
+    RandomDeque,
+    /// The paper's §6 implementation optimization: target a random *worker*
+    /// (≠ self), then a random non-empty deque of that worker. Fails only
+    /// if the victim has no non-empty deque.
+    WorkerThenDeque,
+}
+
+/// What happens when a vertex suspends / resumes — the paper's algorithm
+/// vs. the two Spoonhower-thesis variants its related-work section
+/// contrasts ("in one variation, when a thread waits for another thread or
+/// future, the entire deque is suspended and a new one is created. In
+/// another, when a suspended thread resumes, a new deque is created to
+/// execute it. Neither of these exactly corresponds to our approach, where
+/// a delay does not suspend an entire deque, and new deques are created on
+/// steals, not resumes.").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SuspendPolicy {
+    /// The paper's algorithm: only the vertex suspends; its deque keeps
+    /// running; resumes return to the same deque; new deques only on
+    /// steals.
+    #[default]
+    PerVertex,
+    /// Spoonhower variant 1: a suspension parks the *whole* active deque
+    /// (its remaining items stay stealable but the owner abandons them
+    /// until the resume); the worker continues on a fresh deque.
+    WholeDeque,
+    /// Spoonhower variant 2: suspension as in the paper, but every resume
+    /// creates a *new* deque for the resumed vertices instead of reusing
+    /// the original one.
+    NewDequeOnResume,
+}
+
+/// How resumed vertices are reinjected (ablation knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResumeBatching {
+    /// The paper's algorithm: one pfor vertex per resumed deque, unfolding
+    /// into a logarithmic-depth tree (parallel, O(1) per round).
+    #[default]
+    Pfor,
+    /// Strawman: the owner moves one resumed vertex per round back onto the
+    /// deque — constant work per round but serial reinjection, showing why
+    /// the pfor tree is needed when many vertices resume at once.
+    OnePerRound,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Number of virtual workers `P ≥ 1`.
+    pub workers: usize,
+    /// RNG seed for victim selection.
+    pub seed: u64,
+    /// Steal policy.
+    pub steal_policy: StealPolicy,
+    /// Resume reinjection policy.
+    pub resume_batching: ResumeBatching,
+    /// If true, freed deques are recycled (the paper's Figure 5); if false
+    /// every `newDeque()` allocates a fresh slot (ablation).
+    pub recycle_deques: bool,
+    /// Safety cap on rounds; the simulator panics beyond it (indicates a
+    /// livelock bug). `None` picks a generous default from the dag.
+    pub max_rounds: Option<u64>,
+    /// Record a full per-round event trace (see [`crate::trace`]).
+    pub trace: bool,
+    /// Suspension/resume policy (the paper's vs. Spoonhower variants).
+    pub suspend_policy: SuspendPolicy,
+    /// Probability (in percent, 0–100) that a worker is scheduled by the
+    /// OS in any given round — the multiprogrammed environment of Arora,
+    /// Blumofe & Plaxton, whose analysis the paper builds on. 100 =
+    /// dedicated machine (the paper's setting).
+    pub availability_pct: u8,
+}
+
+impl SimConfig {
+    /// Config with `workers` workers and defaults elsewhere.
+    pub fn new(workers: usize) -> Self {
+        SimConfig {
+            workers,
+            seed: 0x5EED,
+            steal_policy: StealPolicy::default(),
+            resume_batching: ResumeBatching::default(),
+            recycle_deques: true,
+            max_rounds: None,
+            trace: false,
+            suspend_policy: SuspendPolicy::default(),
+            availability_pct: 100,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the steal policy.
+    pub fn steal_policy(mut self, p: StealPolicy) -> Self {
+        self.steal_policy = p;
+        self
+    }
+
+    /// Sets the resume-batching policy.
+    pub fn resume_batching(mut self, r: ResumeBatching) -> Self {
+        self.resume_batching = r;
+        self
+    }
+
+    /// Enables or disables deque recycling.
+    pub fn recycle_deques(mut self, yes: bool) -> Self {
+        self.recycle_deques = yes;
+        self
+    }
+
+    /// Enables event tracing.
+    pub fn trace(mut self, yes: bool) -> Self {
+        self.trace = yes;
+        self
+    }
+
+    /// Sets the suspension/resume policy.
+    pub fn suspend_policy(mut self, sp: SuspendPolicy) -> Self {
+        self.suspend_policy = sp;
+        self
+    }
+
+    /// Sets the per-round worker scheduling probability (ABP
+    /// multiprogrammed environment). Clamped to 1..=100.
+    pub fn availability_pct(mut self, pct: u8) -> Self {
+        self.availability_pct = pct.clamp(1, 100);
+        self
+    }
+}
+
+/// A deque item: a ready dag vertex, or a pfor vertex carrying ≥ 2 resumed
+/// vertices to unfold. Each item carries its depth in the *enabling tree*
+/// (the paper's §4.1 analysis device), so Lemma 2 / Corollary 1 can be
+/// verified on real executions.
+#[derive(Debug, Clone)]
+enum Item {
+    V(VertexId, u64),
+    Pfor(Vec<VertexId>, u64),
+}
+
+impl Item {
+    fn depth(&self) -> u64 {
+        match self {
+            Item::V(_, d) | Item::Pfor(_, d) => *d,
+        }
+    }
+}
+
+/// One simulated deque (the paper's deque plus its bookkeeping fields).
+#[derive(Debug, Default)]
+struct SimDeque {
+    /// Items with the round they were pushed (back = bottom, front = top);
+    /// the push round anchors the enabling tree's auxiliary chains.
+    items: VecDeque<(Item, u64)>,
+    suspend_ctr: u64,
+    resumed: Vec<VertexId>,
+    owner: usize,
+    freed: bool,
+    in_ready: bool,
+    in_resumed: bool,
+    /// Enabling depth and round of the last instruction executed from this
+    /// deque (the paper's anchor for pfor trees added to empty deques).
+    last_exec: Option<(u64, u64)>,
+}
+
+/// Per-worker state.
+#[derive(Debug, Default)]
+struct WorkerState {
+    active: Option<usize>,
+    /// The assigned item plus the deque it was taken from.
+    assigned: Option<(Item, usize)>,
+    ready_deques: VecDeque<usize>,
+    resumed_deques: VecDeque<usize>,
+    empty_deques: Vec<usize>,
+    live_deques: u64,
+    max_live_deques: u64,
+}
+
+/// The latency-hiding work-stealing simulator.
+#[derive(Debug)]
+pub struct LhwsSim<'a> {
+    dag: &'a WDag,
+    cfg: SimConfig,
+    rng: StdRng,
+    deques: Vec<SimDeque>,
+    workers: Vec<WorkerState>,
+    indeg: Vec<u32>,
+    /// Pending resumes: (due round, vertex, deque).
+    resumes: BinaryHeap<Reverse<(u64, u32, u32)>>,
+    round: u64,
+    executed: usize,
+    // Stats accumulators.
+    work_tokens: u64,
+    pfor_vertices: u64,
+    switch_tokens: u64,
+    steal_attempts: u64,
+    steal_successes: u64,
+    max_live_suspended: u64,
+    entries: Vec<ScheduleEntry>,
+    /// Enabling-tree depth of every dag vertex (set when the vertex enters
+    /// the tree; suspended vertices enter at resume through pfor trees).
+    vertex_depths: Vec<u64>,
+    /// The enabling span S*: the maximum depth of any enabling-tree node.
+    enabling_span: u64,
+    /// Recorded events when tracing is on.
+    trace_events: Option<Vec<crate::trace::TraceEvent>>,
+    /// Successor of each vertex in the sequential depth-first order
+    /// (u32::MAX = last), for Spoonhower's deviation metric.
+    dfs_next: Vec<u32>,
+    /// Previously executed dag vertex per worker (u32::MAX = none).
+    prev_exec: Vec<u32>,
+    /// Deviations from the sequential depth-first order.
+    deviations: u64,
+    /// Rounds a worker lost to the multiprogrammed adversary.
+    descheduled_tokens: u64,
+}
+
+impl<'a> LhwsSim<'a> {
+    /// Creates a simulator for `dag` with the given configuration.
+    pub fn new(dag: &'a WDag, cfg: SimConfig) -> Self {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        let n = dag.len();
+        let mut sim = LhwsSim {
+            dag,
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            deques: Vec::new(),
+            workers: (0..cfg.workers).map(|_| WorkerState::default()).collect(),
+            indeg: (0..n).map(|v| dag.in_degree(VertexId(v as u32))).collect(),
+            resumes: BinaryHeap::new(),
+            round: 0,
+            executed: 0,
+            work_tokens: 0,
+            pfor_vertices: 0,
+            switch_tokens: 0,
+            steal_attempts: 0,
+            steal_successes: 0,
+            max_live_suspended: 0,
+            entries: Vec::with_capacity(n),
+            vertex_depths: vec![0; n],
+            enabling_span: 0,
+            trace_events: if cfg.trace { Some(Vec::new()) } else { None },
+            dfs_next: sequential_dfs_next(dag),
+            prev_exec: vec![u32::MAX; cfg.workers],
+            deviations: 0,
+            descheduled_tokens: 0,
+        };
+        // Line 24–28: every worker starts with an empty active deque;
+        // worker zero is assigned the root.
+        for p in 0..cfg.workers {
+            let q = sim.new_deque(p);
+            sim.workers[p].active = Some(q);
+        }
+        let q0 = sim.workers[0].active.expect("just set");
+        sim.workers[0].assigned = Some((Item::V(dag.root(), 0), q0));
+        sim
+    }
+
+    /// Runs the computation to completion and returns the statistics.
+    pub fn run(mut self) -> SimStats {
+        let default_cap = 1_000 + 40 * (self.dag.work() + self.total_latency());
+        let cap = self.cfg.max_rounds.unwrap_or(default_cap);
+        while self.executed < self.dag.len() {
+            self.round += 1;
+            assert!(
+                self.round <= cap,
+                "simulator exceeded {cap} rounds — livelock?"
+            );
+            self.deliver_resumes();
+            self.max_live_suspended = self.max_live_suspended.max(self.resumes.len() as u64);
+            for p in 0..self.cfg.workers {
+                // Multiprogrammed environment: the OS may not schedule
+                // this worker in this round (ABP's adversary, here i.i.d.).
+                if self.cfg.availability_pct < 100
+                    && self.rng.gen_range(0..100u8) >= self.cfg.availability_pct
+                {
+                    self.descheduled_tokens += 1;
+                    continue;
+                }
+                self.worker_round(p);
+                if self.executed == self.dag.len() {
+                    break;
+                }
+            }
+        }
+        self.finish()
+    }
+
+    fn total_latency(&self) -> u64 {
+        self.dag
+            .heavy_edges()
+            .map(|(_, e)| e.weight)
+            .sum::<u64>()
+            .max(1)
+    }
+
+    fn finish(self) -> SimStats {
+        let steal_attempts = self.steal_attempts;
+        SimStats {
+            workers: self.cfg.workers,
+            rounds: self.round,
+            work_tokens: self.work_tokens,
+            pfor_vertices: self.pfor_vertices,
+            switch_tokens: self.switch_tokens,
+            steal_attempts,
+            steal_successes: self.steal_successes,
+            idle_tokens: self.idle_tokens_estimate(),
+            deques_allocated: self.deques.len() as u64,
+            max_deques_per_worker: self
+                .workers
+                .iter()
+                .map(|w| w.max_live_deques)
+                .max()
+                .unwrap_or(0),
+            max_live_suspended: self.max_live_suspended,
+            enabling_span: self.enabling_span,
+            vertex_depths: self.vertex_depths,
+            deviations: self.deviations,
+            trace: self.trace_events.map(|events| crate::trace::Trace {
+                events,
+                rounds: self.round,
+                workers: self.cfg.workers,
+            }),
+            schedule: Schedule {
+                workers: self.cfg.workers,
+                entries: self.entries,
+                length: self.round,
+            },
+        }
+    }
+
+    /// The final partial round may leave some workers without a token, and
+    /// the multiprogrammed adversary deschedules others; count both as
+    /// idle so the token identity stays exact.
+    fn idle_tokens_estimate(&self) -> u64 {
+        let total = self.round * self.cfg.workers as u64;
+        total - self.work_tokens - self.switch_tokens - self.steal_attempts
+    }
+
+    // ------------------------------------------------------------------
+    // Deque management (Figure 5).
+    // ------------------------------------------------------------------
+
+    /// `newDeque()`: reuse a deque from the worker's empty list, else
+    /// allocate a fresh one with the global counter.
+    fn new_deque(&mut self, p: usize) -> usize {
+        let q = if self.cfg.recycle_deques {
+            self.workers[p].empty_deques.pop()
+        } else {
+            None
+        };
+        let q = match q {
+            Some(q) => {
+                self.deques[q].freed = false;
+                q
+            }
+            None => {
+                let id = self.deques.len();
+                self.deques.push(SimDeque {
+                    owner: p,
+                    ..SimDeque::default()
+                });
+                id
+            }
+        };
+        let w = &mut self.workers[p];
+        w.live_deques += 1;
+        w.max_live_deques = w.max_live_deques.max(w.live_deques);
+        q
+    }
+
+    /// `free()`: return the deque to the owner's empty list.
+    fn free_deque(&mut self, p: usize, q: usize) {
+        debug_assert_eq!(self.deques[q].owner, p);
+        debug_assert!(self.deques[q].items.is_empty());
+        debug_assert_eq!(self.deques[q].suspend_ctr, 0);
+        debug_assert!(self.deques[q].resumed.is_empty());
+        self.deques[q].freed = true;
+        self.workers[p].empty_deques.push(q);
+        self.workers[p].live_deques -= 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Resume machinery.
+    // ------------------------------------------------------------------
+
+    /// Start-of-round delivery: run `callback(v, q)` for every suspension
+    /// whose latency has expired.
+    fn deliver_resumes(&mut self) {
+        while let Some(&Reverse((due, v, q))) = self.resumes.peek() {
+            if due > self.round {
+                break;
+            }
+            self.resumes.pop();
+            let q = q as usize;
+            let dq = &mut self.deques[q];
+            dq.resumed.push(VertexId(v));
+            dq.suspend_ctr -= 1;
+            if !dq.in_resumed {
+                dq.in_resumed = true;
+                let owner = dq.owner;
+                self.workers[owner].resumed_deques.push_back(q);
+            }
+        }
+    }
+
+    /// `addResumedVertices()`: for each resumed deque, push a pfor vertex
+    /// that will execute its resumed vertices in parallel, and mark the
+    /// deque ready.
+    ///
+    /// `exec` carries the just-executed vertex's (deque, depth, has-left-
+    /// child) when called from the execution path: a pfor attached to the
+    /// *active* deque hangs off that vertex in the enabling tree (with one
+    /// auxiliary vertex when it also enabled a left child — the paper's
+    /// out-degree fix). Pfors attached to other deques hang off the deque's
+    /// anchor (bottom item, or last executed instruction) through a chain
+    /// of `i − j − 1` auxiliary vertices (§4.1). Returns true if a pfor was
+    /// attached to `exec`'s deque, which deepens the left child by one.
+    fn add_resumed_vertices(&mut self, p: usize, exec: Option<(usize, u64, bool)>) -> bool {
+        let mut attached_to_exec = false;
+        match self.cfg.resume_batching {
+            ResumeBatching::Pfor => {
+                while let Some(q) = self.workers[p].resumed_deques.pop_front() {
+                    let depth = self.resume_depth(q, exec, &mut attached_to_exec);
+                    let dq = &mut self.deques[q];
+                    dq.in_resumed = false;
+                    let vs = std::mem::take(&mut dq.resumed);
+                    debug_assert!(!vs.is_empty());
+                    let item = self.make_item(vs, depth);
+                    let target = self.resume_target(p, q);
+                    self.push_item(target, item);
+                    self.mark_ready(p, target);
+                }
+            }
+            ResumeBatching::OnePerRound => {
+                // Move a single resumed vertex per deque per round.
+                let count = self.workers[p].resumed_deques.len();
+                for _ in 0..count {
+                    let Some(q) = self.workers[p].resumed_deques.pop_front() else {
+                        break;
+                    };
+                    let depth = self.resume_depth(q, exec, &mut attached_to_exec);
+                    let dq = &mut self.deques[q];
+                    let popped = dq.resumed.pop();
+                    let target = self.resume_target(p, q);
+                    if let Some(v) = popped {
+                        let item = self.make_item(vec![v], depth);
+                        self.push_item(target, item);
+                    }
+                    let dq = &mut self.deques[q];
+                    if dq.resumed.is_empty() {
+                        dq.in_resumed = false;
+                    } else {
+                        self.workers[p].resumed_deques.push_back(q);
+                    }
+                    self.mark_ready(p, target);
+                }
+            }
+        }
+        attached_to_exec
+    }
+
+    /// Where resumed vertices of deque `q` are injected: `q` itself under
+    /// the paper's policy, a brand-new deque under Spoonhower variant 2.
+    /// In the latter case, an exhausted original deque is freed.
+    fn resume_target(&mut self, p: usize, q: usize) -> usize {
+        if self.cfg.suspend_policy != SuspendPolicy::NewDequeOnResume {
+            return q;
+        }
+        let target = self.new_deque(p);
+        // The original deque may now be fully drained and abandoned.
+        let dq = &self.deques[q];
+        if dq.items.is_empty()
+            && dq.suspend_ctr == 0
+            && dq.resumed.is_empty()
+            && self.workers[p].active != Some(q)
+            && !dq.in_ready
+            && !dq.freed
+        {
+            self.free_deque(p, q);
+        }
+        target
+    }
+
+    /// Enabling-tree depth for a pfor (or resumed vertex) injected into
+    /// deque `q` this round.
+    fn resume_depth(
+        &mut self,
+        q: usize,
+        exec: Option<(usize, u64, bool)>,
+        attached_to_exec: &mut bool,
+    ) -> u64 {
+        if let Some((eq, edepth, has_left)) = exec {
+            if eq == q {
+                *attached_to_exec = true;
+                // Directly under the just-executed vertex; an auxiliary
+                // vertex is inserted when it also has a left child.
+                return edepth + if has_left { 2 } else { 1 };
+            }
+        }
+        let dq = &self.deques[q];
+        let (adepth, around) = match dq.items.back() {
+            Some((item, push_round)) => (item.depth(), *push_round),
+            None => dq.last_exec.unwrap_or((0, self.round)),
+        };
+        // Chain of (i - j - 1) auxiliary vertices plus the final edge.
+        adepth + (self.round - around).max(1)
+    }
+
+    /// Creates an item, recording enabling-tree bookkeeping.
+    fn make_item(&mut self, vs: Vec<VertexId>, depth: u64) -> Item {
+        debug_assert!(!vs.is_empty());
+        self.enabling_span = self.enabling_span.max(depth);
+        if vs.len() == 1 {
+            self.vertex_depths[vs[0].index()] = depth;
+            Item::V(vs[0], depth)
+        } else {
+            Item::Pfor(vs, depth)
+        }
+    }
+
+    /// Pushes an item onto the bottom of `q`, stamping the push round.
+    fn push_item(&mut self, q: usize, item: Item) {
+        // Structural basis of Lemma 3 (top-heavy deques), from Lemma 2
+        // condition 5: enabling-tree depths never increase from the bottom
+        // of a deque toward its top, so the top item carries the largest
+        // weight w(v) = S* - d(v). Checked in debug builds for the
+        // analyzed configuration.
+        #[cfg(debug_assertions)]
+        if self.cfg.suspend_policy == SuspendPolicy::PerVertex
+            && self.cfg.resume_batching == ResumeBatching::Pfor
+        {
+            if let Some((above, _)) = self.deques[q].items.back() {
+                debug_assert!(
+                    item.depth() >= above.depth(),
+                    "deque depth invariant violated: pushing depth {} under depth {}",
+                    item.depth(),
+                    above.depth()
+                );
+            }
+        }
+        self.deques[q].items.push_back((item, self.round));
+    }
+
+    /// Records a trace event when tracing is enabled.
+    fn record(&mut self, p: usize, action: crate::trace::Action) {
+        if let Some(ev) = &mut self.trace_events {
+            ev.push(crate::trace::TraceEvent {
+                round: self.round,
+                worker: p as u32,
+                action,
+            });
+        }
+    }
+
+    /// Adds `q` to the owner's ready set unless it is active or already
+    /// there.
+    fn mark_ready(&mut self, p: usize, q: usize) {
+        if self.workers[p].active == Some(q) || self.deques[q].in_ready {
+            return;
+        }
+        self.deques[q].in_ready = true;
+        self.workers[p].ready_deques.push_back(q);
+    }
+
+    // ------------------------------------------------------------------
+    // The scheduling loop body (Figure 3, lines 31–56).
+    // ------------------------------------------------------------------
+
+    fn worker_round(&mut self, p: usize) {
+        if let Some((item, from)) = self.workers[p].assigned.take() {
+            // Lines 33–40: execute the assigned vertex.
+            match item {
+                Item::V(v, d) => self.execute_vertex(p, v, d, from),
+                Item::Pfor(vs, d) => self.execute_pfor(p, vs, d, from),
+            }
+            let active = self.workers[p]
+                .active
+                .expect("executing worker has an active deque");
+            self.workers[p].assigned = self.pop_bottom(active).map(|i| (i, active));
+        } else {
+            // Lines 41–56: release the active deque; switch or steal.
+            if let Some(q) = self.workers[p].active.take() {
+                let dq = &self.deques[q];
+                debug_assert!(dq.items.is_empty(), "active deque released while non-empty");
+                if dq.suspend_ctr == 0 && dq.resumed.is_empty() {
+                    self.free_deque(p, q);
+                }
+                // Otherwise the deque parks as a suspended deque.
+            }
+            // First, try to resume a ready deque.
+            if let Some(q) = self.pop_ready(p) {
+                self.switch_tokens += 1;
+                self.record(p, crate::trace::Action::Switch);
+                self.workers[p].active = Some(q);
+            } else {
+                // Become a thief.
+                self.steal_attempts += 1;
+                let stolen = self.try_steal(p);
+                self.record(p, crate::trace::Action::Steal(stolen.is_some()));
+                if let Some((stolen, victim)) = stolen {
+                    self.steal_successes += 1;
+                    self.workers[p].assigned = Some((stolen, victim));
+                    let q = self.new_deque(p);
+                    self.workers[p].active = Some(q);
+                }
+            }
+            self.add_resumed_vertices(p, None);
+            if self.workers[p].assigned.is_none() {
+                if let Some(q) = self.workers[p].active {
+                    self.workers[p].assigned = self.pop_bottom(q).map(|i| (i, q));
+                }
+            }
+        }
+    }
+
+    fn pop_ready(&mut self, p: usize) -> Option<usize> {
+        let q = self.workers[p].ready_deques.pop_front()?;
+        self.deques[q].in_ready = false;
+        Some(q)
+    }
+
+    fn pop_bottom(&mut self, q: usize) -> Option<Item> {
+        self.deques[q].items.pop_back().map(|(item, _)| item)
+    }
+
+    fn try_steal(&mut self, p: usize) -> Option<(Item, usize)> {
+        let victim = match self.cfg.steal_policy {
+            StealPolicy::RandomDeque => {
+                // Uniform over all ever-allocated deques, freed or not.
+                let n = self.deques.len();
+                debug_assert!(n > 0);
+                self.rng.gen_range(0..n)
+            }
+            StealPolicy::WorkerThenDeque => {
+                // Random other worker, then a random non-empty deque of
+                // theirs (active or parked).
+                if self.cfg.workers == 1 {
+                    return None;
+                }
+                let mut v = self.rng.gen_range(0..self.cfg.workers - 1);
+                if v >= p {
+                    v += 1;
+                }
+                let candidates: Vec<usize> = (0..self.deques.len())
+                    .filter(|&q| {
+                        self.deques[q].owner == v
+                            && !self.deques[q].freed
+                            && !self.deques[q].items.is_empty()
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    return None;
+                }
+                candidates[self.rng.gen_range(0..candidates.len())]
+            }
+        };
+        // popTop
+        self.deques[victim]
+            .items
+            .pop_front()
+            .map(|(item, _)| (item, victim))
+    }
+
+    // ------------------------------------------------------------------
+    // Vertex execution.
+    // ------------------------------------------------------------------
+
+    fn execute_vertex(&mut self, p: usize, v: VertexId, depth: u64, from: usize) {
+        self.work_tokens += 1;
+        self.executed += 1;
+        self.record(p, crate::trace::Action::Execute(v));
+        // Spoonhower's deviation metric: does this worker continue where
+        // the sequential depth-first execution would?
+        let prev = self.prev_exec[p];
+        if prev != u32::MAX && self.dfs_next[prev as usize] != v.0 {
+            self.deviations += 1;
+        }
+        self.prev_exec[p] = v.0;
+        self.deques[from].last_exec = Some((depth, self.round));
+        self.entries.push(ScheduleEntry {
+            round: self.round,
+            worker: p,
+            vertex: v,
+        });
+
+        // Collect the children this execution *enables* (in-degree drops to
+        // zero), keeping the left/right orientation of the dag.
+        let mut left: Option<(VertexId, u64)> = None;
+        let mut right: Option<(VertexId, u64)> = None;
+        let outs = self.dag.out(v);
+        if let Some(e) = outs.left() {
+            self.indeg[e.dst.index()] -= 1;
+            if self.indeg[e.dst.index()] == 0 {
+                left = Some((e.dst, e.weight));
+            }
+        }
+        if let Some(e) = outs.right() {
+            self.indeg[e.dst.index()] -= 1;
+            if self.indeg[e.dst.index()] == 0 {
+                right = Some((e.dst, e.weight));
+            }
+        }
+
+        // Lines 35–39: right child, addResumedVertices, left child.
+        if let Some((c, w)) = right {
+            self.handle_child(p, c, w, depth + 1);
+        }
+        let active = self.workers[p]
+            .active
+            .expect("active deque during execution");
+        let pfor_attached = self.add_resumed_vertices(p, Some((active, depth, left.is_some())));
+        if let Some((c, w)) = left {
+            // The auxiliary vertex inserted for a same-deque pfor deepens
+            // the left child by one (paper §4.1, first case).
+            let d = depth + if pfor_attached { 2 } else { 1 };
+            self.handle_child(p, c, w, d);
+        }
+    }
+
+    /// Spoonhower variant 1: park the whole active deque (items and all)
+    /// and continue on a fresh one. The parked deque stays stealable; it
+    /// returns to the ready set when its suspension resumes.
+    fn park_active_deque(&mut self, p: usize) {
+        let old = self.workers[p].active.expect("active deque to park");
+        debug_assert!(self.deques[old].suspend_ctr > 0);
+        let fresh = self.new_deque(p);
+        self.workers[p].active = Some(fresh);
+        let _ = old; // parked: neither ready nor free until resume
+    }
+
+    /// `handleChild`: suspended children are paired with the active deque;
+    /// ready children are pushed onto its bottom.
+    fn handle_child(&mut self, p: usize, c: VertexId, weight: u64, depth: u64) {
+        let q = self.workers[p]
+            .active
+            .expect("active deque during execution");
+        if weight > 1 {
+            // Heavy edge: the child suspends; the callback fires when the
+            // latency expires (executed in round r, ready at r + weight).
+            // Its enabling depth is assigned at resume, through the pfor.
+            self.deques[q].suspend_ctr += 1;
+            self.resumes
+                .push(Reverse((self.round + weight, c.0, q as u32)));
+            if self.cfg.suspend_policy == SuspendPolicy::WholeDeque {
+                self.park_active_deque(p);
+            }
+        } else {
+            let item = self.make_item(vec![c], depth);
+            self.push_item(q, item);
+        }
+    }
+
+    /// Executes a pfor-tree internal vertex: splits its vertex list in two
+    /// and pushes both halves (a balanced unfolding with lg n span whose
+    /// leaves are the resumed vertices).
+    fn execute_pfor(&mut self, p: usize, mut vs: Vec<VertexId>, depth: u64, from: usize) {
+        debug_assert!(vs.len() >= 2);
+        self.work_tokens += 1;
+        self.pfor_vertices += 1;
+        self.record(p, crate::trace::Action::ExecutePfor(vs.len() as u32));
+        self.deques[from].last_exec = Some((depth, self.round));
+        let q = self.workers[p]
+            .active
+            .expect("active deque during execution");
+        let right = vs.split_off(vs.len() / 2);
+        // Push the right half first so the left half sits at the bottom
+        // (executed next by this worker; the right half is stealable).
+        let r = self.make_item(right, depth + 1);
+        self.push_item(q, r);
+        let l = self.make_item(vs, depth + 1);
+        self.push_item(q, l);
+        self.add_resumed_vertices(p, Some((q, depth, false)));
+    }
+}
+
+/// Successor map of the sequential depth-first execution order (what a
+/// single standard work-stealing worker would run, latency ignored):
+/// `next[v]` is the vertex executed right after `v`, or `u32::MAX` for the
+/// final vertex. Basis of Spoonhower's deviation metric.
+fn sequential_dfs_next(dag: &WDag) -> Vec<u32> {
+    let n = dag.len();
+    let mut indeg: Vec<u32> = (0..n).map(|v| dag.in_degree(VertexId(v as u32))).collect();
+    let mut stack = vec![dag.root()];
+    let mut next = vec![u32::MAX; n];
+    let mut prev: Option<VertexId> = None;
+    while let Some(v) = stack.pop() {
+        if let Some(pv) = prev {
+            next[pv.index()] = v.0;
+        }
+        prev = Some(v);
+        // Push right then left so the left child pops first, matching the
+        // scheduler's pop-bottom order.
+        if let Some(e) = dag.out(v).right() {
+            indeg[e.dst.index()] -= 1;
+            if indeg[e.dst.index()] == 0 {
+                stack.push(e.dst);
+            }
+        }
+        if let Some(e) = dag.out(v).left() {
+            indeg[e.dst.index()] -= 1;
+            if indeg[e.dst.index()] == 0 {
+                stack.push(e.dst);
+            }
+        }
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhws_dag::gen::{fib, map_reduce, pipeline, random_sp, server, RandomSpParams};
+    use lhws_dag::offline::validate_schedule;
+    use lhws_dag::suspension_width;
+    use lhws_dag::Block;
+
+    fn run(dag: &WDag, p: usize, seed: u64) -> SimStats {
+        LhwsSim::new(dag, SimConfig::new(p).seed(seed)).run()
+    }
+
+    #[test]
+    fn single_vertex() {
+        let d = Block::work(1).build();
+        let s = run(&d, 1, 0);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.work_tokens, 1);
+        validate_schedule(&d, &s.schedule).unwrap();
+    }
+
+    #[test]
+    fn chain_executes_in_order() {
+        let d = Block::work(20).build();
+        let s = run(&d, 4, 0);
+        validate_schedule(&d, &s.schedule).unwrap();
+        assert_eq!(s.work_tokens, 20);
+        assert_eq!(s.pfor_vertices, 0);
+        // A chain admits no parallelism: 20 rounds of execution.
+        assert_eq!(s.schedule.entries.len(), 20);
+    }
+
+    #[test]
+    fn fork_join_executes_every_vertex_once() {
+        let d = Block::par_tree(32, &mut |_| Block::work(4)).build();
+        for p in [1usize, 2, 4, 8] {
+            let s = run(&d, p, 42);
+            validate_schedule(&d, &s.schedule).unwrap();
+            assert_eq!(s.schedule.entries.len(), d.len());
+            assert!(s.token_identity_holds());
+        }
+    }
+
+    #[test]
+    fn latency_is_respected() {
+        let d = Block::seq([Block::latency(100), Block::work(1)]).build();
+        let s = run(&d, 2, 0);
+        validate_schedule(&d, &s.schedule).unwrap();
+        assert!(s.rounds > 100);
+        assert!(s.max_live_suspended >= 1);
+    }
+
+    #[test]
+    fn u_zero_uses_one_deque_per_worker() {
+        // The reduction-to-standard-work-stealing case: with no heavy
+        // edges, no worker ever owns more than one deque.
+        let d = fib(12, 4).dag;
+        for p in [1usize, 2, 4] {
+            let s = run(&d, p, 7);
+            validate_schedule(&d, &s.schedule).unwrap();
+            assert_eq!(s.max_deques_per_worker, 1, "P={p}");
+            assert_eq!(s.pfor_vertices, 0);
+            assert_eq!(s.max_live_suspended, 0);
+        }
+    }
+
+    #[test]
+    fn lemma7_deque_bound() {
+        // max deques per worker <= U + 1.
+        for (wl, label) in [
+            (map_reduce(16, 30, 4, 1), "map_reduce"),
+            (server(10, 25, 6, 1), "server"),
+            (pipeline(4, 3, 20, 2), "pipeline"),
+        ] {
+            let u = suspension_width(&wl.dag);
+            for p in [1usize, 2, 4, 8] {
+                let s = run(&wl.dag, p, 99);
+                validate_schedule(&wl.dag, &s.schedule).unwrap();
+                assert!(
+                    s.max_deques_per_worker <= u + 1,
+                    "{label} P={p}: {} > U+1 = {}",
+                    s.max_deques_per_worker,
+                    u + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suspended_count_bounded_by_u() {
+        for seed in 0..8 {
+            let wl = random_sp(RandomSpParams::default().seed(seed));
+            let u = suspension_width(&wl.dag);
+            let s = run(&wl.dag, 4, seed);
+            validate_schedule(&wl.dag, &s.schedule).unwrap();
+            assert!(
+                s.max_live_suspended <= u,
+                "seed {seed}: live {} > U {}",
+                s.max_live_suspended,
+                u
+            );
+        }
+    }
+
+    #[test]
+    fn lemma1_round_bound() {
+        for (wl, label) in [
+            (map_reduce(32, 40, 8, 1), "map_reduce"),
+            (server(15, 30, 6, 1), "server"),
+            (fib(11, 3), "fib"),
+        ] {
+            for p in [1usize, 2, 4, 8] {
+                let s = run(&wl.dag, p, 3);
+                assert!(
+                    s.rounds <= s.lemma1_bound(wl.dag.work()) + 1,
+                    "{label} P={p}: rounds {} > bound {}",
+                    s.rounds,
+                    s.lemma1_bound(wl.dag.work())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pfor_internal_vertices_bounded_by_work() {
+        // W + W_pfor <= 2W (binary tree internal nodes <= leaves).
+        let wl = map_reduce(64, 10, 2, 1);
+        let s = run(&wl.dag, 8, 5);
+        assert!(s.work_tokens <= 2 * wl.dag.work());
+        assert_eq!(s.work_tokens - s.pfor_vertices, wl.dag.work());
+    }
+
+    /// A dag whose root broadcast vertex has two heavy out-edges of equal
+    /// latency: both children suspend on the same deque in the same round
+    /// and resume in the same round, deterministically exercising the
+    /// batched (pfor) resume path.
+    fn broadcast_dag(delta: u64, tail: u64) -> WDag {
+        use lhws_dag::{RawDagBuilder, VertexKind};
+        let mut b = RawDagBuilder::new();
+        let root = b.add_vertex(VertexKind::Io);
+        let mut join_in = Vec::new();
+        for _ in 0..2 {
+            let first = b.add_vertex(VertexKind::Compute);
+            b.add_edge(root, first, delta);
+            let mut cur = first;
+            for _ in 1..tail {
+                let nxt = b.add_vertex(VertexKind::Compute);
+                b.add_edge(cur, nxt, 1);
+                cur = nxt;
+            }
+            join_in.push(cur);
+        }
+        let join = b.add_vertex(VertexKind::Join);
+        b.add_edge(join_in[0], join, 1);
+        b.add_edge(join_in[1], join, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn simultaneous_resumes_create_pfor_tree() {
+        let d = broadcast_dag(25, 10);
+        let s = run(&d, 2, 11);
+        validate_schedule(&d, &s.schedule).unwrap();
+        assert!(
+            s.pfor_vertices >= 1,
+            "two same-round resumes on one deque must batch into a pfor node"
+        );
+        assert!(s.work_tokens - s.pfor_vertices == d.work());
+    }
+
+    #[test]
+    fn scatter_gather_mass_resume_uses_pfor() {
+        use lhws_dag::gen::scatter_gather;
+        let n = 128u64;
+        let wl = scatter_gather(n, 2 * n, 4);
+        let s = run(&wl.dag, 8, 3);
+        validate_schedule(&wl.dag, &s.schedule).unwrap();
+        // All n responses land in one round on one deque: the pfor tree
+        // must unfold with ~n internal nodes.
+        assert!(
+            s.pfor_vertices >= n / 2,
+            "expected a large pfor tree, got {} internal nodes",
+            s.pfor_vertices
+        );
+        // And reinjection is parallel: serial (one per round) would need
+        // >= n extra rounds beyond the round trip.
+        let serial = LhwsSim::new(
+            &wl.dag,
+            SimConfig::new(8)
+                .seed(3)
+                .resume_batching(ResumeBatching::OnePerRound),
+        )
+        .run();
+        assert!(
+            s.rounds < serial.rounds,
+            "pfor {} must beat serial {}",
+            s.rounds,
+            serial.rounds
+        );
+    }
+
+    #[test]
+    fn mass_resume_still_parallelizes() {
+        // Even with staggered resumes, LHWS keeps all workers fed: total
+        // rounds stay far below the blocking-serial regime.
+        let wl = map_reduce(64, 50, 8, 1);
+        let s = run(&wl.dag, 8, 11);
+        validate_schedule(&wl.dag, &s.schedule).unwrap();
+        assert!(s.rounds < wl.dag.work());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let wl = map_reduce(16, 25, 4, 1);
+        let a = run(&wl.dag, 4, 1234);
+        let b = run(&wl.dag, 4, 1234);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.steal_attempts, b.steal_attempts);
+        assert_eq!(a.schedule.entries, b.schedule.entries);
+    }
+
+    #[test]
+    fn seeds_change_executions() {
+        let wl = map_reduce(16, 25, 4, 1);
+        let a = run(&wl.dag, 4, 1);
+        let b = run(&wl.dag, 4, 2);
+        // Work is identical; steal patterns almost surely differ.
+        assert_eq!(a.work_tokens, b.work_tokens);
+        assert!(a.steal_attempts != b.steal_attempts || a.schedule.entries != b.schedule.entries);
+    }
+
+    #[test]
+    fn worker_then_deque_policy_completes() {
+        let wl = map_reduce(16, 25, 4, 1);
+        for p in [2usize, 4] {
+            let s = LhwsSim::new(
+                &wl.dag,
+                SimConfig::new(p)
+                    .seed(9)
+                    .steal_policy(StealPolicy::WorkerThenDeque),
+            )
+            .run();
+            validate_schedule(&wl.dag, &s.schedule).unwrap();
+        }
+    }
+
+    #[test]
+    fn worker_then_deque_fails_less() {
+        let wl = map_reduce(64, 30, 16, 2);
+        let rd = LhwsSim::new(
+            &wl.dag,
+            SimConfig::new(8)
+                .seed(4)
+                .steal_policy(StealPolicy::RandomDeque),
+        )
+        .run();
+        let wd = LhwsSim::new(
+            &wl.dag,
+            SimConfig::new(8)
+                .seed(4)
+                .steal_policy(StealPolicy::WorkerThenDeque),
+        )
+        .run();
+        assert!(
+            wd.steal_success_pct() >= rd.steal_success_pct(),
+            "targeted steals should fail no more often: {} vs {}",
+            wd.steal_success_pct(),
+            rd.steal_success_pct()
+        );
+    }
+
+    #[test]
+    fn one_per_round_resume_is_slower_on_mass_resume() {
+        let wl = map_reduce(128, 60, 2, 1);
+        let pfor = LhwsSim::new(&wl.dag, SimConfig::new(8).seed(21)).run();
+        let serial = LhwsSim::new(
+            &wl.dag,
+            SimConfig::new(8)
+                .seed(21)
+                .resume_batching(ResumeBatching::OnePerRound),
+        )
+        .run();
+        validate_schedule(&wl.dag, &serial.schedule).unwrap();
+        assert!(
+            serial.rounds >= pfor.rounds,
+            "serial reinjection cannot beat the pfor tree: {} vs {}",
+            serial.rounds,
+            pfor.rounds
+        );
+    }
+
+    #[test]
+    fn no_recycling_allocates_more_deques() {
+        let wl = server(30, 20, 4, 1);
+        let rec = LhwsSim::new(&wl.dag, SimConfig::new(4).seed(2)).run();
+        let no_rec = LhwsSim::new(&wl.dag, SimConfig::new(4).seed(2).recycle_deques(false)).run();
+        validate_schedule(&wl.dag, &no_rec.schedule).unwrap();
+        assert!(no_rec.deques_allocated >= rec.deques_allocated);
+    }
+
+    #[test]
+    fn all_random_sp_validate() {
+        for seed in 0..12 {
+            let wl = random_sp(RandomSpParams::default().seed(seed).target_leaves(30));
+            for p in [1usize, 3, 8] {
+                let s = run(&wl.dag, p, seed * 31 + p as u64);
+                validate_schedule(&wl.dag, &s.schedule)
+                    .unwrap_or_else(|e| panic!("seed {seed} P={p}: {e}"));
+                assert!(s.token_identity_holds());
+            }
+        }
+    }
+
+    /// `lg U` as the analysis uses it (0 for U <= 1).
+    fn lg(u: u64) -> u64 {
+        if u <= 1 {
+            0
+        } else {
+            64 - (u - 1).leading_zeros() as u64
+        }
+    }
+
+    #[test]
+    fn lemma2_condition1_depth_bound() {
+        // d(v) <= (2 + lg U) * d_G(v) for every executed vertex.
+        use lhws_dag::metrics::weighted_depths;
+        for (wl, label) in [
+            (map_reduce(32, 40, 6, 1), "map_reduce"),
+            (server(12, 25, 6, 1), "server"),
+            (pipeline(4, 3, 20, 2), "pipeline"),
+            (lhws_dag::gen::scatter_gather(32, 80, 3), "scatter_gather"),
+        ] {
+            let u = suspension_width(&wl.dag);
+            let dg = weighted_depths(&wl.dag);
+            for p in [1usize, 4] {
+                let s = run(&wl.dag, p, 17);
+                let factor = 2 + lg(u);
+                for (v, &dgv) in dg.iter().enumerate() {
+                    assert!(
+                        s.vertex_depths[v] <= factor * dgv.max(u64::from(dgv == 0)),
+                        "{label} P={p} v{v}: d={} > ({factor})*dG={dgv}",
+                        s.vertex_depths[v],
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corollary1_enabling_span_bound() {
+        // S* <= 2 * S * (1 + lg U).
+        use lhws_dag::Metrics;
+        for (wl, label) in [
+            (map_reduce(64, 60, 8, 1), "map_reduce"),
+            (server(20, 30, 8, 1), "server"),
+            (fib(12, 4), "fib"),
+            (lhws_dag::gen::scatter_gather(64, 140, 4), "scatter_gather"),
+        ] {
+            let m = Metrics::compute(&wl.dag);
+            let u = suspension_width(&wl.dag);
+            for p in [1usize, 2, 8] {
+                let s = run(&wl.dag, p, 23);
+                let bound = 2 * m.span * (1 + lg(u));
+                assert!(
+                    s.enabling_span <= bound.max(m.span),
+                    "{label} P={p}: S*={} > 2S(1+lgU)={bound}",
+                    s.enabling_span
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enabling_span_on_random_programs() {
+        use lhws_dag::Metrics;
+        for seed in 0..10 {
+            let wl = random_sp(RandomSpParams::default().seed(seed).target_leaves(30));
+            let m = Metrics::compute(&wl.dag);
+            let u = suspension_width(&wl.dag);
+            let s = run(&wl.dag, 4, seed);
+            let bound = (2 * m.span * (1 + lg(u))).max(m.span);
+            assert!(
+                s.enabling_span <= bound,
+                "seed {seed}: S*={} > {bound} (S={}, U={u})",
+                s.enabling_span,
+                m.span
+            );
+        }
+    }
+
+    #[test]
+    fn unweighted_enabling_tree_not_deeper_than_dag() {
+        use lhws_dag::metrics::weighted_depths;
+        let wl = fib(12, 4);
+        let dg = weighted_depths(&wl.dag);
+        let s = run(&wl.dag, 4, 9);
+        // With no heavy edges there are no pfor trees and no auxiliary
+        // vertices: the enabling tree embeds in the dag, depth-wise.
+        for (v, &dgv) in dg.iter().enumerate() {
+            assert!(
+                s.vertex_depths[v] <= dgv,
+                "v{v}: enabling depth {} exceeds dag depth {dgv}",
+                s.vertex_depths[v],
+            );
+        }
+        assert!(s.enabling_span <= *dg.iter().max().unwrap());
+    }
+
+    #[test]
+    fn sequential_execution_has_zero_deviations() {
+        // One worker, no latency: execution IS the depth-first order.
+        let d = fib(11, 3).dag;
+        let s = run(&d, 1, 0);
+        assert_eq!(s.deviations, 0, "P=1 unweighted: pure DFS");
+    }
+
+    #[test]
+    fn steals_cause_deviations() {
+        let d = fib(12, 3).dag;
+        let s = run(&d, 4, 5);
+        assert!(s.deviations > 0, "parallel execution deviates");
+        // Every deviation is caused by a steal, a switch, or a resume;
+        // with no latency, deviations are bounded by successful steals
+        // (each stolen task starts one non-sequential run).
+        assert!(
+            s.deviations <= s.steal_successes + s.switch_tokens + 1,
+            "deviations {} vs steals {} + switches {}",
+            s.deviations,
+            s.steal_successes,
+            s.switch_tokens
+        );
+    }
+
+    #[test]
+    fn latency_induces_deviations_even_sequentially() {
+        // Map-reduce at P=1: the worker keeps issuing fetches while
+        // earlier ones are suspended, so resumed continuations run far
+        // from their depth-first positions.
+        let wl = map_reduce(16, 30, 4, 1);
+        let s = run(&wl.dag, 1, 0);
+        assert!(s.deviations > 0, "suspension reorders execution");
+        // The server at P=1 is the contrast case: resumes always arrive
+        // while the worker is idle, so execution stays depth-first.
+        let sv = server(10, 30, 4, 1);
+        let s2 = run(&sv.dag, 1, 0);
+        assert_eq!(s2.deviations, 0, "U=1 server stays in DFS order");
+    }
+
+    #[test]
+    fn whole_deque_variant_is_correct_but_heavier() {
+        for (wl, label) in [
+            (map_reduce(32, 40, 6, 1), "map_reduce"),
+            (server(12, 25, 6, 1), "server"),
+        ] {
+            for p in [1usize, 4] {
+                let paper = run(&wl.dag, p, 7);
+                let variant = LhwsSim::new(
+                    &wl.dag,
+                    SimConfig::new(p)
+                        .seed(7)
+                        .suspend_policy(SuspendPolicy::WholeDeque),
+                )
+                .run();
+                validate_schedule(&wl.dag, &variant.schedule)
+                    .unwrap_or_else(|e| panic!("{label} P={p}: {e}"));
+                assert_eq!(variant.schedule.entries.len(), wl.dag.len());
+                // Parking whole deques cannot allocate fewer deques than
+                // the per-vertex policy.
+                assert!(
+                    variant.deques_allocated >= paper.deques_allocated,
+                    "{label} P={p}: {} < {}",
+                    variant.deques_allocated,
+                    paper.deques_allocated
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn new_deque_on_resume_variant_is_correct_but_churns() {
+        let wl = server(30, 25, 6, 1);
+        for p in [1usize, 4] {
+            let paper = run(&wl.dag, p, 7);
+            let variant = LhwsSim::new(
+                &wl.dag,
+                SimConfig::new(p)
+                    .seed(7)
+                    .suspend_policy(SuspendPolicy::NewDequeOnResume),
+            )
+            .run();
+            validate_schedule(&wl.dag, &variant.schedule).unwrap();
+            assert_eq!(variant.schedule.entries.len(), wl.dag.len());
+            // Creating a deque per resume churns more deques than the
+            // paper's recycle-on-steal policy on a long server run (the
+            // paper: "new deques are created on steals, not resumes").
+            assert!(
+                variant.switch_tokens >= paper.switch_tokens,
+                "P={p}: resume-created deques force extra switches ({} < {})",
+                variant.switch_tokens,
+                paper.switch_tokens
+            );
+        }
+    }
+
+    #[test]
+    fn variants_complete_random_programs() {
+        for seed in 0..6 {
+            let wl = random_sp(RandomSpParams::default().seed(seed).target_leaves(25));
+            for policy in [
+                SuspendPolicy::PerVertex,
+                SuspendPolicy::WholeDeque,
+                SuspendPolicy::NewDequeOnResume,
+            ] {
+                let s = LhwsSim::new(&wl.dag, SimConfig::new(4).seed(seed).suspend_policy(policy))
+                    .run();
+                validate_schedule(&wl.dag, &s.schedule)
+                    .unwrap_or_else(|e| panic!("seed {seed} {policy:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn multiprogrammed_environment_correct() {
+        // The ABP adversary (here i.i.d. descheduling) slows execution but
+        // never breaks it.
+        let wl = map_reduce(32, 40, 6, 1);
+        for pct in [25u8, 50, 75] {
+            let s = LhwsSim::new(&wl.dag, SimConfig::new(4).seed(9).availability_pct(pct)).run();
+            validate_schedule(&wl.dag, &s.schedule).unwrap_or_else(|e| panic!("pct={pct}: {e}"));
+            assert_eq!(s.schedule.entries.len(), wl.dag.len());
+        }
+    }
+
+    #[test]
+    fn lower_availability_means_more_rounds() {
+        let wl = fib(12, 3);
+        let full = LhwsSim::new(&wl.dag, SimConfig::new(4).seed(3)).run();
+        let half = LhwsSim::new(&wl.dag, SimConfig::new(4).seed(3).availability_pct(50)).run();
+        let quarter = LhwsSim::new(&wl.dag, SimConfig::new(4).seed(3).availability_pct(25)).run();
+        assert!(half.rounds > full.rounds);
+        assert!(quarter.rounds > half.rounds);
+        // ABP-style scaling: halving availability roughly doubles time on
+        // a work-bound computation (loose factor-of-three sanity band).
+        assert!(half.rounds < full.rounds * 3);
+    }
+
+    #[test]
+    fn more_workers_never_catastrophically_slower() {
+        let wl = map_reduce(64, 100, 32, 2);
+        let s1 = run(&wl.dag, 1, 8).rounds;
+        let s8 = run(&wl.dag, 8, 8).rounds;
+        assert!(s8 < s1, "adding workers helps this workload");
+    }
+}

@@ -1,0 +1,34 @@
+//! Deterministic round-based simulator of latency-hiding work stealing.
+//!
+//! This crate executes the paper's scheduling algorithm (Figure 3) *as
+//! written*, at vertex granularity, over weighted dags from [`lhws_dag`],
+//! with any number of **virtual** workers. One iteration of the scheduling
+//! loop is a *round*; each worker takes exactly one action per round
+//! (execute / switch deques / attempt a steal), which is precisely the
+//! token-accounting model of the paper's analysis (§4). Because it is
+//! single-threaded and seeded, every run is exactly reproducible, so the
+//! test-suite can check every lemma and theorem of the paper empirically:
+//!
+//! * **Lemma 1** — rounds ≤ `(4W + R)/P` where `R` counts steal attempts;
+//! * **Lemma 7** — no worker ever owns more than `U + 1` allocated deques;
+//! * **Theorem 2** — rounds scale as `O(W/P + S·U·(1 + lg U))`;
+//! * the **`U = 0` reduction** — with no heavy edges the algorithm behaves
+//!   as standard work stealing (exactly one deque per worker).
+//!
+//! A blocking work-stealing **baseline** ([`baseline`]) models the paper's
+//! comparator: a classic one-deque-per-worker work stealer whose workers
+//! block for the full latency of a heavy edge. Comparing the two across a
+//! `P` sweep regenerates the *shape* of the paper's Figure 11 without
+//! needing a 30-core machine ([`speedup`]).
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lhws;
+pub mod speedup;
+pub mod stats;
+pub mod trace;
+
+pub use baseline::BaselineSim;
+pub use lhws::{LhwsSim, ResumeBatching, SimConfig, StealPolicy, SuspendPolicy};
+pub use stats::SimStats;

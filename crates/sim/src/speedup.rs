@@ -1,0 +1,108 @@
+//! Speedup sweeps: the machinery behind the simulated Figure 11.
+//!
+//! The paper plots *self-speedup relative to the one-processor run of the
+//! standard work stealer* for both schedulers. [`speedup_sweep`] reproduces
+//! that: it measures `T_WS(1)` once, then `T(P)` for each scheduler and
+//! each `P`, and reports `T_WS(1) / T(P)` (scaled by 100 to stay in
+//! integers).
+
+use lhws_dag::WDag;
+
+use crate::baseline::BaselineSim;
+use crate::lhws::{LhwsSim, SimConfig};
+use crate::stats::SimStats;
+
+/// One point of a speedup curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpeedupPoint {
+    /// Worker count.
+    pub p: usize,
+    /// Rounds taken by LHWS at this `p`.
+    pub lhws_rounds: u64,
+    /// Rounds taken by blocking WS at this `p`.
+    pub ws_rounds: u64,
+    /// LHWS speedup ×100 relative to `T_WS(1)`.
+    pub lhws_speedup_x100: u64,
+    /// WS speedup ×100 relative to `T_WS(1)`.
+    pub ws_speedup_x100: u64,
+}
+
+/// Runs both schedulers over the given worker counts and reports speedups
+/// relative to the baseline's one-worker run (the paper's normalization).
+pub fn speedup_sweep(dag: &WDag, ps: &[usize], seed: u64) -> Vec<SpeedupPoint> {
+    let t1 = BaselineSim::new(dag, 1, seed).run().rounds;
+    ps.iter()
+        .map(|&p| {
+            let lh = LhwsSim::new(dag, SimConfig::new(p).seed(seed)).run().rounds;
+            let ws = BaselineSim::new(dag, p, seed).run().rounds;
+            SpeedupPoint {
+                p,
+                lhws_rounds: lh,
+                ws_rounds: ws,
+                lhws_speedup_x100: t1 * 100 / lh,
+                ws_speedup_x100: t1 * 100 / ws,
+            }
+        })
+        .collect()
+}
+
+/// Convenience: run LHWS once and return its stats.
+pub fn run_lhws(dag: &WDag, p: usize, seed: u64) -> SimStats {
+    LhwsSim::new(dag, SimConfig::new(p).seed(seed)).run()
+}
+
+/// Convenience: run the blocking baseline once and return its stats.
+pub fn run_ws(dag: &WDag, p: usize, seed: u64) -> SimStats {
+    BaselineSim::new(dag, p, seed).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhws_dag::gen::map_reduce;
+
+    #[test]
+    fn lhws_beats_ws_on_latency_bound_map_reduce() {
+        // Figure 11's regime: latency >> leaf work. LHWS should win by a
+        // wide margin at moderate P.
+        let wl = map_reduce(64, 400, 8, 1);
+        let pts = speedup_sweep(&wl.dag, &[1, 2, 4, 8], 7);
+        for pt in &pts {
+            assert!(
+                pt.lhws_speedup_x100 >= pt.ws_speedup_x100,
+                "P={}: LHWS {} < WS {}",
+                pt.p,
+                pt.lhws_speedup_x100,
+                pt.ws_speedup_x100
+            );
+        }
+        // Superlinear self-speedup for LHWS at P=8 (latency hidden).
+        let p8 = pts.iter().find(|p| p.p == 8).unwrap();
+        assert!(
+            p8.lhws_speedup_x100 > 800,
+            "expected superlinear speedup, got {}",
+            p8.lhws_speedup_x100
+        );
+    }
+
+    #[test]
+    fn small_latency_curves_converge() {
+        // delta=2 (barely heavy): hiding buys little; curves are close.
+        let wl = map_reduce(64, 2, 64, 2);
+        let pts = speedup_sweep(&wl.dag, &[4], 3);
+        let pt = pts[0];
+        let ratio_x100 = pt.lhws_speedup_x100 * 100 / pt.ws_speedup_x100.max(1);
+        assert!(
+            (80..=180).contains(&ratio_x100),
+            "curves should be close at tiny latency, ratio {ratio_x100}"
+        );
+    }
+
+    #[test]
+    fn speedup_normalization_is_ws_p1() {
+        let wl = map_reduce(16, 50, 8, 1);
+        let pts = speedup_sweep(&wl.dag, &[1], 5);
+        assert_eq!(pts[0].ws_speedup_x100, 100, "WS(1) vs itself");
+        assert!(pts[0].lhws_speedup_x100 >= 100, "LHWS(1) at least as fast");
+    }
+}

@@ -1,0 +1,128 @@
+//! Execution statistics collected by the simulators.
+
+use lhws_dag::offline::Schedule;
+
+/// Statistics of one simulated execution.
+///
+/// The token counts follow the bucket argument of Lemma 1: every worker
+/// places exactly one token per round into the work, switch, steal, or
+/// (baseline only) idle bucket, so
+/// `rounds · P = work + switch + steal + idle`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimStats {
+    /// Number of workers.
+    pub workers: usize,
+    /// Total rounds to complete the computation.
+    pub rounds: u64,
+    /// Tokens in the work bucket: dag-vertex executions **plus** pfor-tree
+    /// internal vertices (`W + W_pfor ≤ 2W`).
+    pub work_tokens: u64,
+    /// Of those, pfor-tree internal vertices only (`W_pfor`).
+    pub pfor_vertices: u64,
+    /// Tokens in the switch bucket (deque switches).
+    pub switch_tokens: u64,
+    /// Tokens in the steal bucket: steal *attempts* `R`.
+    pub steal_attempts: u64,
+    /// Steal attempts that obtained a vertex.
+    pub steal_successes: u64,
+    /// Rounds in which a worker did nothing (baseline: blocked on latency
+    /// or completely idle; always 0 for LHWS, whose idle workers steal).
+    pub idle_tokens: u64,
+    /// Total deques ever allocated (`gTotalDeques`).
+    pub deques_allocated: u64,
+    /// Maximum number of allocated (live, non-freed) deques any single
+    /// worker owned at any time — Lemma 7 bounds this by `U + 1`.
+    pub max_deques_per_worker: u64,
+    /// Maximum number of simultaneously suspended vertices observed —
+    /// bounded by the suspension width `U` by definition.
+    pub max_live_suspended: u64,
+    /// The enabling span `S*`: maximum depth of any node in the enabling
+    /// tree reconstructed from this execution (§4.1). Corollary 1 bounds
+    /// it by `2·S·(1 + lg U)`. Zero for the blocking baseline (which has
+    /// no pfor machinery; its enabling tree is the plain one).
+    pub enabling_span: u64,
+    /// The enabling-tree depth `d(v)` of every dag vertex in this
+    /// execution. Lemma 2 (condition 1) bounds `d(v) ≤ (2 + lg U)·d_G(v)`.
+    /// Empty for the blocking baseline.
+    pub vertex_depths: Vec<u64>,
+    /// Spoonhower-style deviations from the sequential depth-first order:
+    /// rounds where a worker's executed vertex is not the DFS successor of
+    /// its previously executed vertex. A locality proxy (0 for the
+    /// baseline simulator, which does not track it).
+    pub deviations: u64,
+    /// Per-round event trace, when enabled in the config.
+    pub trace: Option<crate::trace::Trace>,
+    /// The executed schedule (round/worker/vertex triples) for independent
+    /// validation against the dag semantics.
+    pub schedule: Schedule,
+}
+
+impl SimStats {
+    /// Token-accounting identity from Lemma 1's proof:
+    /// `rounds · P = work + switch + steal + idle`.
+    pub fn token_identity_holds(&self) -> bool {
+        self.rounds * self.workers as u64
+            == self.work_tokens + self.switch_tokens + self.steal_attempts + self.idle_tokens
+    }
+
+    /// The Lemma 1 bound: rounds ≤ `(4W + R)/P` (computed with the actual
+    /// work `W` of the dag, passed in by the caller).
+    pub fn lemma1_bound(&self, work: u64) -> u64 {
+        (4 * work + self.steal_attempts).div_ceil(self.workers as u64)
+    }
+
+    /// Fraction of steal attempts that succeeded, in percent.
+    pub fn steal_success_pct(&self) -> u64 {
+        (self.steal_successes * 100)
+            .checked_div(self.steal_attempts)
+            .unwrap_or(100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(rounds: u64, p: usize, work: u64, sw: u64, st: u64, idle: u64) -> SimStats {
+        SimStats {
+            workers: p,
+            rounds,
+            work_tokens: work,
+            pfor_vertices: 0,
+            switch_tokens: sw,
+            steal_attempts: st,
+            steal_successes: 0,
+            idle_tokens: idle,
+            deques_allocated: p as u64,
+            max_deques_per_worker: 1,
+            max_live_suspended: 0,
+            enabling_span: 0,
+            vertex_depths: Vec::new(),
+            deviations: 0,
+            trace: None,
+            schedule: Schedule {
+                workers: p,
+                entries: vec![],
+                length: rounds,
+            },
+        }
+    }
+
+    #[test]
+    fn token_identity() {
+        assert!(dummy(10, 2, 12, 3, 5, 0).token_identity_holds());
+        assert!(!dummy(10, 2, 12, 3, 4, 0).token_identity_holds());
+    }
+
+    #[test]
+    fn lemma1_bound_value() {
+        let s = dummy(10, 4, 20, 0, 8, 12);
+        // (4*20 + 8) / 4 = 22.
+        assert_eq!(s.lemma1_bound(20), 22);
+    }
+
+    #[test]
+    fn steal_pct_handles_zero() {
+        assert_eq!(dummy(1, 1, 1, 0, 0, 0).steal_success_pct(), 100);
+    }
+}

@@ -1,0 +1,225 @@
+//! Execution traces: per-round, per-worker event logs.
+//!
+//! With [`SimConfig::trace`](crate::SimConfig) enabled, the LHWS simulator
+//! records what every worker did in every round. The trace powers
+//! utilization analysis (how much of the schedule was work vs. switching
+//! vs. stealing — the three token buckets of Lemma 1, now *per worker*)
+//! and an ASCII timeline that makes latency hiding visible at a glance:
+//! where the blocking baseline shows holes, LHWS shows steals that land.
+
+use lhws_dag::VertexId;
+
+/// One worker action in one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Executed a dag vertex.
+    Execute(VertexId),
+    /// Executed a pfor-tree internal vertex over a batch of this size.
+    ExecutePfor(u32),
+    /// Switched to a ready deque.
+    Switch,
+    /// Attempted a steal (`true` = got a vertex).
+    Steal(bool),
+}
+
+/// A recorded event: `(round, worker, action)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Round number (1-based).
+    pub round: u64,
+    /// Worker index.
+    pub worker: u32,
+    /// What the worker did.
+    pub action: Action,
+}
+
+/// A complete execution trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Events in (round, worker-visit) order. Rounds with no event for a
+    /// worker mean the worker was idle (baseline only; LHWS workers always
+    /// act).
+    pub events: Vec<TraceEvent>,
+    /// Total rounds in the execution.
+    pub rounds: u64,
+    /// Number of workers.
+    pub workers: usize,
+}
+
+/// Per-worker action counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerUtilization {
+    /// Dag-vertex executions.
+    pub executes: u64,
+    /// Pfor-vertex executions.
+    pub pfors: u64,
+    /// Deque switches.
+    pub switches: u64,
+    /// Failed steal attempts.
+    pub steals_missed: u64,
+    /// Successful steal attempts.
+    pub steals_hit: u64,
+    /// Rounds with no recorded action (idle/blocked).
+    pub idle: u64,
+}
+
+impl WorkerUtilization {
+    /// Fraction of rounds spent executing (work tokens), in percent.
+    pub fn busy_pct(&self, rounds: u64) -> u64 {
+        ((self.executes + self.pfors) * 100)
+            .checked_div(rounds)
+            .unwrap_or(0)
+    }
+}
+
+impl Trace {
+    /// Per-worker utilization breakdown.
+    pub fn utilization(&self) -> Vec<WorkerUtilization> {
+        let mut out = vec![WorkerUtilization::default(); self.workers];
+        for e in &self.events {
+            let u = &mut out[e.worker as usize];
+            match e.action {
+                Action::Execute(_) => u.executes += 1,
+                Action::ExecutePfor(_) => u.pfors += 1,
+                Action::Switch => u.switches += 1,
+                Action::Steal(true) => u.steals_hit += 1,
+                Action::Steal(false) => u.steals_missed += 1,
+            }
+        }
+        for u in &mut out {
+            let acted = u.executes + u.pfors + u.switches + u.steals_hit + u.steals_missed;
+            u.idle = self.rounds.saturating_sub(acted);
+        }
+        out
+    }
+
+    /// Number of dag vertices executed in each round (the parallelism
+    /// profile of the execution).
+    pub fn parallelism_profile(&self) -> Vec<u32> {
+        let mut prof = vec![0u32; self.rounds as usize + 1];
+        for e in &self.events {
+            if matches!(e.action, Action::Execute(_)) {
+                prof[e.round as usize] += 1;
+            }
+        }
+        prof
+    }
+
+    /// ASCII timeline: one row per worker, one column per round (bucketed
+    /// to at most `max_cols` columns). `#` work, `p` pfor, `-` switch,
+    /// `s`/`.` steal hit/miss, space idle. Bucketed cells show the
+    /// dominant action.
+    pub fn timeline_ascii(&self, max_cols: usize) -> String {
+        let max_cols = max_cols.max(1);
+        let bucket = (self.rounds as usize).div_ceil(max_cols).max(1);
+        let cols = (self.rounds as usize).div_ceil(bucket);
+        // counts[worker][col][kind]
+        let mut counts = vec![vec![[0u32; 5]; cols]; self.workers];
+        for e in &self.events {
+            let col = ((e.round as usize).saturating_sub(1)) / bucket;
+            let kind = match e.action {
+                Action::Execute(_) => 0,
+                Action::ExecutePfor(_) => 1,
+                Action::Switch => 2,
+                Action::Steal(true) => 3,
+                Action::Steal(false) => 4,
+            };
+            counts[e.worker as usize][col][kind] += 1;
+        }
+        let glyphs = ['#', 'p', '-', 's', '.'];
+        let mut out = String::new();
+        for (w, row) in counts.iter().enumerate() {
+            out.push_str(&format!("w{w:<3}|"));
+            for cell in row {
+                let total: u32 = cell.iter().sum();
+                if total == 0 {
+                    out.push(' ');
+                } else {
+                    let (best, _) = cell
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, c)| **c)
+                        .expect("non-empty");
+                    out.push(glyphs[best]);
+                }
+            }
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lhws::{LhwsSim, SimConfig};
+    use lhws_dag::gen::{fib, map_reduce};
+
+    fn traced(dag: &lhws_dag::WDag, p: usize) -> Trace {
+        LhwsSim::new(dag, SimConfig::new(p).seed(1).trace(true))
+            .run()
+            .trace
+            .expect("trace enabled")
+    }
+
+    #[test]
+    fn trace_event_counts_match_stats() {
+        let wl = map_reduce(16, 30, 4, 1);
+        let stats = LhwsSim::new(&wl.dag, SimConfig::new(4).seed(1).trace(true)).run();
+        let trace = stats.trace.as_ref().unwrap();
+        let ut = trace.utilization();
+        let executes: u64 = ut.iter().map(|u| u.executes).sum();
+        let pfors: u64 = ut.iter().map(|u| u.pfors).sum();
+        let steals: u64 = ut.iter().map(|u| u.steals_hit + u.steals_missed).sum();
+        let switches: u64 = ut.iter().map(|u| u.switches).sum();
+        assert_eq!(executes + pfors, stats.work_tokens);
+        assert_eq!(pfors, stats.pfor_vertices);
+        assert_eq!(steals, stats.steal_attempts);
+        assert_eq!(switches, stats.switch_tokens);
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let wl = fib(10, 3);
+        let stats = LhwsSim::new(&wl.dag, SimConfig::new(2)).run();
+        assert!(stats.trace.is_none());
+    }
+
+    #[test]
+    fn parallelism_profile_sums_to_work() {
+        let wl = fib(12, 3);
+        let t = traced(&wl.dag, 4);
+        let prof = t.parallelism_profile();
+        assert_eq!(prof.iter().map(|&c| c as u64).sum::<u64>(), wl.dag.work());
+        assert!(prof.iter().all(|&c| c as usize <= 4), "at most P per round");
+    }
+
+    #[test]
+    fn timeline_has_one_row_per_worker() {
+        let wl = map_reduce(8, 20, 4, 1);
+        let t = traced(&wl.dag, 3);
+        let tl = t.timeline_ascii(60);
+        assert_eq!(tl.lines().count(), 3);
+        assert!(tl.contains('#'), "some work must show");
+    }
+
+    #[test]
+    fn timeline_width_bounded() {
+        let wl = map_reduce(32, 100, 8, 1);
+        let t = traced(&wl.dag, 2);
+        let tl = t.timeline_ascii(40);
+        for line in tl.lines() {
+            // "wN  |" prefix + cells + "|"
+            assert!(line.len() <= 5 + 40 + 1, "line too wide: {}", line.len());
+        }
+    }
+
+    #[test]
+    fn busy_pct_sane() {
+        let wl = fib(12, 3);
+        let t = traced(&wl.dag, 1);
+        let ut = t.utilization();
+        // Single worker on a pure computation: almost always executing.
+        assert!(ut[0].busy_pct(t.rounds) >= 95, "{:?}", ut[0]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Explore the simulator: run the paper's workload families through the
+//! round-accurate LHWS simulator and print their structural parameters,
+//! execution statistics, and the theorem bounds next to each other.
+//!
+//! ```text
+//! cargo run --release --example sim_explorer
+//! ```
+
+use lhws::dag::gen::{fib, map_reduce, pipeline, scatter_gather, server};
+use lhws::dag::offline::{greedy_bound, greedy_schedule};
+use lhws::dag::{suspension_width, Metrics};
+use lhws::sim::speedup::{run_lhws, run_ws};
+use lhws::sim::{LhwsSim, SimConfig};
+
+fn main() {
+    let workloads = vec![
+        map_reduce(64, 100, 8, 1),
+        server(30, 50, 8, 1),
+        fib(14, 4),
+        pipeline(8, 4, 40, 2),
+        scatter_gather(64, 200, 4),
+    ];
+
+    for wl in workloads {
+        let dag = &wl.dag;
+        let m = Metrics::compute(dag);
+        let u = suspension_width(dag);
+        println!("── {} ──", wl.name);
+        println!(
+            "   W = {}, S = {}, U = {} (expected {}), heavy edges = {}, parallelism ≈ {:.1}",
+            m.work,
+            m.span,
+            u,
+            wl.expected_u,
+            m.heavy_edges,
+            m.parallelism_x100 as f64 / 100.0
+        );
+        assert_eq!(u, wl.expected_u);
+
+        // Offline greedy (Theorem 1).
+        let g = greedy_schedule(dag, 8);
+        println!(
+            "   greedy @P=8:   {:>8} rounds   (Theorem 1 bound W/P + S = {})",
+            g.length,
+            greedy_bound(dag, 8)
+        );
+
+        // Online LHWS vs blocking WS (the paper's comparison).
+        for p in [1usize, 4, 8] {
+            let lh = run_lhws(dag, p, 7);
+            let ws = run_ws(dag, p, 7);
+            println!(
+                "   P={p}: LHWS {:>8} rounds ({} steals, ≤{} deques/worker) | WS {:>8} rounds",
+                lh.rounds, lh.steal_attempts, lh.max_deques_per_worker, ws.rounds
+            );
+            assert!(lh.max_deques_per_worker <= u + 1, "Lemma 7");
+        }
+        println!();
+    }
+    println!("all Lemma 7 checks passed");
+
+    // A timeline of latency hiding in action: 4 workers on a map-reduce
+    // with long fetches. '#' = executing, 'p' = pfor, '-' = deque switch,
+    // 's'/'.' = steal hit/miss, ' ' = idle.
+    let wl = map_reduce(32, 300, 16, 2);
+    println!("\n── timeline: {} on 4 workers ──", wl.name);
+    let stats = LhwsSim::new(&wl.dag, SimConfig::new(4).seed(3).trace(true)).run();
+    let trace = stats.trace.expect("trace enabled");
+    print!("{}", trace.timeline_ascii(100));
+    for (w, u) in trace.utilization().iter().enumerate() {
+        println!(
+            "w{w}: {}% busy ({} exec, {} pfor, {} switch, {}/{} steals hit)",
+            u.busy_pct(trace.rounds),
+            u.executes,
+            u.pfors,
+            u.switches,
+            u.steals_hit,
+            u.steals_hit + u.steals_missed,
+        );
+    }
+}

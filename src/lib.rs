@@ -1,0 +1,50 @@
+//! # lhws — Latency-Hiding Work Stealing
+//!
+//! A production-quality Rust reproduction of *Muller & Acar, "Latency-Hiding
+//! Work Stealing: Scheduling Interacting Parallel Computations with Work
+//! Stealing" (SPAA 2016)*.
+//!
+//! This facade crate re-exports the four subsystems:
+//!
+//! * [`dag`] — the weighted computation-dag model: builders, work/span/
+//!   suspension-width metrics, offline schedulers, workload generators.
+//! * [`deque`] — the work-stealing deque substrate: a from-scratch Chase–Lev
+//!   deque, a mutex oracle, and the global deque registry.
+//! * [`sim`] — a deterministic round-based simulator executing the paper's
+//!   Figure 3 pseudocode on weighted dags with any number of virtual workers.
+//! * [`runtime`] — the real thing: a multithreaded latency-hiding
+//!   work-stealing executor for suspendable tasks, plus the blocking
+//!   work-stealing baseline the paper compares against.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lhws::runtime::{Runtime, Config, fork2, simulate_latency};
+//! use std::time::Duration;
+//!
+//! let rt = Runtime::new(Config::default().workers(4)).unwrap();
+//! let out = rt.block_on(async {
+//!     // Two branches run in parallel; the right branch incurs latency
+//!     // (e.g. waiting for a remote server) without blocking its worker.
+//!     let (a, b) = fork2(
+//!         async { (1..=10).sum::<u64>() },
+//!         async {
+//!             simulate_latency(Duration::from_millis(5)).await;
+//!             42u64
+//!         },
+//!     )
+//!     .await;
+//!     a + b
+//! });
+//! assert_eq!(out, 97);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use lhws_core as runtime;
+pub use lhws_dag as dag;
+pub use lhws_deque as deque;
+pub use lhws_sim as sim;
+
+/// Crate version string, for tooling output headers.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,297 @@
+//! Property-based tests over random series-parallel programs and random
+//! deque operation sequences.
+
+use proptest::prelude::*;
+
+use lhws::dag::builder::Block;
+use lhws::dag::offline::{greedy_bound, greedy_schedule, validate_schedule};
+use lhws::dag::suspension::{max_prefix_crossing, suspension_width, suspension_width_witness};
+use lhws::dag::Metrics;
+use lhws::deque::{DequeKind, Steal, WorkerHandle};
+use lhws::sim::speedup::{run_lhws, run_ws};
+
+// ---------------------------------------------------------------------
+// Random block programs.
+// ---------------------------------------------------------------------
+
+/// Strategy for random (small) block programs.
+fn arb_block() -> impl Strategy<Value = Block> {
+    let leaf = prop_oneof![
+        (1u64..6).prop_map(Block::work),
+        (2u64..40).prop_map(|d| Block::seq([Block::latency(d), Block::work(1)])),
+    ];
+    leaf.prop_recursive(5, 64, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Block::par(a, b)),
+            prop::collection::vec(inner, 1..4).prop_map(Block::seq),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compiled dags always validate and match the block's analytic
+    /// work/span/U.
+    #[test]
+    fn block_compilation_is_consistent(b in arb_block()) {
+        let dag = b.build(); // panics internally if invalid
+        let m = Metrics::compute(&dag);
+        prop_assert_eq!(m.work, b.analytic_work());
+        prop_assert_eq!(m.span, b.analytic_span());
+        prop_assert_eq!(suspension_width(&dag), b.analytic_suspension_width());
+    }
+
+    /// The flow-based witness is a valid executed-prefix partition
+    /// achieving U, and any topological prefix is a lower bound.
+    #[test]
+    fn suspension_witness_valid(b in arb_block()) {
+        let dag = b.build();
+        let (u, in_s) = suspension_width_witness(&dag);
+        if u > 0 {
+            prop_assert_eq!(
+                lhws::dag::suspension::check_partition(&dag, &in_s),
+                Some(u)
+            );
+        }
+        prop_assert!(max_prefix_crossing(&dag, dag.topo_order()) <= u);
+    }
+
+    /// Theorem 1 on random programs, all worker counts.
+    #[test]
+    fn greedy_bound_holds(b in arb_block(), p in 1usize..12) {
+        let dag = b.build();
+        let s = greedy_schedule(&dag, p);
+        prop_assert!(validate_schedule(&dag, &s).is_ok());
+        prop_assert!(s.length <= greedy_bound(&dag, p));
+    }
+
+    /// The LHWS simulator executes every random program correctly and
+    /// within the paper's structural bounds.
+    #[test]
+    fn lhws_sim_correct_on_random_programs(
+        b in arb_block(),
+        p in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let dag = b.build();
+        let u = suspension_width(&dag);
+        let s = run_lhws(&dag, p, seed);
+        prop_assert!(validate_schedule(&dag, &s.schedule).is_ok());
+        prop_assert_eq!(s.schedule.entries.len(), dag.len());
+        prop_assert!(s.max_deques_per_worker <= u + 1, "Lemma 7");
+        prop_assert!(s.max_live_suspended <= u);
+        prop_assert!(s.token_identity_holds());
+        prop_assert!(s.rounds <= s.lemma1_bound(dag.work()) + 1, "Lemma 1");
+    }
+
+    /// The blocking baseline is also correct (just slower).
+    #[test]
+    fn ws_sim_correct_on_random_programs(
+        b in arb_block(),
+        p in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let dag = b.build();
+        let s = run_ws(&dag, p, seed);
+        prop_assert!(validate_schedule(&dag, &s.schedule).is_ok());
+        prop_assert_eq!(s.schedule.entries.len(), dag.len());
+    }
+
+    /// Determinism: the same seed replays the same execution.
+    #[test]
+    fn sim_deterministic(b in arb_block(), seed in 0u64..100) {
+        let dag = b.build();
+        let a = run_lhws(&dag, 4, seed);
+        let c = run_lhws(&dag, 4, seed);
+        prop_assert_eq!(a.rounds, c.rounds);
+        prop_assert_eq!(a.steal_attempts, c.steal_attempts);
+        prop_assert_eq!(a.schedule.entries, c.schedule.entries);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Text serialization roundtrips every random program exactly.
+    #[test]
+    fn serial_roundtrip(b in arb_block()) {
+        use lhws::dag::serial::{from_text, to_text};
+        let dag = b.build();
+        let back = from_text(&to_text(&dag)).expect("roundtrip parses");
+        prop_assert_eq!(back.len(), dag.len());
+        prop_assert_eq!(
+            Metrics::compute(&back),
+            Metrics::compute(&dag)
+        );
+        prop_assert_eq!(suspension_width(&back), suspension_width(&dag));
+    }
+
+    /// Both Spoonhower suspension-policy variants execute every random
+    /// program correctly (they differ in cost, not in correctness).
+    #[test]
+    fn suspend_policy_variants_correct(
+        b in arb_block(),
+        p in 1usize..6,
+        seed in 0u64..200,
+    ) {
+        use lhws::sim::{LhwsSim, SimConfig, SuspendPolicy};
+        let dag = b.build();
+        for policy in [SuspendPolicy::WholeDeque, SuspendPolicy::NewDequeOnResume] {
+            let s = LhwsSim::new(
+                &dag,
+                SimConfig::new(p).seed(seed).suspend_policy(policy),
+            )
+            .run();
+            prop_assert!(validate_schedule(&dag, &s.schedule).is_ok());
+            prop_assert_eq!(s.schedule.entries.len(), dag.len());
+        }
+    }
+
+    /// Corollary 1 (enabling span) on random programs at random P.
+    #[test]
+    fn enabling_span_bound_random(
+        b in arb_block(),
+        p in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        let dag = b.build();
+        let m = Metrics::compute(&dag);
+        let u = suspension_width(&dag);
+        let lg = if u <= 1 { 0 } else { 64 - (u - 1).leading_zeros() as u64 };
+        let s = run_lhws(&dag, p, seed);
+        let bound = (2 * m.span * (1 + lg)).max(m.span);
+        prop_assert!(
+            s.enabling_span <= bound,
+            "S*={} > bound {} (S={}, U={})",
+            s.enabling_span, bound, m.span, u
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deque semantics: Chase–Lev vs the mutex oracle.
+// ---------------------------------------------------------------------
+
+/// A single-threaded operation sequence applied to both deques must
+/// produce identical results (sequential semantics agreement).
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop,
+    Steal,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            any::<u32>().prop_map(Op::Push),
+            Just(Op::Pop),
+            Just(Op::Steal),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn chase_lev_matches_mutex_oracle(ops in arb_ops()) {
+        let (cw, cs) = WorkerHandle::<u32>::new(DequeKind::ChaseLev);
+        let (mw, ms) = WorkerHandle::<u32>::new(DequeKind::Mutex);
+        for op in &ops {
+            match op {
+                Op::Push(v) => {
+                    cw.push_bottom(*v);
+                    mw.push_bottom(*v);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(cw.pop_bottom(), mw.pop_bottom());
+                }
+                Op::Steal => {
+                    // Sequentially, Retry cannot occur.
+                    let a = match cs.steal() { Steal::Success(v) => Some(v), _ => None };
+                    let b = match ms.steal() { Steal::Success(v) => Some(v), _ => None };
+                    prop_assert_eq!(a, b);
+                }
+            }
+            prop_assert_eq!(cw.len(), mw.len());
+        }
+        // Drain both and compare the leftovers in owner order.
+        loop {
+            let a = cw.pop_bottom();
+            let b = mw.pop_bottom();
+            prop_assert_eq!(&a, &b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Concurrent deque linearization under randomized schedules.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Under concurrent owner traffic and two thieves, every pushed item
+    /// is obtained exactly once across pops and steals.
+    #[test]
+    fn concurrent_exactly_once(total in 1000usize..5000, burst in 1usize..8) {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let (w, s) = lhws::deque::chase_lev::deque::<usize>();
+        let done = Arc::new(AtomicBool::new(false));
+        let thieves: Vec<_> = (0..2)
+            .map(|_| {
+                let s = s.clone();
+                let done = done.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(v) => got.push(v),
+                            Steal::Retry => {}
+                            Steal::Empty => {
+                                if done.load(Ordering::Acquire) && s.is_empty() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+
+        let mut mine = Vec::new();
+        let mut next = 0;
+        while next < total {
+            for _ in 0..burst {
+                if next < total {
+                    w.push_bottom(next);
+                    next += 1;
+                }
+            }
+            if let Some(v) = w.pop_bottom() {
+                mine.push(v);
+            }
+        }
+        while let Some(v) = w.pop_bottom() {
+            mine.push(v);
+        }
+        done.store(true, Ordering::Release);
+
+        let mut all = mine;
+        for t in thieves {
+            all.extend(t.join().unwrap());
+        }
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..total).collect();
+        prop_assert_eq!(all, expect);
+    }
+}
