@@ -7,7 +7,9 @@
 
 use std::time::{Duration, Instant};
 
-use lhws_core::{par_map_reduce, simulate_latency, Config, LatencyMode, Runtime};
+use lhws_core::{
+    join_all, par_map_reduce, simulate_latency, Config, LatencyMode, Runtime, TimerKind,
+};
 
 /// Sequential naive Fibonacci — the paper's per-leaf computation
 /// (`fib(30)` in the original evaluation).
@@ -131,6 +133,149 @@ pub fn host_sweep() -> Vec<usize> {
         ps.push(max);
     }
     ps
+}
+
+// ---------------------------------------------------------------------
+// Resume-path benchmark (suspension-register/resume throughput).
+// ---------------------------------------------------------------------
+
+/// One measured configuration of the resume-path benchmark: `suspensions`
+/// register+resume round-trips through the given timer at `workers`
+/// workers, taking `elapsed` of wall clock in total.
+#[derive(Debug, Clone)]
+pub struct ResumeMeasurement {
+    /// Timer ablation point (`"wheel"` or `"heap"`).
+    pub timer: &'static str,
+    /// Worker-thread count.
+    pub workers: usize,
+    /// Total register+resume pairs driven through the timer.
+    pub suspensions: u64,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl ResumeMeasurement {
+    /// Register+resume pairs per second.
+    pub fn throughput(&self) -> f64 {
+        self.suspensions as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Display name of a [`TimerKind`] in benchmark output.
+pub fn timer_name(kind: TimerKind) -> &'static str {
+    match kind {
+        TimerKind::Wheel => "wheel",
+        TimerKind::Heap => "heap",
+    }
+}
+
+/// Builds a runtime configured for resume-path measurements.
+pub fn resume_rt(kind: TimerKind, workers: usize) -> Runtime {
+    Runtime::new(Config::default().workers(workers).timer_kind(kind).seed(7)).unwrap()
+}
+
+/// Drives one wave of `tasks` suspensions, each expiring `horizon` after
+/// its first poll: every task registers with the timer, deadlines land
+/// densely across the spawn window, and the wave completes when every
+/// resumed task has run. This is the suspension/resume hot path end to
+/// end — register, expire, batch-deliver, drain, reinject. (`horizon` is
+/// per-task, not a common absolute deadline: an absolute deadline in the
+/// past would complete without ever touching the timer.)
+pub fn resume_wave(rt: &Runtime, tasks: u64, horizon: Duration) {
+    rt.block_on(async move {
+        let hs: Vec<_> = (0..tasks)
+            .map(|_| {
+                lhws_core::spawn(async move {
+                    simulate_latency(horizon).await;
+                })
+            })
+            .collect();
+        join_all(hs).await;
+    });
+}
+
+/// Measures `rounds` waves of `tasks` suspensions on a fresh runtime and
+/// returns the aggregate measurement. Panics if the runtime's metrics
+/// disagree with the requested suspension count (a lost or duplicated
+/// resume would corrupt the benchmark silently otherwise).
+pub fn measure_resume(
+    kind: TimerKind,
+    workers: usize,
+    tasks: u64,
+    rounds: u64,
+    horizon: Duration,
+) -> ResumeMeasurement {
+    let rt = resume_rt(kind, workers);
+    resume_wave(&rt, tasks.min(512), horizon); // warm up workers and timer
+    let before = rt.metrics();
+    let t = Instant::now();
+    for _ in 0..rounds {
+        resume_wave(&rt, tasks, horizon);
+    }
+    let elapsed = t.elapsed();
+    let d = rt.metrics().since(&before);
+    assert_eq!(d.suspensions, tasks * rounds, "every task registered once");
+    assert_eq!(d.resumes, tasks * rounds, "every registration resumed once");
+    ResumeMeasurement {
+        timer: timer_name(kind),
+        workers,
+        suspensions: tasks * rounds,
+        elapsed,
+    }
+}
+
+/// Writes resume-path measurements as JSON (hand-rolled — the workspace
+/// builds offline, without serde). Includes the wheel/heap throughput
+/// ratio per worker count, which is the headline number: the wheel must
+/// be ≥2x at P≥8.
+pub fn write_bench_resume_json(
+    path: &std::path::Path,
+    mode: &str,
+    measurements: &[ResumeMeasurement],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"resume_path\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0)
+    ));
+    out.push_str("  \"measurements\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"timer\": \"{}\", \"workers\": {}, \"suspensions\": {}, \
+             \"elapsed_ns\": {}, \"throughput_per_sec\": {:.1}}}{}\n",
+            m.timer,
+            m.workers,
+            m.suspensions,
+            m.elapsed.as_nanos(),
+            m.throughput(),
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedup_wheel_over_heap\": [\n");
+    let mut pairs: Vec<(usize, f64)> = Vec::new();
+    for w in measurements.iter().filter(|m| m.timer == "wheel") {
+        if let Some(h) = measurements
+            .iter()
+            .find(|m| m.timer == "heap" && m.workers == w.workers)
+        {
+            pairs.push((w.workers, w.throughput() / h.throughput().max(1e-9)));
+        }
+    }
+    for (i, (p, x)) in pairs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {p}, \"speedup\": {x:.2}}}{}\n",
+            if i + 1 < pairs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    std::fs::write(path, out)
 }
 
 /// Re-exported for harness binaries.

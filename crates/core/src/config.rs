@@ -1,5 +1,7 @@
 //! Runtime configuration.
 
+use std::time::Duration;
+
 use lhws_deque::DequeKind;
 
 /// How the runtime treats latency-incurring operations.
@@ -30,6 +32,23 @@ pub enum StealPolicy {
     WorkerThenDeque,
 }
 
+/// Timer implementation used to track latency deadlines. Analogous to
+/// [`DequeKind`]: both variants implement the same protocol, so either can
+/// back a run; the choice only affects constant factors. Kept selectable
+/// for ablation benchmarks (`resume_path`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimerKind {
+    /// Sharded hierarchical timer wheel: per-shard fine-grained locks,
+    /// amortized O(1) insertion, and expirations delivered in per-worker
+    /// batches. The default.
+    #[default]
+    Wheel,
+    /// The original single-threaded binary-heap timer behind one global
+    /// mutex: O(log n) insertion, one delivery per expiration. Kept as the
+    /// ablation baseline.
+    Heap,
+}
+
 /// Configuration for [`crate::Runtime`]. Build with the fluent setters.
 #[derive(Debug, Clone, Copy)]
 pub struct Config {
@@ -55,6 +74,21 @@ pub struct Config {
     pub pfor_grain: usize,
     /// Seed for the per-worker victim-selection RNGs.
     pub seed: u64,
+    /// Timer implementation.
+    pub timer_kind: TimerKind,
+    /// Tick granularity of the timer wheel. Deadlines are rounded up to
+    /// the next tick boundary, so this bounds both resume latency slop and
+    /// the batching window: suspensions expiring within one tick of each
+    /// other are delivered together. Ignored by [`TimerKind::Heap`].
+    pub timer_tick: Duration,
+    /// Number of timer-wheel shards. `0` (the default) means one shard per
+    /// worker, which makes a worker's insertions contend only with
+    /// expirations of its own timers. Ignored by [`TimerKind::Heap`].
+    pub timer_shards: usize,
+    /// Maximum resume events delivered to a worker in one batch. Larger
+    /// batches amortize wake-up and locking cost; smaller ones reduce the
+    /// burst a single worker must absorb before its next steal check.
+    pub resume_batch_limit: usize,
 }
 
 impl Default for Config {
@@ -70,6 +104,10 @@ impl Default for Config {
             park_micros: 100,
             pfor_grain: 4,
             seed: 0x1A7E_11C1,
+            timer_kind: TimerKind::default(),
+            timer_tick: Duration::from_micros(50),
+            timer_shards: 0,
+            resume_batch_limit: 1024,
         }
     }
 }
@@ -122,6 +160,30 @@ impl Config {
         self.seed = s;
         self
     }
+
+    /// Sets the timer implementation.
+    pub fn timer_kind(mut self, k: TimerKind) -> Self {
+        self.timer_kind = k;
+        self
+    }
+
+    /// Sets the timer-wheel tick granularity (clamped to ≥ 1µs).
+    pub fn timer_tick(mut self, d: Duration) -> Self {
+        self.timer_tick = d.max(Duration::from_micros(1));
+        self
+    }
+
+    /// Sets the timer-wheel shard count (`0` = one shard per worker).
+    pub fn timer_shards(mut self, n: usize) -> Self {
+        self.timer_shards = n;
+        self
+    }
+
+    /// Sets the per-delivery resume batch limit.
+    pub fn resume_batch_limit(mut self, n: usize) -> Self {
+        self.resume_batch_limit = n.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +205,24 @@ mod tests {
         assert_eq!(c.workers, 1);
         assert_eq!(c.pfor_grain, 1);
         assert_eq!(c.park_micros, 1);
+    }
+
+    #[test]
+    fn timer_knobs() {
+        let c = Config::default();
+        assert_eq!(c.timer_kind, TimerKind::Wheel);
+        assert_eq!(c.timer_shards, 0);
+        assert!(c.resume_batch_limit >= 1);
+
+        let c = c
+            .timer_kind(TimerKind::Heap)
+            .timer_tick(Duration::ZERO)
+            .timer_shards(3)
+            .resume_batch_limit(0);
+        assert_eq!(c.timer_kind, TimerKind::Heap);
+        assert_eq!(c.timer_tick, Duration::from_micros(1));
+        assert_eq!(c.timer_shards, 3);
+        assert_eq!(c.resume_batch_limit, 1);
     }
 
     #[test]

@@ -44,11 +44,12 @@ mod latency;
 mod metrics;
 mod pfor;
 mod runtime;
+mod sleep;
 mod task;
 mod timer;
 mod worker;
 
-pub use config::{Config, LatencyMode, StealPolicy};
+pub use config::{Config, LatencyMode, StealPolicy, TimerKind};
 pub use external::{external_op, Canceled, Completer, ExternalOp};
 pub use join::JoinHandle;
 pub use latency::{latency_until, simulate_latency, LatencyFuture, LatencyProfile, RemoteService};

@@ -1,11 +1,37 @@
 //! Runtime metrics: relaxed atomic counters, cheap on the hot path.
+//!
+//! Counter bumps happen on every poll, steal attempt, suspension and
+//! resume, so they must not become a coherence bottleneck. [`Counters`]
+//! therefore holds one cache-padded [`CounterBlock`] **per worker** — a
+//! worker bumps only its own block, so counter traffic never bounces cache
+//! lines between cores — plus one shared block for bumps from off-worker
+//! threads (`Runtime::spawn` from user threads, tests). [`Counters::snapshot`]
+//! sums the blocks, so snapshot semantics are identical to a single shared
+//! block.
 
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Counters shared by all workers. All updates are `Relaxed`: metrics are
+/// Pads and aligns a value to 128 bytes — two x86-64 cache lines, covering
+/// the adjacent-line prefetcher — so per-worker counter blocks never share
+/// a cache line. (In-tree equivalent of `crossbeam_utils::CachePadded`.)
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub(crate) struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+/// One block of counters. All updates are `Relaxed`: metrics are
 /// diagnostics, not synchronization.
 #[derive(Debug, Default)]
-pub(crate) struct Counters {
+pub(crate) struct CounterBlock {
     pub polls: AtomicU64,
     pub tasks_spawned: AtomicU64,
     pub steals_attempted: AtomicU64,
@@ -16,9 +42,10 @@ pub(crate) struct Counters {
     pub resumes: AtomicU64,
     pub pfor_batches: AtomicU64,
     pub max_deques_per_worker: AtomicU64,
+    pub unparks: AtomicU64,
 }
 
-impl Counters {
+impl CounterBlock {
     #[inline]
     pub fn bump(&self, c: &AtomicU64) {
         c.fetch_add(1, Ordering::Relaxed);
@@ -29,25 +56,76 @@ impl Counters {
         self.max_deques_per_worker
             .fetch_max(live, Ordering::Relaxed);
     }
+}
+
+/// All runtime counters: a shared block plus cache-padded per-worker
+/// blocks. Derefs to the shared block so counter fields remain directly
+/// addressable (`counters.polls`) for off-worker bumps and tests.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    shared: CounterBlock,
+    per_worker: Box<[CachePadded<CounterBlock>]>,
+}
+
+impl Deref for Counters {
+    type Target = CounterBlock;
+    fn deref(&self) -> &CounterBlock {
+        &self.shared
+    }
+}
+
+impl Counters {
+    /// Creates counters with one padded block per worker.
+    pub fn with_workers(p: usize) -> Self {
+        Counters {
+            shared: CounterBlock::default(),
+            per_worker: (0..p).map(|_| CachePadded::default()).collect(),
+        }
+    }
+
+    /// The counter block owned by worker `i` — bump through this on worker
+    /// hot paths so the update stays core-local.
+    #[inline]
+    pub fn worker(&self, i: usize) -> &CounterBlock {
+        &self.per_worker[i]
+    }
+
+    fn sum(&self, pick: impl Fn(&CounterBlock) -> &AtomicU64) -> u64 {
+        let mut total = pick(&self.shared).load(Ordering::Relaxed);
+        for block in self.per_worker.iter() {
+            total += pick(block).load(Ordering::Relaxed);
+        }
+        total
+    }
+
+    fn max(&self, pick: impl Fn(&CounterBlock) -> &AtomicU64) -> u64 {
+        let mut best = pick(&self.shared).load(Ordering::Relaxed);
+        for block in self.per_worker.iter() {
+            best = best.max(pick(block).load(Ordering::Relaxed));
+        }
+        best
+    }
 
     pub fn snapshot(&self) -> Metrics {
         Metrics {
-            polls: self.polls.load(Ordering::Relaxed),
-            tasks_spawned: self.tasks_spawned.load(Ordering::Relaxed),
-            steals_attempted: self.steals_attempted.load(Ordering::Relaxed),
-            steals_succeeded: self.steals_succeeded.load(Ordering::Relaxed),
-            deque_switches: self.deque_switches.load(Ordering::Relaxed),
-            deques_allocated: self.deques_allocated.load(Ordering::Relaxed),
-            suspensions: self.suspensions.load(Ordering::Relaxed),
-            resumes: self.resumes.load(Ordering::Relaxed),
-            pfor_batches: self.pfor_batches.load(Ordering::Relaxed),
-            max_deques_per_worker: self.max_deques_per_worker.load(Ordering::Relaxed),
+            polls: self.sum(|b| &b.polls),
+            tasks_spawned: self.sum(|b| &b.tasks_spawned),
+            steals_attempted: self.sum(|b| &b.steals_attempted),
+            steals_succeeded: self.sum(|b| &b.steals_succeeded),
+            deque_switches: self.sum(|b| &b.deque_switches),
+            deques_allocated: self.sum(|b| &b.deques_allocated),
+            suspensions: self.sum(|b| &b.suspensions),
+            resumes: self.sum(|b| &b.resumes),
+            pfor_batches: self.sum(|b| &b.pfor_batches),
+            max_deques_per_worker: self.max(|b| &b.max_deques_per_worker),
+            unparks: self.sum(|b| &b.unparks),
         }
     }
 }
 
 /// A point-in-time snapshot of the runtime's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct Metrics {
     /// Task polls performed (≥ task count; re-polls after suspension add).
     pub polls: u64,
@@ -70,25 +148,29 @@ pub struct Metrics {
     /// Maximum live (non-freed) deques any worker owned at once
     /// (Lemma 7: ≤ U + 1).
     pub max_deques_per_worker: u64,
+    /// Worker unparks issued by the sleeper set (one per injected task or
+    /// resume batch at most — never a broadcast).
+    pub unparks: u64,
 }
 
 impl Metrics {
     /// Difference between two snapshots (per-run metrics from a long-lived
     /// runtime).
     pub fn since(&self, earlier: &Metrics) -> Metrics {
-        Metrics {
-            polls: self.polls - earlier.polls,
-            tasks_spawned: self.tasks_spawned - earlier.tasks_spawned,
-            steals_attempted: self.steals_attempted - earlier.steals_attempted,
-            steals_succeeded: self.steals_succeeded - earlier.steals_succeeded,
-            deque_switches: self.deque_switches - earlier.deque_switches,
-            deques_allocated: self.deques_allocated - earlier.deques_allocated,
-            suspensions: self.suspensions - earlier.suspensions,
-            resumes: self.resumes - earlier.resumes,
-            pfor_batches: self.pfor_batches - earlier.pfor_batches,
-            // Max is global, not differentiable; keep the later value.
-            max_deques_per_worker: self.max_deques_per_worker,
-        }
+        let mut m = *self;
+        m.polls = self.polls - earlier.polls;
+        m.tasks_spawned = self.tasks_spawned - earlier.tasks_spawned;
+        m.steals_attempted = self.steals_attempted - earlier.steals_attempted;
+        m.steals_succeeded = self.steals_succeeded - earlier.steals_succeeded;
+        m.deque_switches = self.deque_switches - earlier.deque_switches;
+        m.deques_allocated = self.deques_allocated - earlier.deques_allocated;
+        m.suspensions = self.suspensions - earlier.suspensions;
+        m.resumes = self.resumes - earlier.resumes;
+        m.pfor_batches = self.pfor_batches - earlier.pfor_batches;
+        // Max is global, not differentiable; keep the later value.
+        m.max_deques_per_worker = self.max_deques_per_worker;
+        m.unparks = self.unparks - earlier.unparks;
+        m
     }
 }
 
@@ -127,5 +209,24 @@ mod tests {
         c.bump(&c.polls);
         let b = c.snapshot();
         assert_eq!(b.since(&a).polls, 2);
+    }
+
+    #[test]
+    fn per_worker_blocks_aggregate() {
+        let c = Counters::with_workers(4);
+        for i in 0..4 {
+            c.worker(i).bump(&c.worker(i).polls);
+        }
+        c.bump(&c.polls); // shared block
+        assert_eq!(c.snapshot().polls, 5);
+        c.worker(2).observe_deques(9);
+        c.observe_deques(3);
+        assert_eq!(c.snapshot().max_deques_per_worker, 9);
+    }
+
+    #[test]
+    fn counter_blocks_are_padded() {
+        assert_eq!(std::mem::align_of::<CachePadded<CounterBlock>>(), 128);
+        assert!(std::mem::size_of::<CachePadded<CounterBlock>>().is_multiple_of(128));
     }
 }

@@ -1,22 +1,33 @@
 //! The runtime: worker threads, the global deque registry, the injector,
 //! and the timer, assembled into a public [`Runtime`] handle.
 
+use std::collections::VecDeque;
 use std::future::Future;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::thread::{JoinHandle as ThreadHandle, Thread};
+use std::thread::JoinHandle as ThreadHandle;
 
-use crossbeam::channel::{unbounded, Sender};
-use crossbeam::queue::SegQueue;
 use lhws_deque::{DequeId, Registry};
 use parking_lot::{Condvar, Mutex};
 
 use crate::config::Config;
 use crate::join::{CatchUnwind, JoinCell, JoinHandle, PanicPayload};
-use crate::metrics::{Counters, Metrics};
+use crate::metrics::{CachePadded, Counters, Metrics};
+use crate::sleep::Sleepers;
 use crate::task::{Task, TaskRef};
 use crate::timer::{ResumeEvent, ResumeSink, Timer};
 use crate::worker::{self, Worker};
+
+/// A worker's resume inbox: expirations and external completions queue
+/// here until the worker drains them. Batches move through it by vector
+/// swap — a delivery hands its whole `Vec` over when the inbox is empty,
+/// and a drain swaps the accumulated vector out — so the mutex is held
+/// for O(1) on both sides of the common case. Cache-padded: inboxes sit
+/// in an array and are touched by different threads.
+#[derive(Default)]
+struct Inbox {
+    queue: Mutex<Vec<ResumeEvent>>,
+}
 
 /// Shared runtime internals.
 pub(crate) struct RtInner {
@@ -25,23 +36,23 @@ pub(crate) struct RtInner {
     /// The global deque registry (`gDeques` + `gTotalDeques`).
     pub registry: Registry<TaskRef>,
     /// External submissions and off-runtime wake-ups.
-    injector: SegQueue<TaskRef>,
-    /// Per-worker resume inboxes (sender side; receivers live in workers).
-    inboxes: Vec<Sender<ResumeEvent>>,
-    /// Worker `Thread` handles for unparking, registered at startup.
-    threads: Mutex<Vec<Option<Thread>>>,
+    injector: Mutex<VecDeque<TaskRef>>,
+    /// Per-worker resume inboxes.
+    inboxes: Box<[CachePadded<Inbox>]>,
+    /// Which workers are parked; wakes at most one per event.
+    pub sleepers: Sleepers,
     /// Shutdown flag checked by every worker iteration.
     shutdown: AtomicBool,
-    /// The timer thread handle (set right after construction).
-    timer: OnceLock<Arc<Timer>>,
-    /// Metrics counters.
+    /// The timer (set right after construction).
+    timer: OnceLock<Timer>,
+    /// Metrics counters (shared block + per-worker padded blocks).
     pub counters: Counters,
     /// Advertised stealable deques per worker (WorkerThenDeque policy).
     pub shared_steal: Vec<Mutex<Vec<DequeId>>>,
 }
 
 impl RtInner {
-    pub fn timer(&self) -> &Arc<Timer> {
+    pub fn timer(&self) -> &Timer {
         self.timer.get().expect("timer started in Runtime::new")
     }
 
@@ -49,59 +60,80 @@ impl RtInner {
         self.shutdown.load(Ordering::Acquire)
     }
 
-    /// Pushes an external task/wake-up and wakes a worker.
+    /// Pushes an external task/wake-up and wakes **at most one** parked
+    /// worker — an awake worker will find the task by polling the
+    /// injector, and waking more than one per task is a thundering herd.
     pub fn inject(&self, task: TaskRef) {
-        self.injector.push(task);
-        self.unpark_all();
+        self.injector.lock().push_back(task);
+        if self.sleepers.unpark_one() {
+            self.counters.bump(&self.counters.unparks);
+        }
     }
 
     pub fn pop_injected(&self) -> Option<TaskRef> {
-        self.injector.pop()
+        self.injector.lock().pop_front()
     }
 
-    pub fn register_thread(&self, index: usize) {
-        self.threads.lock()[index] = Some(std::thread::current());
+    /// True if the injector holds work (workers re-check this between
+    /// `Sleepers::prepare_park` and parking).
+    pub fn injector_nonempty(&self) -> bool {
+        !self.injector.lock().is_empty()
     }
 
-    pub fn unpark_worker(&self, index: usize) {
-        if let Some(t) = &self.threads.lock()[index] {
-            t.unpark();
+    /// Moves the whole accumulated batch of worker `worker`'s inbox into
+    /// `into` (which must be empty) by vector swap.
+    pub fn drain_inbox(&self, worker: usize, into: &mut Vec<ResumeEvent>) {
+        debug_assert!(into.is_empty());
+        let mut q = self.inboxes[worker].queue.lock();
+        if !q.is_empty() {
+            std::mem::swap(&mut *q, into);
         }
     }
 
-    pub fn unpark_all(&self) {
-        for t in self.threads.lock().iter().flatten() {
-            t.unpark();
-        }
+    /// True if worker `worker`'s inbox holds events.
+    pub fn inbox_nonempty(&self, worker: usize) -> bool {
+        !self.inboxes[worker].queue.lock().is_empty()
     }
-}
 
-impl RtInner {
-    /// Routes a resume event to a worker's inbox (the paper's
-    /// `callback(v, q)` delivery). Used by the timer and by external
-    /// completions.
+    /// Routes a single resume event to a worker's inbox (the paper's
+    /// `callback(v, q)`). Used by external completions, which arrive one
+    /// at a time; timer expirations go through [`ResumeSink`] in batches.
     pub fn deliver_resume(&self, worker: usize, event: ResumeEvent) {
-        // A send can only fail at shutdown, when the receiver is gone; the
-        // task is then dropped with the runtime.
-        let _ = self.inboxes[worker].send(event);
-        self.unpark_worker(worker);
+        self.inboxes[worker].queue.lock().push(event);
+        if self.sleepers.unpark_worker(worker) {
+            self.counters.bump(&self.counters.unparks);
+        }
     }
 }
 
 impl ResumeSink for RtInner {
-    fn deliver(&self, worker: usize, event: ResumeEvent) {
-        self.deliver_resume(worker, event);
+    fn deliver_batch(&self, worker: usize, mut events: Vec<ResumeEvent>) {
+        debug_assert!(!events.is_empty());
+        {
+            let mut q = self.inboxes[worker].queue.lock();
+            if q.is_empty() {
+                // Common case: hand the delivered vector over wholesale.
+                std::mem::swap(&mut *q, &mut events);
+            } else {
+                q.append(&mut events);
+            }
+        }
+        // One unpark for the whole batch, and only if the worker is
+        // actually parked.
+        if self.sleepers.unpark_worker(worker) {
+            self.counters.bump(&self.counters.unparks);
+        }
     }
 }
 
 /// A latency-hiding work-stealing runtime.
 ///
-/// Dropping the runtime shuts it down: workers and the timer thread are
-/// joined. Tasks still pending at shutdown are dropped.
+/// Dropping the runtime shuts it down: workers and the timer thread(s)
+/// are joined. Tasks still pending at shutdown are dropped.
 pub struct Runtime {
     inner: Arc<RtInner>,
     workers: Vec<ThreadHandle<()>>,
-    timer_thread: Option<ThreadHandle<()>>,
+    timer_threads: Vec<ThreadHandle<()>>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -109,6 +141,7 @@ impl std::fmt::Debug for Runtime {
         f.debug_struct("Runtime")
             .field("workers", &self.inner.config.workers)
             .field("mode", &self.inner.config.mode)
+            .field("timer", &self.inner.config.timer_kind)
             .finish_non_exhaustive()
     }
 }
@@ -134,34 +167,27 @@ impl Runtime {
     /// Starts a runtime with the given configuration.
     pub fn new(config: Config) -> Result<Runtime, RuntimeError> {
         let p = config.workers;
-        let mut inbox_senders = Vec::with_capacity(p);
-        let mut inbox_receivers = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = unbounded();
-            inbox_senders.push(tx);
-            inbox_receivers.push(rx);
-        }
         let inner = Arc::new(RtInner {
             config,
             registry: Registry::with_capacity(config.registry_capacity),
-            injector: SegQueue::new(),
-            inboxes: inbox_senders,
-            threads: Mutex::new(vec![None; p]),
+            injector: Mutex::new(VecDeque::new()),
+            inboxes: (0..p).map(|_| CachePadded::default()).collect(),
+            sleepers: Sleepers::new(p),
             shutdown: AtomicBool::new(false),
             timer: OnceLock::new(),
-            counters: Counters::default(),
+            counters: Counters::with_workers(p),
             shared_steal: (0..p).map(|_| Mutex::new(Vec::new())).collect(),
         });
 
-        let (timer, timer_thread) = Timer::start(inner.clone() as Arc<dyn ResumeSink>);
+        let (timer, timer_threads) = Timer::start(&config, inner.clone() as Arc<dyn ResumeSink>);
         inner
             .timer
             .set(timer)
             .unwrap_or_else(|_| unreachable!("timer set once"));
 
         let mut workers = Vec::with_capacity(p);
-        for (i, rx) in inbox_receivers.into_iter().enumerate() {
-            let w = Worker::new(inner.clone(), i, rx);
+        for i in 0..p {
+            let w = Worker::new(inner.clone(), i);
             let handle = std::thread::Builder::new()
                 .name(format!("lhws-worker-{i}"))
                 .spawn(move || w.run())
@@ -172,7 +198,7 @@ impl Runtime {
         Ok(Runtime {
             inner,
             workers,
-            timer_thread: Some(timer_thread),
+            timer_threads,
         })
     }
 
@@ -199,7 +225,8 @@ impl Runtime {
         if let Some(cur) = worker::current_runtime() {
             assert!(
                 !Arc::ptr_eq(&cur, &self.inner),
-                "Runtime::block_on called from one of this runtime's own                  worker threads; this would deadlock — use spawn instead"
+                "Runtime::block_on called from one of this runtime's own worker threads; \
+                 this would deadlock — use spawn instead"
             );
         }
         struct BlockCell<T> {
@@ -251,11 +278,11 @@ impl Drop for Runtime {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
         self.inner.timer().shutdown();
-        self.inner.unpark_all();
+        self.inner.sleepers.unpark_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        if let Some(t) = self.timer_thread.take() {
+        for t in self.timer_threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -273,9 +300,11 @@ where
         let result = CatchUnwind::new(fut).await;
         c2.complete(result);
     };
-    rt.counters.bump(&rt.counters.tasks_spawned);
     let task = Task::new_queued(Arc::downgrade(rt), Box::pin(body));
-    if !worker::enqueue_local_if_same_runtime(rt, &task) {
+    // The local path bumps the worker's own counter block inside the TLS
+    // access; only the injector path touches the shared block.
+    if !worker::enqueue_local_if_same_runtime(rt, &task, true) {
+        rt.counters.bump(&rt.counters.tasks_spawned);
         rt.inject(task);
     }
     JoinHandle::new(cell)

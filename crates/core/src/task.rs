@@ -218,7 +218,7 @@ fn deliver(task: TaskRef) {
         // Runtime shut down; drop the task.
         return;
     };
-    if worker::enqueue_local_if_same_runtime(&rt, &task) {
+    if worker::enqueue_local_if_same_runtime(&rt, &task, false) {
         return;
     }
     rt.inject(task);

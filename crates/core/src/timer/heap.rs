@@ -1,0 +1,184 @@
+//! The original timer: one thread, one mutex, one binary heap.
+//!
+//! Kept as the [`TimerKind::Heap`](crate::config::TimerKind::Heap)
+//! ablation baseline for the sharded wheel in [`super::wheel`]. Every
+//! registration takes the single global lock (O(log n) heap push) and
+//! every expiration is delivered as its own singleton batch, so at scale
+//! both the lock and the per-event delivery cost show up clearly against
+//! the wheel.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use super::{ResumeEvent, ResumeSink, TimerEntry};
+
+struct HeapEntry {
+    deadline: Instant,
+    seq: u64,
+    entry: TimerEntry,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+#[derive(Default)]
+struct TimerState {
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    seq: u64,
+    shutdown: bool,
+}
+
+/// Global-mutex binary-heap timer (the ablation baseline).
+pub(crate) struct HeapTimer {
+    state: Mutex<TimerState>,
+    cond: Condvar,
+}
+
+impl HeapTimer {
+    /// Creates the timer and spawns its thread, delivering into `sink`.
+    pub fn start(sink: Arc<dyn ResumeSink>) -> (Arc<HeapTimer>, std::thread::JoinHandle<()>) {
+        let timer = Arc::new(HeapTimer {
+            state: Mutex::new(TimerState::default()),
+            cond: Condvar::new(),
+        });
+        let t2 = timer.clone();
+        let handle = std::thread::Builder::new()
+            .name("lhws-timer".into())
+            .spawn(move || t2.run(sink))
+            .expect("spawn timer thread");
+        (timer, handle)
+    }
+
+    /// Registers a latency expiration.
+    pub fn register(&self, entry: TimerEntry) {
+        let mut s = self.state.lock();
+        let seq = s.seq;
+        s.seq += 1;
+        s.heap.push(Reverse(HeapEntry {
+            deadline: entry.deadline,
+            seq,
+            entry,
+        }));
+        drop(s);
+        self.cond.notify_one();
+    }
+
+    /// Signals the timer thread to exit.
+    pub fn shutdown(&self) {
+        self.state.lock().shutdown = true;
+        self.cond.notify_one();
+    }
+
+    fn run(&self, sink: Arc<dyn ResumeSink>) {
+        let mut s = self.state.lock();
+        loop {
+            if s.shutdown {
+                return;
+            }
+            match s.heap.peek() {
+                None => {
+                    self.cond.wait(&mut s);
+                }
+                Some(Reverse(top)) => {
+                    let now = Instant::now();
+                    if top.deadline <= now {
+                        let Reverse(he) = s.heap.pop().expect("peeked");
+                        // Deliver without holding the lock: the sink may
+                        // unpark threads or take inbox locks.
+                        drop(s);
+                        sink.deliver_batch(
+                            he.entry.worker,
+                            vec![ResumeEvent {
+                                task: he.entry.task,
+                                local_deque: he.entry.local_deque,
+                            }],
+                        );
+                        s = self.state.lock();
+                    } else {
+                        let deadline = top.deadline;
+                        self.cond.wait_until(&mut s, deadline);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn delivers_in_deadline_order() {
+        let sink = CollectSink::new();
+        let (timer, handle) = HeapTimer::start(sink.clone());
+        let now = Instant::now();
+        timer.register(entry(now + Duration::from_millis(30), 2, 20));
+        timer.register(entry(now + Duration::from_millis(10), 1, 10));
+        wait_for_events(&sink, 2, 2);
+        {
+            let got = sink.events.lock();
+            assert_eq!(got.as_slice(), &[(1, 10), (2, 20)]);
+        }
+        timer.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn past_deadline_fires_immediately() {
+        let sink = CollectSink::new();
+        let (timer, handle) = HeapTimer::start(sink.clone());
+        timer.register(entry(Instant::now() - Duration::from_millis(5), 0, 0));
+        wait_for_events(&sink, 1, 2);
+        assert_eq!(sink.total_events(), 1);
+        timer.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_unblocks_empty_wait() {
+        let sink = CollectSink::new();
+        let (timer, handle) = HeapTimer::start(sink);
+        std::thread::sleep(Duration::from_millis(10));
+        timer.shutdown();
+        handle.join().unwrap(); // must not hang
+    }
+
+    #[test]
+    fn many_timers_all_fire() {
+        let sink = CollectSink::new();
+        let (timer, handle) = HeapTimer::start(sink.clone());
+        let now = Instant::now();
+        for i in 0..50 {
+            timer.register(entry(
+                now + Duration::from_millis(5 + (i % 7)),
+                i as usize,
+                0,
+            ));
+        }
+        wait_for_events(&sink, 50, 2);
+        assert_eq!(sink.total_events(), 50);
+        timer.shutdown();
+        handle.join().unwrap();
+    }
+}

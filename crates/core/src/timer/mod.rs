@@ -1,0 +1,179 @@
+//! The timer substrate: delivers latency expirations.
+//!
+//! The paper's model assumes an external world (remote servers, users,
+//! storage) that makes suspended vertices ready again after their latency.
+//! This module is that world's stand-in, realized with the "polling in a
+//! separate (system) thread" option the paper's §3 footnote describes.
+//! Expirations are routed to the worker owning the suspended task's deque
+//! — the paper's `callback(v, q)` — in **batches**: all of a worker's
+//! expirations that fall due together arrive as one [`Vec<ResumeEvent>`],
+//! so the worker pays one inbox transfer and one wake-up per burst instead
+//! of per suspension, and can build a single pfor reinjection tree over
+//! the burst.
+//!
+//! Two interchangeable implementations exist (selected by
+//! [`TimerKind`](crate::config::TimerKind)):
+//!
+//! * [`wheel`] — the default: a sharded hierarchical timer wheel with
+//!   per-shard locks, amortized O(1) insertion, and per-(worker, tick)
+//!   batch delivery.
+//! * [`heap`] — the original global-mutex binary heap, kept as the
+//!   ablation baseline; it delivers singleton batches.
+
+mod heap;
+mod wheel;
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::config::{Config, TimerKind};
+use crate::task::TaskRef;
+
+pub(crate) use heap::HeapTimer;
+pub(crate) use wheel::WheelTimer;
+
+/// A latency expiration to deliver.
+#[derive(Debug)]
+pub(crate) struct TimerEntry {
+    /// When the latency expires.
+    pub deadline: Instant,
+    /// Worker owning the deque the task suspended on.
+    pub worker: usize,
+    /// The suspended task.
+    pub task: TaskRef,
+    /// The owner's local index of that deque.
+    pub local_deque: usize,
+}
+
+/// Resume event delivered to a worker inbox: the paper's `callback(v, q)`
+/// arguments.
+#[derive(Debug)]
+pub(crate) struct ResumeEvent {
+    /// The resumed task (`v`).
+    pub task: TaskRef,
+    /// The owner's local index of the deque it belongs to (`q`).
+    pub local_deque: usize,
+}
+
+/// Where the timer delivers expirations. Provided by the runtime.
+pub(crate) trait ResumeSink: Send + Sync + 'static {
+    /// Delivers a non-empty batch of events to worker `worker`'s inbox and
+    /// wakes it (at most one unpark for the whole batch).
+    fn deliver_batch(&self, worker: usize, events: Vec<ResumeEvent>);
+}
+
+/// Handle to the configured timer implementation. Cloning shares the
+/// underlying timer.
+#[derive(Clone)]
+pub(crate) enum Timer {
+    /// Global-mutex binary heap (ablation baseline).
+    Heap(Arc<HeapTimer>),
+    /// Sharded hierarchical timer wheel (default).
+    Wheel(Arc<WheelTimer>),
+}
+
+impl Timer {
+    /// Creates the timer selected by `config` and spawns its thread(s),
+    /// delivering into `sink`. The returned handles must be joined after
+    /// [`Timer::shutdown`].
+    pub fn start(config: &Config, sink: Arc<dyn ResumeSink>) -> (Timer, Vec<JoinHandle<()>>) {
+        match config.timer_kind {
+            TimerKind::Heap => {
+                let (t, h) = HeapTimer::start(sink);
+                (Timer::Heap(t), vec![h])
+            }
+            TimerKind::Wheel => {
+                let shards = if config.timer_shards == 0 {
+                    config.workers
+                } else {
+                    config.timer_shards
+                };
+                let (t, hs) =
+                    WheelTimer::start(shards, config.timer_tick, config.resume_batch_limit, sink);
+                (Timer::Wheel(t), hs)
+            }
+        }
+    }
+
+    /// Registers a latency expiration.
+    pub fn register(&self, entry: TimerEntry) {
+        match self {
+            Timer::Heap(t) => t.register(entry),
+            Timer::Wheel(t) => t.register(entry),
+        }
+    }
+
+    /// Signals the timer thread(s) to exit. Entries still pending are
+    /// dropped.
+    pub fn shutdown(&self) {
+        match self {
+            Timer::Heap(t) => t.shutdown(),
+            Timer::Wheel(t) => t.shutdown(),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared helpers for heap/wheel timer tests.
+
+    use super::*;
+    use parking_lot::Mutex;
+
+    /// Records delivered batches: `(worker, events, batch_len)` per event,
+    /// plus the batch boundaries.
+    pub struct CollectSink {
+        /// One `(worker, local_deque)` per delivered event, in order.
+        pub events: Mutex<Vec<(usize, usize)>>,
+        /// One `(worker, len)` per delivered batch, in order.
+        pub batches: Mutex<Vec<(usize, usize)>>,
+    }
+
+    impl CollectSink {
+        pub fn new() -> Arc<Self> {
+            Arc::new(CollectSink {
+                events: Mutex::new(Vec::new()),
+                batches: Mutex::new(Vec::new()),
+            })
+        }
+
+        pub fn total_events(&self) -> usize {
+            self.events.lock().len()
+        }
+    }
+
+    impl ResumeSink for CollectSink {
+        fn deliver_batch(&self, worker: usize, events: Vec<ResumeEvent>) {
+            assert!(!events.is_empty(), "empty batch delivered");
+            self.batches.lock().push((worker, events.len()));
+            let mut got = self.events.lock();
+            for e in events {
+                got.push((worker, e.local_deque));
+            }
+        }
+    }
+
+    pub fn dummy_task() -> TaskRef {
+        use crate::task::{BoxFuture, Task};
+        let fut: BoxFuture = Box::pin(async {});
+        Task::new_queued(std::sync::Weak::new(), fut)
+    }
+
+    pub fn entry(deadline: Instant, worker: usize, local_deque: usize) -> TimerEntry {
+        TimerEntry {
+            deadline,
+            worker,
+            task: dummy_task(),
+            local_deque,
+        }
+    }
+
+    /// Polls until `sink` has `n` events or `secs` elapse.
+    pub fn wait_for_events(sink: &CollectSink, n: usize, secs: u64) {
+        let deadline = Instant::now() + std::time::Duration::from_secs(secs);
+        while sink.total_events() < n && Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+}

@@ -17,27 +17,39 @@
 //! Suspensions: a latency future calls [`register_latency`] during its
 //! poll, which books a timer entry against the current (worker, active
 //! deque) pair and marks the poll as suspending; after the poll the worker
-//! increments the deque's `suspendCtr`. When the timer fires, a
-//! [`ResumeEvent`] arrives in this worker's inbox; draining it is the
-//! paper's `callback(v, q)`, and the batched reinjection through a pfor
-//! task is `addResumedVertices()`.
+//! increments the deque's `suspendCtr`. When the timer fires, the whole
+//! burst of this worker's expirations arrives in its inbox as **one batch
+//! of [`ResumeEvent`]s**; draining it is the paper's `callback(v, q)` for
+//! every event, and the batched reinjection through a pfor task is
+//! `addResumedVertices()`.
+//!
+//! Hot-path discipline: a poll costs one TLS access (install current task,
+//! poll, read back the suspend count — all under a single `TLS.with`), and
+//! counters are bumped on the worker's own cache-padded block.
 
 use std::cell::{Cell, RefCell};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::Receiver;
-use lhws_deque::{DequeId, WorkerHandle};
+use lhws_deque::{DequeId, Steal, WorkerHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{LatencyMode, StealPolicy};
+use crate::metrics::CounterBlock;
 use crate::runtime::RtInner;
 use crate::task::{Task, TaskRef};
 use crate::timer::{ResumeEvent, TimerEntry};
 
 /// Sentinel for "no active deque" in the TLS cell.
 const NO_DEQUE: usize = usize::MAX;
+
+/// How many times a steal attempt re-tries the same deque when the
+/// underlying pop-top reports a benign race ([`Steal::Retry`]) before
+/// giving the attempt up. Retrying the same victim a few times is cheaper
+/// than a fresh random victim draw while the race window is tiny; an
+/// unbounded loop could livelock against a fast owner.
+const STEAL_RETRIES: usize = 4;
 
 /// Thread-local context installed on worker threads.
 struct WorkerTls {
@@ -57,12 +69,22 @@ thread_local! {
 }
 
 /// If the current thread is a worker of `rt`, buffer `task` for its active
-/// deque and return true.
-pub(crate) fn enqueue_local_if_same_runtime(rt: &Arc<RtInner>, task: &TaskRef) -> bool {
+/// deque and return true. Used for both wake-up requeues and fresh
+/// spawns; `bump_spawned` distinguishes them so the worker-local
+/// `tasks_spawned` counter only counts the latter.
+pub(crate) fn enqueue_local_if_same_runtime(
+    rt: &Arc<RtInner>,
+    task: &TaskRef,
+    bump_spawned: bool,
+) -> bool {
     TLS.with(|t| {
         let borrow = t.borrow();
         match &*borrow {
             Some(tls) if std::ptr::eq(tls.rt.as_ptr(), Arc::as_ptr(rt)) => {
+                if bump_spawned {
+                    let c = rt.counters.worker(tls.index);
+                    c.bump(&c.tasks_spawned);
+                }
                 tls.pending_local.borrow_mut().push(task.clone());
                 true
             }
@@ -120,7 +142,8 @@ pub(crate) fn register_latency(deadline: Instant) -> bool {
             local_deque,
         });
         tls.suspend_count.set(tls.suspend_count.get() + 1);
-        rt.counters.bump(&rt.counters.suspensions);
+        let c = rt.counters.worker(tls.index);
+        c.bump(&c.suspensions);
         true
     })
 }
@@ -152,7 +175,8 @@ pub(crate) fn register_external() -> Option<ExternalRegistration> {
             return None;
         }
         tls.suspend_count.set(tls.suspend_count.get() + 1);
-        rt.counters.bump(&rt.counters.suspensions);
+        let c = rt.counters.worker(tls.index);
+        c.bump(&c.suspensions);
         Some(ExternalRegistration {
             rt: tls.rt.clone(),
             worker: tls.index,
@@ -178,7 +202,6 @@ struct OwnedDeque {
 pub(crate) struct Worker {
     rt: Arc<RtInner>,
     index: usize,
-    inbox: Receiver<ResumeEvent>,
     owned: Vec<OwnedDeque>,
     active: Option<usize>,
     ready: std::collections::VecDeque<usize>,
@@ -187,10 +210,17 @@ pub(crate) struct Worker {
     live_deques: u64,
     assigned: Option<TaskRef>,
     rng: StdRng,
+    /// Reused buffer for inbox batch drains (swap target).
+    inbox_scratch: Vec<ResumeEvent>,
+    /// Last-published advertisement; skipping identical publishes keeps
+    /// the hot loop off the shared_steal mutex.
+    advertised: Vec<DequeId>,
+    /// Reused build buffer for [`Worker::advertise`].
+    adv_scratch: Vec<DequeId>,
 }
 
 impl Worker {
-    pub fn new(rt: Arc<RtInner>, index: usize, inbox: Receiver<ResumeEvent>) -> Self {
+    pub fn new(rt: Arc<RtInner>, index: usize) -> Self {
         let seed = rt
             .config
             .seed
@@ -198,7 +228,6 @@ impl Worker {
         Worker {
             rt,
             index,
-            inbox,
             owned: Vec::new(),
             active: None,
             ready: std::collections::VecDeque::new(),
@@ -207,13 +236,22 @@ impl Worker {
             live_deques: 0,
             assigned: None,
             rng: StdRng::seed_from_u64(seed),
+            inbox_scratch: Vec::new(),
+            advertised: Vec::new(),
+            adv_scratch: Vec::new(),
         }
+    }
+
+    /// This worker's cache-padded counter block.
+    #[inline]
+    fn ctr(&self) -> &CounterBlock {
+        self.rt.counters.worker(self.index)
     }
 
     /// Runs the scheduling loop until shutdown.
     pub fn run(mut self) {
         self.install_tls();
-        self.rt.register_thread(self.index);
+        self.rt.sleepers.register(self.index);
         // Line 26: every worker starts with an empty active deque.
         let q = self.new_deque();
         self.activate(q);
@@ -241,16 +279,16 @@ impl Worker {
         self.release_active_if_empty();
         if self.active.is_none() {
             if let Some(q) = self.pop_ready() {
-                self.rt.counters.bump(&self.rt.counters.deque_switches);
+                self.ctr().bump(&self.ctr().deque_switches);
                 self.activate(q);
             } else if let Some(task) = self.rt.pop_injected() {
                 self.assigned = Some(task);
                 let q = self.new_deque();
                 self.activate(q);
             } else {
-                self.rt.counters.bump(&self.rt.counters.steals_attempted);
+                self.ctr().bump(&self.ctr().steals_attempted);
                 if let Some(task) = self.try_steal() {
-                    self.rt.counters.bump(&self.rt.counters.steals_succeeded);
+                    self.ctr().bump(&self.ctr().steals_succeeded);
                     self.assigned = Some(task);
                     let q = self.new_deque();
                     self.activate(q);
@@ -265,10 +303,26 @@ impl Worker {
             }
         }
         if self.assigned.is_none() && self.active.is_none() && self.ready.is_empty() {
-            // Nothing to do: park briefly. Events (inbox/injector) unpark
-            // us; the timeout bounds staleness for races with parking.
-            std::thread::park_timeout(Duration::from_micros(self.rt.config.park_micros));
+            self.park();
         }
+    }
+
+    /// Parks until an event arrives, via the sleeper-set handshake:
+    /// publish our bit, re-check every work source, and only then park.
+    /// Producers wake at most one sleeper per event; the timeout bounds
+    /// staleness if a wake-up races with parking.
+    fn park(&mut self) {
+        let sleepers = &self.rt.sleepers;
+        sleepers.prepare_park(self.index);
+        if self.rt.is_shutdown()
+            || self.rt.injector_nonempty()
+            || self.rt.inbox_nonempty(self.index)
+        {
+            sleepers.cancel_park(self.index);
+            return;
+        }
+        std::thread::park_timeout(Duration::from_micros(self.rt.config.park_micros));
+        sleepers.cancel_park(self.index);
     }
 
     // ------------------------------------------------------------------
@@ -277,44 +331,43 @@ impl Worker {
 
     fn poll_task(&mut self, task: TaskRef) {
         task.begin_poll();
-        self.rt.counters.bump(&self.rt.counters.polls);
-        TLS.with(|t| {
+        self.ctr().bump(&self.ctr().polls);
+        // One TLS access per poll: install the current task, run the poll,
+        // and read back the suspend count under the same borrow. Nested
+        // TLS uses during the poll (spawn_local, register_latency, …) take
+        // their own shared borrows, which is fine — only install/clear
+        // take the outer RefCell mutably.
+        let suspends = TLS.with(|t| {
             let borrow = t.borrow();
             let tls = borrow.as_ref().expect("worker TLS installed");
             *tls.current_task.borrow_mut() = Some(task.clone());
             tls.suspend_count.set(0);
-        });
 
-        // Task bodies are wrapped in CatchUnwind, so a panic here indicates
-        // a bug in runtime-internal futures; contain it anyway.
-        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.poll_future()));
+            // Task bodies are wrapped in CatchUnwind, so a panic here
+            // indicates a bug in runtime-internal futures; contain it
+            // anyway.
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.poll_future()));
 
-        let suspends = TLS.with(|t| {
-            let borrow = t.borrow();
-            let tls = borrow.as_ref().expect("worker TLS installed");
             *tls.current_task.borrow_mut() = None;
-            tls.suspend_count.get()
-        });
+            let suspends = tls.suspend_count.get();
 
-        match res {
-            Ok(std::task::Poll::Ready(())) => task.complete(),
-            Ok(std::task::Poll::Pending) => {
-                if task.finish_pending() {
-                    // Woken during the poll: runnable again right away.
-                    TLS.with(|t| {
-                        let borrow = t.borrow();
-                        let tls = borrow.as_ref().expect("worker TLS installed");
+            match res {
+                Ok(std::task::Poll::Ready(())) => task.complete(),
+                Ok(std::task::Poll::Pending) => {
+                    if task.finish_pending() {
+                        // Woken during the poll: runnable again right away.
                         tls.pending_local.borrow_mut().push(task.clone());
-                    });
+                    }
+                }
+                Err(_panic) => {
+                    // Internal future panicked; mark done so joiners don't
+                    // hang forever on a poisoned task (user-facing panics
+                    // travel via CatchUnwind + JoinCell instead).
+                    task.complete();
                 }
             }
-            Err(_panic) => {
-                // Internal future panicked; mark done so joiners don't hang
-                // forever on a poisoned task (user-facing panics travel via
-                // CatchUnwind + JoinCell instead).
-                task.complete();
-            }
-        }
+            suspends
+        });
 
         if suspends > 0 {
             let a = self
@@ -356,10 +409,19 @@ impl Worker {
     // Resumes (callback + addResumedVertices).
     // ------------------------------------------------------------------
 
+    /// Drains the inbox **batch** delivered by the timer (or external
+    /// completions): one vector swap for the whole burst, then
+    /// `callback(v, q)` per event and one pfor reinjection tree per
+    /// resumed deque.
     fn drain_resumes(&mut self) {
-        // callback(v, q) for every delivered expiration.
-        while let Ok(ev) = self.inbox.try_recv() {
-            self.rt.counters.bump(&self.rt.counters.resumes);
+        let mut batch = std::mem::take(&mut self.inbox_scratch);
+        self.rt.drain_inbox(self.index, &mut batch);
+        if batch.is_empty() {
+            self.inbox_scratch = batch;
+            return;
+        }
+        for ev in batch.drain(..) {
+            self.ctr().bump(&self.ctr().resumes);
             let d = &mut self.owned[ev.local_deque];
             debug_assert!(d.suspend_ctr > 0, "resume without suspension");
             d.suspend_ctr -= 1;
@@ -369,9 +431,8 @@ impl Worker {
                 self.resumed_list.push(ev.local_deque);
             }
         }
-        if self.resumed_list.is_empty() {
-            return;
-        }
+        self.inbox_scratch = batch;
+        debug_assert!(!self.resumed_list.is_empty());
         // addResumedVertices(): one pfor batch per resumed deque.
         let list = std::mem::take(&mut self.resumed_list);
         for q in list {
@@ -387,7 +448,7 @@ impl Worker {
                     self.owned[q].handle.push_bottom(task);
                 }
             } else {
-                self.rt.counters.bump(&self.rt.counters.pfor_batches);
+                self.ctr().bump(&self.ctr().pfor_batches);
                 let pfor = crate::pfor::new_pfor_task(&self.rt, vs);
                 self.owned[q].handle.push_bottom(pfor);
             }
@@ -427,7 +488,7 @@ impl Worker {
                     .registry
                     .register(self.index, stealer)
                     .expect("deque registry exhausted; raise Config::registry_capacity");
-                self.rt.counters.bump(&self.rt.counters.deques_allocated);
+                self.ctr().bump(&self.ctr().deques_allocated);
                 self.owned.push(OwnedDeque {
                     global,
                     handle: worker_end,
@@ -441,7 +502,7 @@ impl Worker {
             }
         };
         self.live_deques += 1;
-        self.rt.counters.observe_deques(self.live_deques);
+        self.ctr().observe_deques(self.live_deques);
         q
     }
 
@@ -488,11 +549,26 @@ impl Worker {
     // Stealing.
     // ------------------------------------------------------------------
 
+    /// One steal attempt. A [`Steal::Retry`] from the deque (a benign
+    /// pop-top race) re-tries the same victim up to [`STEAL_RETRIES`]
+    /// times before the attempt counts as failed — previously a Retry was
+    /// swallowed as a failure outright, wasting the victim draw.
+    fn steal_from(&self, id: DequeId) -> Option<TaskRef> {
+        for _ in 0..STEAL_RETRIES {
+            match self.rt.registry.steal(id) {
+                Steal::Success(task) => return Some(task),
+                Steal::Empty => return None,
+                Steal::Retry => std::hint::spin_loop(),
+            }
+        }
+        None
+    }
+
     fn try_steal(&mut self) -> Option<TaskRef> {
         match self.rt.config.steal_policy {
             StealPolicy::RandomDeque => {
                 let id = self.rt.registry.random_id(self.rng.gen())?;
-                self.rt.registry.steal(id).success()
+                self.steal_from(id)
             }
             StealPolicy::WorkerThenDeque => {
                 let p = self.rt.config.workers;
@@ -508,25 +584,36 @@ impl Worker {
                     return None;
                 }
                 let id = ids[self.rng.gen_range(0..ids.len())];
-                self.rt.registry.steal(id).success()
+                self.steal_from(id)
             }
         }
     }
 
     /// Publishes this worker's stealable deques (active + ready) for the
-    /// WorkerThenDeque policy.
+    /// WorkerThenDeque policy. Skips the publish — no allocation, no
+    /// mutex — when the set is unchanged since last time, which is the
+    /// overwhelmingly common case in the poll loop (`activate`/`flush`
+    /// re-advertise the same single active deque).
     fn advertise(&mut self) {
         if self.rt.config.steal_policy != StealPolicy::WorkerThenDeque {
             return;
         }
-        let mut ids = Vec::with_capacity(1 + self.ready.len());
+        let mut ids = std::mem::take(&mut self.adv_scratch);
+        ids.clear();
         if let Some(a) = self.active {
             ids.push(self.owned[a].global);
         }
         for &q in &self.ready {
             ids.push(self.owned[q].global);
         }
-        *self.rt.shared_steal[self.index].lock() = ids;
+        if ids == self.advertised {
+            self.adv_scratch = ids;
+            return;
+        }
+        self.rt.shared_steal[self.index].lock().clone_from(&ids);
+        // `ids` becomes the cached fingerprint; the old one is the next
+        // build buffer.
+        self.adv_scratch = std::mem::replace(&mut self.advertised, ids);
     }
 
     // ------------------------------------------------------------------

@@ -233,6 +233,75 @@ fn blocking_mode_stress_correctness() {
 }
 
 #[test]
+fn hundred_thousand_concurrent_suspensions() {
+    // The headline stress for the sharded timer wheel: 100k suspensions
+    // live in the wheel *at the same time* across 8 workers, then all
+    // expire and reinject. A watcher thread samples `suspensions -
+    // resumes` to certify the peak actually reached 100k.
+    use std::time::Instant;
+
+    const N: u64 = 100_000;
+    let rt = Runtime::new(Config::default().workers(8)).unwrap();
+
+    // Warm-up wave, which also calibrates the common deadline: every task
+    // must register *before* the first expiration for the peak to hit N,
+    // so size the margin from measured spawn+register throughput.
+    let t0 = Instant::now();
+    rt.block_on(async {
+        let hs: Vec<_> = (0..2_000)
+            .map(|_| {
+                spawn(async {
+                    simulate_latency(Duration::from_millis(1)).await;
+                })
+            })
+            .collect();
+        join_all(hs).await;
+    });
+    let margin = (t0.elapsed() / 2_000) * (N as u32) * 5 + Duration::from_millis(500);
+    let before = rt.metrics();
+
+    let stop = AtomicU64::new(0);
+    let peak = AtomicU64::new(0);
+    let sum = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            while stop.load(Ordering::Acquire) == 0 {
+                let m = rt.metrics().since(&before);
+                // Saturating: the two counters are read at slightly
+                // different instants, so a racing register+resume pair can
+                // transiently make `resumes` the larger read.
+                peak.fetch_max(m.suspensions.saturating_sub(m.resumes), Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let deadline = Instant::now() + margin;
+        let sum = rt.block_on(async move {
+            let hs: Vec<_> = (0..N)
+                .map(|_| {
+                    spawn(async move {
+                        lhws_core::latency_until(deadline).await;
+                        1u64
+                    })
+                })
+                .collect();
+            join_all(hs).await.into_iter().sum::<u64>()
+        });
+        stop.store(1, Ordering::Release);
+        sum
+    });
+
+    assert_eq!(sum, N, "every suspended task resumed and completed");
+    let m = rt.metrics().since(&before);
+    assert_eq!(m.suspensions, N, "one timer registration per task");
+    assert_eq!(m.resumes, N, "one resume per registration");
+    assert_eq!(
+        peak.load(Ordering::Relaxed),
+        N,
+        "all {N} suspensions were live in the wheel concurrently \
+         (margin was {margin:?})"
+    );
+}
+
+#[test]
 fn mixed_modes_coexisting_runtimes() {
     let hide = Runtime::new(Config::default().workers(2)).unwrap();
     let block = Runtime::new(Config::default().workers(2).mode(LatencyMode::Block)).unwrap();

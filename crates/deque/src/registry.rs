@@ -148,12 +148,18 @@ impl<T: Send> Registry<T> {
 
     /// Maps a uniform random value onto an allocated deque id, i.e.
     /// `randomDeque()`. Returns `None` when no deque exists yet.
+    ///
+    /// Uses the widening-multiply mapping `(uniform * n) >> 64` instead of
+    /// `uniform % n`: same cost, and the result is uniform to within
+    /// 2⁻⁶⁴·n instead of the modulo's bias toward small ids (which for the
+    /// analyzed `randomDeque()` would systematically favor the deques
+    /// allocated first).
     pub fn random_id(&self, uniform: u64) -> Option<DequeId> {
-        let n = self.len();
+        let n = self.len() as u64;
         if n == 0 {
             None
         } else {
-            Some(DequeId((uniform % n as u64) as u32))
+            Some(DequeId(((uniform as u128 * n as u128) >> 64) as u32))
         }
     }
 }
@@ -216,8 +222,13 @@ mod tests {
             reg.register(0, s).unwrap();
         }
         let mut seen = std::collections::HashSet::new();
-        for u in 0..100u64 {
-            seen.insert(reg.random_id(u).unwrap());
+        // Uniform values spread across the whole u64 range (the mapping is
+        // `(u * n) >> 64`, so coverage needs full-range inputs).
+        for i in 0..100u64 {
+            let u = i.wrapping_mul(u64::MAX / 100);
+            let id = reg.random_id(u).unwrap();
+            assert!(id.index() < 5, "id out of range");
+            seen.insert(id);
         }
         assert_eq!(seen.len(), 5);
     }

@@ -1,0 +1,395 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access and no crates.io cache, so
+//! external dependencies cannot be fetched. This crate implements the
+//! subset of the criterion 0.5 API the workspace's benches use —
+//! [`Criterion`], [`criterion_group!`], [`criterion_main!`], benchmark
+//! groups, `Bencher::iter` / `iter_batched`, [`BatchSize`], [`black_box`]
+//! — with a simple warmup + fixed-sample measurement loop instead of
+//! criterion's statistical machinery.
+//!
+//! Supported command-line flags (after `--` with `cargo bench`):
+//!
+//! * `--test` — run every benchmark exactly once (smoke mode; what
+//!   `cargo bench -- --test` does in real criterion).
+//! * `--quick` — drastically shortened measurement (1 sample).
+//! * any bare argument — substring filter on benchmark names.
+//! * `--bench` (passed by cargo itself) — ignored.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. Only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+    quick: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            test_mode: false,
+            quick: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`--test`, `--quick`, name filter).
+    pub fn configure_from_args(mut self) -> Self {
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--test" => self.test_mode = true,
+                "--quick" => self.quick = true,
+                "--bench" => {}
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Sets the number of measurement samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            c: self,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        self.run_one(&id, sample_size, measurement_time, f);
+    }
+
+    fn run_one(
+        &self,
+        id: &str,
+        sample_size: usize,
+        measurement_time: Duration,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher::test_mode();
+            f(&mut b);
+            println!("Testing {id} ... ok");
+            return;
+        }
+        let (sample_size, measurement_time) = if self.quick {
+            (1, measurement_time / 10)
+        } else {
+            (sample_size, measurement_time)
+        };
+
+        // Warmup + per-iteration estimate.
+        let mut b = Bencher::calibration(measurement_time / 10);
+        f(&mut b);
+        let est = b.estimate_ns().max(1);
+
+        // Choose iterations per sample to fill the measurement budget.
+        let budget_ns = measurement_time.as_nanos() as u64 / sample_size.max(1) as u64;
+        let iters = (budget_ns / est).clamp(1, 1_000_000_000);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher::measure(iters);
+            f(&mut b);
+            samples_ns.push(b.elapsed_ns() as f64 / b.iters_done().max(1) as f64);
+        }
+        samples_ns.sort_by(|a, z| a.partial_cmp(z).expect("no NaN"));
+        let min = samples_ns.first().copied().unwrap_or(0.0);
+        let max = samples_ns.last().copied().unwrap_or(0.0);
+        let median = samples_ns[samples_ns.len() / 2];
+        println!(
+            "{id:<40} time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max),
+            sample_size,
+            iters,
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark named `group/id`.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = format!("{}/{}", self.name, id.into());
+        let (s, m) = (self.sample_size, self.measurement_time);
+        self.c.run_one(&id, s, m, f);
+    }
+
+    /// Ends the group (nothing to flush in this implementation).
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    /// Run the payload exactly once.
+    Test,
+    /// Keep running payloads until the deadline; record count + time.
+    Calibrate(Duration),
+    /// Run exactly `iters` payload executions.
+    Measure(u64),
+}
+
+/// Passed to benchmark closures; runs the measured payload.
+pub struct Bencher {
+    mode: Mode,
+    elapsed: Duration,
+    iters_done: u64,
+}
+
+impl std::fmt::Debug for Bencher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bencher").finish_non_exhaustive()
+    }
+}
+
+impl Bencher {
+    fn test_mode() -> Self {
+        Bencher {
+            mode: Mode::Test,
+            elapsed: Duration::ZERO,
+            iters_done: 0,
+        }
+    }
+
+    fn calibration(budget: Duration) -> Self {
+        Bencher {
+            mode: Mode::Calibrate(budget.max(Duration::from_millis(10))),
+            elapsed: Duration::ZERO,
+            iters_done: 0,
+        }
+    }
+
+    fn measure(iters: u64) -> Self {
+        Bencher {
+            mode: Mode::Measure(iters),
+            elapsed: Duration::ZERO,
+            iters_done: 0,
+        }
+    }
+
+    fn estimate_ns(&self) -> u64 {
+        (self.elapsed.as_nanos() as u64) / self.iters_done.max(1)
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        self.elapsed.as_nanos() as u64
+    }
+
+    fn iters_done(&self) -> u64 {
+        self.iters_done
+    }
+
+    /// Measures repeated executions of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine());
+                self.iters_done = 1;
+            }
+            Mode::Calibrate(budget) => {
+                let start = Instant::now();
+                let mut n = 0u64;
+                while start.elapsed() < budget || n == 0 {
+                    black_box(routine());
+                    n += 1;
+                }
+                self.elapsed = start.elapsed();
+                self.iters_done = n;
+            }
+            Mode::Measure(iters) => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                self.elapsed = start.elapsed();
+                self.iters_done = iters;
+            }
+        }
+    }
+
+    /// Measures `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        match self.mode {
+            Mode::Test => {
+                let input = setup();
+                black_box(routine(input));
+                self.iters_done = 1;
+            }
+            Mode::Calibrate(budget) => {
+                let mut total = Duration::ZERO;
+                let mut n = 0u64;
+                let wall = Instant::now();
+                while wall.elapsed() < budget || n == 0 {
+                    let input = setup();
+                    let t = Instant::now();
+                    black_box(routine(input));
+                    total += t.elapsed();
+                    n += 1;
+                }
+                self.elapsed = total;
+                self.iters_done = n;
+            }
+            Mode::Measure(iters) => {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let input = setup();
+                    let t = Instant::now();
+                    black_box(routine(input));
+                    total += t.elapsed();
+                }
+                self.elapsed = total;
+                self.iters_done = iters;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_iterations() {
+        let mut b = Bencher::measure(10);
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert_eq!(n, 10);
+        assert_eq!(b.iters_done(), 10);
+    }
+
+    #[test]
+    fn batched_setup_excluded() {
+        let mut b = Bencher::measure(5);
+        let mut setups = 0u64;
+        b.iter_batched(
+            || {
+                setups += 1;
+                42u64
+            },
+            |v| v * 2,
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 5);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(12_000_000_000.0).ends_with('s'));
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher::test_mode();
+        let mut n = 0;
+        b.iter(|| n += 1);
+        assert_eq!(n, 1);
+    }
+}
