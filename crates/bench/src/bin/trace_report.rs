@@ -1,0 +1,351 @@
+//! Replays the standard workloads with tracing on and reports the derived
+//! scheduler statistics — steal success rates, the three suspension-latency
+//! histograms (enable → ready → executed), and the per-worker live-deque
+//! high-water marks that Lemma 7 bounds by `U + 1`.
+//!
+//! ```text
+//! cargo run -p lhws-bench --release --bin trace_report \
+//!     [-- --quick --workers 4 --export trace.json --validate]
+//! ```
+//!
+//! * `--quick` shrinks every workload for CI smoke runs.
+//! * `--workers N` overrides the worker count (default: all host cores).
+//! * `--export PATH` writes the *last* workload's Chrome-trace JSON to
+//!   `PATH` (load in `chrome://tracing` or <https://ui.perfetto.dev>).
+//! * `--validate` re-reads the exported file through a hand-rolled JSON
+//!   parser and fails loudly if the document is malformed — the CI check
+//!   that the exporter emits well-formed JSON without pulling in serde.
+
+use std::time::Duration;
+
+use lhws_bench::Args;
+use lhws_core::{fork2, join_all, par_map_reduce, simulate_latency, Runtime};
+
+fn pfib(n: u64) -> std::pin::Pin<Box<dyn std::future::Future<Output = u64> + Send>> {
+    Box::pin(async move {
+        if n < 12 {
+            let (mut a, mut b) = (0u64, 1u64);
+            for _ in 0..n {
+                let t = a + b;
+                a = b;
+                b = t;
+            }
+            a
+        } else {
+            let (a, b) = fork2(pfib(n - 1), pfib(n - 2)).await;
+            a + b
+        }
+    })
+}
+
+fn traced(workers: usize) -> Runtime {
+    Runtime::builder()
+        .workers(workers)
+        .trace_capacity(1 << 20)
+        .build()
+        .expect("valid config")
+}
+
+/// Runs one workload, prints its stats, and returns the trace for export.
+fn report(
+    name: &str,
+    expected_u: Option<u64>,
+    rt: Runtime,
+    run: impl FnOnce(&Runtime),
+) -> lhws_core::Trace {
+    run(&rt);
+    let report = rt.shutdown();
+    let trace = report.trace.expect("tracing was enabled");
+    let stats = trace.stats();
+    println!("\n## {name}");
+    println!("{stats}");
+    if trace.dropped > 0 {
+        println!(
+            "(warning: {} events dropped — raise trace_capacity)",
+            trace.dropped
+        );
+    }
+    if let Some(u) = expected_u {
+        let hw = stats.max_deque_high_water();
+        let verdict = if hw <= u + 1 { "holds" } else { "VIOLATED" };
+        println!("Lemma 7: high-water {hw} vs U+1 = {} → {verdict}", u + 1);
+        assert!(hw <= u + 1, "Lemma 7 violated: {hw} > {}", u + 1);
+    }
+    trace
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let workers: usize = args.get(
+        "workers",
+        std::thread::available_parallelism().map_or(4, |n| n.get()),
+    );
+    let export: String = args.get("export", String::new());
+    let validate = args.flag("validate");
+
+    let fib_n: u64 = if quick { 18 } else { 26 };
+    let leaves: u64 = if quick { 64 } else { 512 };
+    let latency_tasks: u64 = if quick { 32 } else { 256 };
+
+    println!("# trace_report: P={workers} quick={quick}");
+
+    // --- 1. Pure fork-join: U = 0, high-water must be exactly 1. --------
+    report("fib (U = 0)", Some(0), traced(workers), |rt| {
+        let got = rt.block_on(pfib(fib_n));
+        assert!(got > 0);
+    });
+
+    // --- 2. Latency map-reduce: every leaf suspends once. ---------------
+    report(
+        &format!("map-reduce with latency leaves (U = {leaves})"),
+        Some(leaves),
+        traced(workers),
+        |rt| {
+            let sum = rt.block_on(par_map_reduce(
+                0,
+                leaves,
+                |i| async move {
+                    simulate_latency(Duration::from_millis(1 + i % 3)).await;
+                    i
+                },
+                |a, b| a + b,
+                0,
+            ));
+            assert_eq!(sum, leaves * (leaves - 1) / 2);
+        },
+    );
+
+    // --- 3. Flat latency fan-out (the ISSUE's "latency workload"). ------
+    let trace = report(
+        &format!("flat latency fan-out (U = {latency_tasks})"),
+        Some(latency_tasks),
+        traced(workers),
+        |rt| {
+            rt.block_on(async move {
+                let handles: Vec<_> = (0..latency_tasks)
+                    .map(|i| {
+                        lhws_core::spawn(async move {
+                            simulate_latency(Duration::from_millis(1 + i % 5)).await;
+                            i
+                        })
+                    })
+                    .collect();
+                join_all(handles).await
+            });
+        },
+    );
+
+    if !export.is_empty() {
+        let mut f = std::fs::File::create(&export).expect("create export file");
+        trace.export_chrome(&mut f).expect("write trace");
+        println!("\nexported Chrome trace → {export}");
+        if validate {
+            let text = std::fs::read_to_string(&export).expect("re-read export");
+            match json::validate(&text) {
+                Ok(()) => println!("export validates as JSON ({} bytes)", text.len()),
+                Err(e) => panic!("exported trace is not valid JSON: {e}"),
+            }
+        }
+    } else if validate {
+        // Validate in-memory when no path was given.
+        let mut buf = Vec::new();
+        trace.export_chrome(&mut buf).expect("serialize trace");
+        let text = String::from_utf8(buf).expect("utf-8");
+        json::validate(&text).expect("exported trace is valid JSON");
+        println!(
+            "\nexport validates as JSON ({} bytes, in memory)",
+            text.len()
+        );
+    }
+}
+
+/// A minimal recursive-descent JSON validator (RFC 8259 grammar, no
+/// parse tree) — enough to prove the hand-rolled exporter emits documents
+/// that real tools will load, without adding a serde dependency.
+mod json {
+    pub fn validate(text: &str) -> Result<(), String> {
+        let b = text.as_bytes();
+        let mut pos = skip_ws(b, 0);
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        if pos != b.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(())
+    }
+
+    fn err(what: &str, pos: usize) -> String {
+        format!("{what} at byte {pos}")
+    }
+
+    fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+        while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+            pos += 1;
+        }
+        pos
+    }
+
+    fn value(b: &[u8], pos: usize) -> Result<usize, String> {
+        match b.get(pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => string(b, pos),
+            Some(b't') => literal(b, pos, b"true"),
+            Some(b'f') => literal(b, pos, b"false"),
+            Some(b'n') => literal(b, pos, b"null"),
+            Some(b'-' | b'0'..=b'9') => number(b, pos),
+            _ => Err(err("expected a JSON value", pos)),
+        }
+    }
+
+    fn literal(b: &[u8], pos: usize, lit: &[u8]) -> Result<usize, String> {
+        if b.len() >= pos + lit.len() && &b[pos..pos + lit.len()] == lit {
+            Ok(pos + lit.len())
+        } else {
+            Err(err("bad literal", pos))
+        }
+    }
+
+    fn object(b: &[u8], mut pos: usize) -> Result<usize, String> {
+        pos = skip_ws(b, pos + 1); // past '{'
+        if b.get(pos) == Some(&b'}') {
+            return Ok(pos + 1);
+        }
+        loop {
+            pos = string(b, pos).map_err(|_| err("expected object key", pos))?;
+            pos = skip_ws(b, pos);
+            if b.get(pos) != Some(&b':') {
+                return Err(err("expected ':'", pos));
+            }
+            pos = skip_ws(b, pos + 1);
+            pos = value(b, pos)?;
+            pos = skip_ws(b, pos);
+            match b.get(pos) {
+                Some(b',') => pos = skip_ws(b, pos + 1),
+                Some(b'}') => return Ok(pos + 1),
+                _ => return Err(err("expected ',' or '}'", pos)),
+            }
+        }
+    }
+
+    fn array(b: &[u8], mut pos: usize) -> Result<usize, String> {
+        pos = skip_ws(b, pos + 1); // past '['
+        if b.get(pos) == Some(&b']') {
+            return Ok(pos + 1);
+        }
+        loop {
+            pos = value(b, pos)?;
+            pos = skip_ws(b, pos);
+            match b.get(pos) {
+                Some(b',') => pos = skip_ws(b, pos + 1),
+                Some(b']') => return Ok(pos + 1),
+                _ => return Err(err("expected ',' or ']'", pos)),
+            }
+        }
+    }
+
+    fn string(b: &[u8], mut pos: usize) -> Result<usize, String> {
+        if b.get(pos) != Some(&b'"') {
+            return Err(err("expected '\"'", pos));
+        }
+        pos += 1;
+        while let Some(&c) = b.get(pos) {
+            match c {
+                b'"' => return Ok(pos + 1),
+                b'\\' => match b.get(pos + 1) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 2,
+                    Some(b'u') => {
+                        let hex = b
+                            .get(pos + 2..pos + 6)
+                            .ok_or_else(|| err("short \\u", pos))?;
+                        if !hex.iter().all(u8::is_ascii_hexdigit) {
+                            return Err(err("bad \\u escape", pos));
+                        }
+                        pos += 6;
+                    }
+                    _ => return Err(err("bad escape", pos)),
+                },
+                0x00..=0x1f => return Err(err("raw control char in string", pos)),
+                _ => pos += 1,
+            }
+        }
+        Err(err("unterminated string", pos))
+    }
+
+    fn number(b: &[u8], mut pos: usize) -> Result<usize, String> {
+        let start = pos;
+        if b.get(pos) == Some(&b'-') {
+            pos += 1;
+        }
+        match b.get(pos) {
+            Some(b'0') => pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(b.get(pos), Some(b'0'..=b'9')) {
+                    pos += 1;
+                }
+            }
+            _ => return Err(err("bad number", start)),
+        }
+        if b.get(pos) == Some(&b'.') {
+            pos += 1;
+            if !matches!(b.get(pos), Some(b'0'..=b'9')) {
+                return Err(err("bad fraction", pos));
+            }
+            while matches!(b.get(pos), Some(b'0'..=b'9')) {
+                pos += 1;
+            }
+        }
+        if matches!(b.get(pos), Some(b'e' | b'E')) {
+            pos += 1;
+            if matches!(b.get(pos), Some(b'+' | b'-')) {
+                pos += 1;
+            }
+            if !matches!(b.get(pos), Some(b'0'..=b'9')) {
+                return Err(err("bad exponent", pos));
+            }
+            while matches!(b.get(pos), Some(b'0'..=b'9')) {
+                pos += 1;
+            }
+        }
+        Ok(pos)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::validate;
+
+        #[test]
+        fn accepts_valid_documents() {
+            for ok in [
+                "{}",
+                "[]",
+                r#"{"a": [1, 2.5, -3e4], "b": {"c": null}, "d": "x\ny"}"#,
+                r#"{"displayTimeUnit": "ms", "traceEvents": [{"ph": "i"}]}"#,
+                r#""é""#,
+                "  [ true , false , null ]  ",
+            ] {
+                assert_eq!(validate(ok), Ok(()), "rejected valid: {ok}");
+            }
+        }
+
+        #[test]
+        fn rejects_malformed_documents() {
+            for bad in [
+                "",
+                "{",
+                "[1, 2,]",
+                r#"{"a" 1}"#,
+                r#"{"a": 1} extra"#,
+                "01",
+                "1.",
+                r#""unterminated"#,
+                r#""bad \x escape""#,
+                "[1 2]",
+                "{'single': 1}",
+            ] {
+                assert!(validate(bad).is_err(), "accepted invalid: {bad}");
+            }
+        }
+    }
+}

@@ -19,13 +19,12 @@ use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::Arc;
-use std::task::{Context, Poll, Waker};
+use std::task::{Context, Poll};
 
 use parking_lot::Mutex;
 
 use crate::external::{external_op, Canceled, Completer, ExternalOp};
-use crate::timer::ResumeEvent;
-use crate::worker::{self, ExternalRegistration};
+use crate::worker::{self, SuspendWait};
 
 // ---------------------------------------------------------------------
 // Oneshot.
@@ -70,16 +69,11 @@ impl<T: Send + 'static> Future for OneshotReceiver<T> {
 // MPSC.
 // ---------------------------------------------------------------------
 
-/// How the waiting receiver is parked.
-enum RecvWait {
-    Deque(ExternalRegistration),
-    Waker(Waker),
-}
-
 struct MpscState<T> {
     queue: VecDeque<T>,
-    /// Set while the (single) receiver is parked on an empty queue.
-    wait: Option<RecvWait>,
+    /// Set while the (single) receiver is parked on an empty queue
+    /// (see [`worker::register_suspension`]).
+    wait: Option<SuspendWait>,
     senders: usize,
     receiver_alive: bool,
 }
@@ -91,21 +85,9 @@ struct Mpsc<T> {
 impl<T> Mpsc<T> {
     /// Wakes a parked receiver, if any. Must be called after a state
     /// change that could unblock it (new message, channel closure).
-    fn notify(wait: Option<RecvWait>) {
-        match wait {
-            None => {}
-            Some(RecvWait::Waker(w)) => w.wake(),
-            Some(RecvWait::Deque(reg)) => {
-                if let Some(rt) = reg.rt.upgrade() {
-                    rt.deliver_resume(
-                        reg.worker,
-                        ResumeEvent {
-                            task: reg.task,
-                            local_deque: reg.local_deque,
-                        },
-                    );
-                }
-            }
+    fn notify(wait: Option<SuspendWait>) {
+        if let Some(wait) = wait {
+            wait.notify();
         }
     }
 }
@@ -249,14 +231,11 @@ impl<T: Send + 'static> Future for RecvFuture<'_, T> {
             return Poll::Ready(None);
         }
         match &st.wait {
-            Some(RecvWait::Deque(_)) => {
+            Some(SuspendWait::Deque(_)) => {
                 // Still registered from an earlier poll; the pending event
                 // pairs with that registration.
             }
-            _ => match worker::register_external() {
-                Some(reg) => st.wait = Some(RecvWait::Deque(reg)),
-                None => st.wait = Some(RecvWait::Waker(cx.waker().clone())),
-            },
+            _ => st.wait = Some(worker::register_suspension(cx.waker())),
         }
         Poll::Pending
     }
@@ -269,7 +248,7 @@ impl<T: Send + 'static> Drop for RecvFuture<'_, T> {
         let wait = {
             let mut st = self.rx.shared.state.lock();
             match st.wait.take() {
-                Some(RecvWait::Deque(reg)) => Some(RecvWait::Deque(reg)),
+                Some(SuspendWait::Deque(reg)) => Some(SuspendWait::Deque(reg)),
                 other => {
                     st.wait = other;
                     None

@@ -1,8 +1,14 @@
-//! Runtime configuration.
+//! Runtime configuration: the validated [`RuntimeBuilder`] entry point
+//! (reached via [`crate::Runtime::builder`]), the plain [`Config`] knob
+//! bag it is built from, and the typed [`ConfigError`] rejections.
 
+use std::error::Error;
+use std::fmt;
 use std::time::Duration;
 
 use lhws_deque::DequeKind;
+
+use crate::runtime::{Runtime, RuntimeError};
 
 /// How the runtime treats latency-incurring operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -89,6 +95,11 @@ pub struct Config {
     /// batches amortize wake-up and locking cost; smaller ones reduce the
     /// burst a single worker must absorb before its next steal check.
     pub resume_batch_limit: usize,
+    /// Per-worker trace ring capacity in events (rounded up to a power of
+    /// two). `0` (the default) disables tracing entirely: no rings are
+    /// allocated and every event site reduces to one never-taken branch.
+    /// See [`crate::trace`].
+    pub trace_capacity: usize,
 }
 
 impl Default for Config {
@@ -108,6 +119,7 @@ impl Default for Config {
             timer_tick: Duration::from_micros(50),
             timer_shards: 0,
             resume_batch_limit: 1024,
+            trace_capacity: 0,
         }
     }
 }
@@ -183,6 +195,235 @@ impl Config {
     pub fn resume_batch_limit(mut self, n: usize) -> Self {
         self.resume_batch_limit = n.max(1);
         self
+    }
+
+    /// Sets the per-worker trace ring capacity (`0` disables tracing).
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        self.trace_capacity = events;
+        self
+    }
+
+    /// Validates the knob combination, returning the first violation.
+    ///
+    /// The fluent [`Config`] setters clamp rather than fail, so a `Config`
+    /// built through them always passes. This catches direct field writes
+    /// (all fields are `pub`) and is the single checker behind
+    /// [`RuntimeBuilder::build`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if self.timer_tick.is_zero() {
+            return Err(ConfigError::ZeroTimerTick);
+        }
+        if self.resume_batch_limit == 0 {
+            return Err(ConfigError::ZeroResumeBatchLimit);
+        }
+        if self.pfor_grain == 0 {
+            return Err(ConfigError::ZeroPforGrain);
+        }
+        if self.park_micros == 0 {
+            return Err(ConfigError::ZeroParkInterval);
+        }
+        if self.registry_capacity < self.workers {
+            return Err(ConfigError::RegistryTooSmall {
+                capacity: self.registry_capacity,
+                workers: self.workers,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A rejected [`RuntimeBuilder`] knob combination. Each variant names the
+/// specific invalid setting so callers can report (or test) it precisely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `workers == 0`: the runtime needs at least one worker thread.
+    ZeroWorkers,
+    /// `timer_shards` was explicitly set to `0`. On the plain [`Config`]
+    /// struct `0` means "one shard per worker", but the builder separates
+    /// the auto default from an explicit zero and rejects the latter.
+    ZeroTimerShards,
+    /// `timer_tick == 0`: the wheel cannot advance in zero-length ticks.
+    ZeroTimerTick,
+    /// `resume_batch_limit == 0`: deliveries could never carry an event.
+    ZeroResumeBatchLimit,
+    /// `pfor_grain == 0`: batch splitting would never terminate.
+    ZeroPforGrain,
+    /// `park_micros == 0`: idle workers would spin without ever parking.
+    ZeroParkInterval,
+    /// `registry_capacity < workers`: each worker needs at least its one
+    /// initial deque slot in the global registry.
+    RegistryTooSmall {
+        /// The configured registry capacity.
+        capacity: usize,
+        /// The configured worker count it must cover.
+        workers: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroWorkers => write!(f, "workers must be >= 1"),
+            ConfigError::ZeroTimerShards => {
+                write!(
+                    f,
+                    "timer_shards must be >= 1 (omit it for one shard per worker)"
+                )
+            }
+            ConfigError::ZeroTimerTick => write!(f, "timer_tick must be non-zero"),
+            ConfigError::ZeroResumeBatchLimit => {
+                write!(f, "resume_batch_limit must be >= 1")
+            }
+            ConfigError::ZeroPforGrain => write!(f, "pfor_grain must be >= 1"),
+            ConfigError::ZeroParkInterval => write!(f, "park_micros must be >= 1"),
+            ConfigError::RegistryTooSmall { capacity, workers } => write!(
+                f,
+                "registry_capacity ({capacity}) must be >= workers ({workers})"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Validated constructor for [`Runtime`], reached via
+/// [`Runtime::builder`](crate::Runtime::builder).
+///
+/// Unlike the fluent [`Config`] setters, which silently clamp out-of-range
+/// values, the builder's setters store exactly what they are given and
+/// [`RuntimeBuilder::build`] rejects invalid combinations with a typed
+/// [`ConfigError`] (wrapped in [`RuntimeError::InvalidConfig`]). This is
+/// the recommended entry point; `Config` remains as the plain knob bag for
+/// call sites that predate the builder.
+///
+/// ```
+/// use lhws_core::Runtime;
+///
+/// let rt = Runtime::builder().workers(2).build().unwrap();
+/// assert_eq!(rt.workers(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+#[must_use = "builders do nothing until `build()` is called"]
+pub struct RuntimeBuilder {
+    cfg: Config,
+    /// Distinguishes "never set" (auto: one shard per worker) from an
+    /// explicit value, so an explicit `0` can be rejected.
+    timer_shards: Option<usize>,
+}
+
+impl RuntimeBuilder {
+    /// Starts from defaults ([`Config::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads. `0` is rejected at build time.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.workers = n;
+        self
+    }
+
+    /// Sets the latency-handling mode.
+    pub fn mode(mut self, m: LatencyMode) -> Self {
+        self.cfg.mode = m;
+        self
+    }
+
+    /// Sets the steal policy.
+    pub fn steal_policy(mut self, p: StealPolicy) -> Self {
+        self.cfg.steal_policy = p;
+        self
+    }
+
+    /// Sets the deque implementation.
+    pub fn deque_kind(mut self, k: DequeKind) -> Self {
+        self.cfg.deque_kind = k;
+        self
+    }
+
+    /// Sets the registry capacity. Must cover at least one deque per
+    /// worker or build time rejects it.
+    pub fn registry_capacity(mut self, c: usize) -> Self {
+        self.cfg.registry_capacity = c;
+        self
+    }
+
+    /// Sets the idle park interval in microseconds. `0` is rejected at
+    /// build time.
+    pub fn park_micros(mut self, us: u64) -> Self {
+        self.cfg.park_micros = us;
+        self
+    }
+
+    /// Sets the pfor unfolding grain. `0` is rejected at build time.
+    pub fn pfor_grain(mut self, g: usize) -> Self {
+        self.cfg.pfor_grain = g;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.cfg.seed = s;
+        self
+    }
+
+    /// Sets the timer implementation.
+    pub fn timer_kind(mut self, k: TimerKind) -> Self {
+        self.cfg.timer_kind = k;
+        self
+    }
+
+    /// Sets the timer-wheel tick granularity. A zero duration is rejected
+    /// at build time.
+    pub fn timer_tick(mut self, d: Duration) -> Self {
+        self.cfg.timer_tick = d;
+        self
+    }
+
+    /// Sets the timer-wheel shard count. Omit for the default of one shard
+    /// per worker; an explicit `0` is rejected at build time.
+    pub fn timer_shards(mut self, n: usize) -> Self {
+        self.timer_shards = Some(n);
+        self
+    }
+
+    /// Sets the per-delivery resume batch limit. `0` is rejected at build
+    /// time.
+    pub fn resume_batch_limit(mut self, n: usize) -> Self {
+        self.cfg.resume_batch_limit = n;
+        self
+    }
+
+    /// Enables event tracing with the given per-worker ring capacity in
+    /// events (rounded up to a power of two; `0` leaves tracing off). See
+    /// [`crate::trace`].
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        self.cfg.trace_capacity = events;
+        self
+    }
+
+    /// Validates the configuration without starting a runtime, returning
+    /// the would-be [`Config`].
+    pub fn validate(&self) -> Result<Config, ConfigError> {
+        if let Some(n) = self.timer_shards {
+            if n == 0 {
+                return Err(ConfigError::ZeroTimerShards);
+            }
+        }
+        let mut cfg = self.cfg;
+        cfg.timer_shards = self.timer_shards.unwrap_or(0);
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Validates the knobs and starts the runtime.
+    pub fn build(&self) -> Result<Runtime, RuntimeError> {
+        let cfg = self.validate().map_err(RuntimeError::InvalidConfig)?;
+        Runtime::new(cfg)
     }
 }
 

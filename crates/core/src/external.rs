@@ -29,12 +29,11 @@
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::Arc;
-use std::task::{Context, Poll, Waker};
+use std::task::{Context, Poll};
 
 use parking_lot::Mutex;
 
-use crate::timer::ResumeEvent;
-use crate::worker::{self, ExternalRegistration};
+use crate::worker::{self, SuspendWait};
 
 /// The operation was canceled: its [`Completer`] was dropped unfired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,10 +50,9 @@ impl std::error::Error for Canceled {}
 enum OpState<T> {
     /// Created; not yet polled, not yet completed.
     Idle,
-    /// Suspended on a worker deque, waiting for completion.
-    Registered(ExternalRegistration),
-    /// Waiting off-worker with a plain waker.
-    Waiting(Waker),
+    /// Waiting: suspended on a worker deque or parked behind a waker
+    /// (see [`worker::register_suspension`]).
+    Parked(SuspendWait),
     /// Completed (or canceled); value not yet taken.
     Done(Result<T, Canceled>),
     /// Value delivered to the future.
@@ -116,20 +114,9 @@ fn settle<T: Send + 'static>(shared: &Shared<T>, outcome: Result<T, Canceled>) {
     };
     match prev {
         OpState::Idle => {}
-        OpState::Waiting(w) => w.wake(),
-        OpState::Registered(reg) => {
-            // The paper's callback(v, q): deliver a resume event to the
-            // worker owning the deque the task suspended on.
-            if let Some(rt) = reg.rt.upgrade() {
-                rt.deliver_resume(
-                    reg.worker,
-                    ResumeEvent {
-                        task: reg.task,
-                        local_deque: reg.local_deque,
-                    },
-                );
-            }
-        }
+        // The paper's callback(v, q) on the deque path; a plain wake on
+        // the waker path.
+        OpState::Parked(wait) => wait.notify(),
         OpState::Done(_) | OpState::Finished => unreachable!("completed twice"),
     }
 }
@@ -158,16 +145,13 @@ impl<T: Send + 'static> Future for ExternalOp<T> {
                 Poll::Ready(v)
             }
             OpState::Finished => panic!("ExternalOp polled after completion"),
-            OpState::Registered(_) => {
+            OpState::Parked(SuspendWait::Deque(_)) => {
                 // Spurious re-poll while suspended: keep the original
                 // registration (it pairs with the one pending event).
                 Poll::Pending
             }
-            st_ref @ (OpState::Idle | OpState::Waiting(_)) => {
-                match worker::register_external() {
-                    Some(reg) => *st_ref = OpState::Registered(reg),
-                    None => *st_ref = OpState::Waiting(cx.waker().clone()),
-                }
+            st_ref @ (OpState::Idle | OpState::Parked(SuspendWait::Waker(_))) => {
+                *st_ref = OpState::Parked(worker::register_suspension(cx.waker()));
                 Poll::Pending
             }
         }
@@ -178,6 +162,7 @@ impl<T: Send + 'static> Future for ExternalOp<T> {
 mod tests {
     use super::*;
     use crate::{Config, Runtime};
+    use std::task::Waker;
     use std::time::Duration;
 
     #[test]

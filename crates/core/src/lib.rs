@@ -16,10 +16,10 @@
 //! ## Quickstart
 //!
 //! ```
-//! use lhws_core::{Runtime, Config, fork2, simulate_latency};
+//! use lhws_core::{Runtime, fork2, simulate_latency};
 //! use std::time::Duration;
 //!
-//! let rt = Runtime::new(Config::default().workers(2)).unwrap();
+//! let rt = Runtime::builder().workers(2).build().unwrap();
 //! let sum = rt.block_on(async {
 //!     let (a, b) = fork2(
 //!         async { 20u32 },
@@ -33,6 +33,16 @@
 //! });
 //! assert_eq!(sum, 42);
 //! ```
+//!
+//! ## Observability
+//!
+//! Turn on tracing with [`RuntimeBuilder::trace_capacity`]; every scheduler
+//! decision (steals, suspensions, resumes, deque switches, parks) is then
+//! recorded into per-worker lock-free rings. [`Runtime::trace_export`]
+//! writes a Chrome-trace/Perfetto JSON timeline, and
+//! [`Trace::stats`](trace::Trace::stats) derives suspension-latency
+//! histograms, steal success rates and per-worker live-deque high-water
+//! marks (the quantity Lemma 7 bounds by `U + 1`).
 
 #![warn(missing_docs)]
 
@@ -47,14 +57,16 @@ mod runtime;
 mod sleep;
 mod task;
 mod timer;
+pub mod trace;
 mod worker;
 
-pub use config::{Config, LatencyMode, StealPolicy, TimerKind};
+pub use config::{Config, ConfigError, LatencyMode, RuntimeBuilder, StealPolicy, TimerKind};
 pub use external::{external_op, Canceled, Completer, ExternalOp};
 pub use join::JoinHandle;
 pub use latency::{latency_until, simulate_latency, LatencyFuture, LatencyProfile, RemoteService};
-pub use metrics::Metrics;
-pub use runtime::{Runtime, RuntimeError};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use runtime::{Runtime, RuntimeError, ShutdownReport};
+pub use trace::{Trace, TraceStats};
 
 use std::future::Future;
 

@@ -9,6 +9,7 @@
 //! sums the blocks, so snapshot semantics are identical to a single shared
 //! block.
 
+use std::fmt;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -19,6 +20,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[repr(align(128))]
 pub(crate) struct CachePadded<T> {
     value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own pair of cache lines.
+    pub fn new(value: T) -> Self {
+        CachePadded { value }
+    }
 }
 
 impl<T> Deref for CachePadded<T> {
@@ -106,8 +114,8 @@ impl Counters {
         best
     }
 
-    pub fn snapshot(&self) -> Metrics {
-        Metrics {
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
             polls: self.sum(|b| &b.polls),
             tasks_spawned: self.sum(|b| &b.tasks_spawned),
             steals_attempted: self.sum(|b| &b.steals_attempted),
@@ -124,9 +132,15 @@ impl Counters {
 }
 
 /// A point-in-time snapshot of the runtime's counters.
+///
+/// Snapshots are plain data, detached from the live padded counter blocks:
+/// `Clone + Copy + Debug`, comparable, and printable via [`fmt::Display`]
+/// without any serialization dependency. Use [`MetricsSnapshot::delta`] to
+/// get per-run numbers from a long-lived runtime instead of hand-subtracting
+/// fields.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[non_exhaustive]
-pub struct Metrics {
+pub struct MetricsSnapshot {
     /// Task polls performed (≥ task count; re-polls after suspension add).
     pub polls: u64,
     /// Tasks ever spawned (including pfor batch tasks).
@@ -153,10 +167,18 @@ pub struct Metrics {
     pub unparks: u64,
 }
 
-impl Metrics {
+/// Former name of [`MetricsSnapshot`]. Kept so pre-builder callers of
+/// `Runtime::metrics()` keep compiling; new code should name the snapshot
+/// type explicitly.
+pub type Metrics = MetricsSnapshot;
+
+impl MetricsSnapshot {
     /// Difference between two snapshots (per-run metrics from a long-lived
-    /// runtime).
-    pub fn since(&self, earlier: &Metrics) -> Metrics {
+    /// runtime). `earlier` must be an older snapshot of the *same* runtime;
+    /// all monotonic counters are subtracted, while
+    /// `max_deques_per_worker` — a lifetime high-water mark, not a rate —
+    /// keeps the later value.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         let mut m = *self;
         m.polls = self.polls - earlier.polls;
         m.tasks_spawned = self.tasks_spawned - earlier.tasks_spawned;
@@ -171,6 +193,30 @@ impl Metrics {
         m.max_deques_per_worker = self.max_deques_per_worker;
         m.unparks = self.unparks - earlier.unparks;
         m
+    }
+
+    /// Alias for [`MetricsSnapshot::delta`], kept for pre-builder callers.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        self.delta(earlier)
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "polls:                 {}", self.polls)?;
+        writeln!(f, "tasks spawned:         {}", self.tasks_spawned)?;
+        writeln!(
+            f,
+            "steals:                {} attempted, {} succeeded",
+            self.steals_attempted, self.steals_succeeded
+        )?;
+        writeln!(f, "deque switches:        {}", self.deque_switches)?;
+        writeln!(f, "deques allocated:      {}", self.deques_allocated)?;
+        writeln!(f, "suspensions:           {}", self.suspensions)?;
+        writeln!(f, "resumes:               {}", self.resumes)?;
+        writeln!(f, "pfor batches:          {}", self.pfor_batches)?;
+        writeln!(f, "max deques per worker: {}", self.max_deques_per_worker)?;
+        write!(f, "unparks:               {}", self.unparks)
     }
 }
 
@@ -201,14 +247,27 @@ mod tests {
     }
 
     #[test]
-    fn since_subtracts() {
+    fn delta_subtracts() {
         let c = Counters::default();
         c.bump(&c.polls);
         let a = c.snapshot();
         c.bump(&c.polls);
         c.bump(&c.polls);
         let b = c.snapshot();
-        assert_eq!(b.since(&a).polls, 2);
+        assert_eq!(b.delta(&a).polls, 2);
+        // `since` stays as an alias for pre-builder callers.
+        assert_eq!(b.since(&a), b.delta(&a));
+    }
+
+    #[test]
+    fn display_lists_every_counter() {
+        let c = Counters::default();
+        c.bump(&c.steals_attempted);
+        c.observe_deques(5);
+        let s = c.snapshot().to_string();
+        assert!(s.contains("steals:                1 attempted"));
+        assert!(s.contains("max deques per worker: 5"));
+        assert!(s.lines().count() >= 10);
     }
 
     #[test]

@@ -10,12 +10,13 @@ use std::thread::JoinHandle as ThreadHandle;
 use lhws_deque::{DequeId, Registry};
 use parking_lot::{Condvar, Mutex};
 
-use crate::config::Config;
+use crate::config::{Config, ConfigError, RuntimeBuilder};
 use crate::join::{CatchUnwind, JoinCell, JoinHandle, PanicPayload};
-use crate::metrics::{CachePadded, Counters, Metrics};
+use crate::metrics::{CachePadded, Counters, MetricsSnapshot};
 use crate::sleep::Sleepers;
 use crate::task::{Task, TaskRef};
 use crate::timer::{ResumeEvent, ResumeSink, Timer};
+use crate::trace::{EventKind, Trace, Tracer, NONE_ID};
 use crate::worker::{self, Worker};
 
 /// A worker's resume inbox: expirations and external completions queue
@@ -49,6 +50,9 @@ pub(crate) struct RtInner {
     pub counters: Counters,
     /// Advertised stealable deques per worker (WorkerThenDeque policy).
     pub shared_steal: Vec<Mutex<Vec<DequeId>>>,
+    /// Event tracer; `None` (the default) is the whole cost of disabled
+    /// tracing. See [`crate::trace`].
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl RtInner {
@@ -65,8 +69,19 @@ impl RtInner {
     /// injector, and waking more than one per task is a thundering herd.
     pub fn inject(&self, task: TaskRef) {
         self.injector.lock().push_back(task);
-        if self.sleepers.unpark_one() {
+        if let Some(t) = &self.tracer {
+            t.record_shared(NONE_ID, EventKind::Inject);
+        }
+        if let Some(woken) = self.sleepers.unpark_one() {
             self.counters.bump(&self.counters.unparks);
+            if let Some(t) = &self.tracer {
+                t.record_shared(
+                    NONE_ID,
+                    EventKind::Unpark {
+                        worker: woken as u32,
+                    },
+                );
+            }
         }
     }
 
@@ -98,17 +113,49 @@ impl RtInner {
     /// Routes a single resume event to a worker's inbox (the paper's
     /// `callback(v, q)`). Used by external completions, which arrive one
     /// at a time; timer expirations go through [`ResumeSink`] in batches.
-    pub fn deliver_resume(&self, worker: usize, event: ResumeEvent) {
+    pub fn deliver_resume(&self, worker: usize, mut event: ResumeEvent) {
+        if let Some(t) = &self.tracer {
+            // Delivery time is the suspension's *enable* time.
+            event.enabled_at = t.now();
+            t.record_shared(
+                worker as u32,
+                EventKind::Resume {
+                    batch_len: 1,
+                    tick: 0,
+                },
+            );
+        }
         self.inboxes[worker].queue.lock().push(event);
         if self.sleepers.unpark_worker(worker) {
             self.counters.bump(&self.counters.unparks);
+            if let Some(t) = &self.tracer {
+                t.record_shared(
+                    NONE_ID,
+                    EventKind::Unpark {
+                        worker: worker as u32,
+                    },
+                );
+            }
         }
     }
 }
 
 impl ResumeSink for RtInner {
-    fn deliver_batch(&self, worker: usize, mut events: Vec<ResumeEvent>) {
+    fn deliver_batch(&self, worker: usize, tick: u64, mut events: Vec<ResumeEvent>) {
         debug_assert!(!events.is_empty());
+        if let Some(t) = &self.tracer {
+            let enabled_at = t.now();
+            for e in events.iter_mut() {
+                e.enabled_at = enabled_at;
+            }
+            t.record_shared(
+                worker as u32,
+                EventKind::Resume {
+                    batch_len: events.len() as u32,
+                    tick,
+                },
+            );
+        }
         {
             let mut q = self.inboxes[worker].queue.lock();
             if q.is_empty() {
@@ -122,6 +169,14 @@ impl ResumeSink for RtInner {
         // actually parked.
         if self.sleepers.unpark_worker(worker) {
             self.counters.bump(&self.counters.unparks);
+            if let Some(t) = &self.tracer {
+                t.record_shared(
+                    NONE_ID,
+                    EventKind::Unpark {
+                        worker: worker as u32,
+                    },
+                );
+            }
         }
     }
 }
@@ -151,22 +206,42 @@ impl std::fmt::Debug for Runtime {
 pub enum RuntimeError {
     /// Failed to spawn a worker or timer thread.
     ThreadSpawn(String),
+    /// The configuration was rejected (see [`ConfigError`]).
+    InvalidConfig(ConfigError),
 }
 
 impl std::fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RuntimeError::ThreadSpawn(e) => write!(f, "failed to spawn thread: {e}"),
+            RuntimeError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
         }
+    }
+}
+
+impl From<ConfigError> for RuntimeError {
+    fn from(e: ConfigError) -> Self {
+        RuntimeError::InvalidConfig(e)
     }
 }
 
 impl std::error::Error for RuntimeError {}
 
 impl Runtime {
-    /// Starts a runtime with the given configuration.
+    /// Returns the validated builder — the recommended way to construct a
+    /// runtime. See [`RuntimeBuilder`].
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::new()
+    }
+
+    /// Starts a runtime with the given configuration. The configuration
+    /// is validated first ([`Config::validate`]); prefer
+    /// [`Runtime::builder`] for typed rejection of individual knobs.
     pub fn new(config: Config) -> Result<Runtime, RuntimeError> {
+        config.validate()?;
         let p = config.workers;
+        let tracer =
+            (config.trace_capacity > 0).then(|| Arc::new(Tracer::new(p, config.trace_capacity)));
         let inner = Arc::new(RtInner {
             config,
             registry: Registry::with_capacity(config.registry_capacity),
@@ -177,6 +252,7 @@ impl Runtime {
             timer: OnceLock::new(),
             counters: Counters::with_workers(p),
             shared_steal: (0..p).map(|_| Mutex::new(Vec::new())).collect(),
+            tracer,
         });
 
         let (timer, timer_threads) = Timer::start(&config, inner.clone() as Arc<dyn ResumeSink>);
@@ -258,9 +334,33 @@ impl Runtime {
         }
     }
 
-    /// A snapshot of the runtime's metrics counters.
-    pub fn metrics(&self) -> Metrics {
+    /// A point-in-time snapshot of the runtime's metrics counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
         self.inner.counters.snapshot()
+    }
+
+    /// Drains the event tracer into a [`Trace`] snapshot, or `None` when
+    /// tracing is disabled. The snapshot races with the still-running
+    /// schedule: events recorded concurrently land in the next snapshot,
+    /// and a suspension may appear without its later lifecycle events. For
+    /// complete, quiescent data use [`Runtime::shutdown`].
+    pub fn trace_snapshot(&self) -> Option<Trace> {
+        self.inner.tracer.as_ref().map(|t| t.drain())
+    }
+
+    /// Drains the trace and writes it as Chrome-trace/Perfetto JSON. With
+    /// tracing disabled an empty-but-valid document is written, so the
+    /// output always parses.
+    pub fn trace_export<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        match self.trace_snapshot() {
+            Some(trace) => trace.export_chrome(w),
+            None => Trace {
+                events: Vec::new(),
+                dropped: 0,
+                workers: self.workers(),
+            }
+            .export_chrome(w),
+        }
     }
 
     /// Number of worker threads.
@@ -272,10 +372,22 @@ impl Runtime {
     pub fn config(&self) -> &Config {
         &self.inner.config
     }
-}
 
-impl Drop for Runtime {
-    fn drop(&mut self) {
+    /// Shuts the runtime down — joins workers and timer threads — and
+    /// *then* snapshots metrics and trace, so the report is quiescent:
+    /// no event or counter bump races the snapshot, every delivered
+    /// suspension has its full lifecycle recorded.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.join_now();
+        ShutdownReport {
+            metrics: self.inner.counters.snapshot(),
+            trace: self.inner.tracer.as_ref().map(|t| t.drain()),
+        }
+    }
+
+    /// Stops and joins all threads. Idempotent — `shutdown` runs it
+    /// before snapshotting and `Drop` runs it again on the drained lists.
+    fn join_now(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
         self.inner.timer().shutdown();
         self.inner.sleepers.unpark_all();
@@ -285,6 +397,23 @@ impl Drop for Runtime {
         for t in self.timer_threads.drain(..) {
             let _ = t.join();
         }
+    }
+}
+
+/// What [`Runtime::shutdown`] returns: the final, quiescent state of a
+/// finished runtime.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct ShutdownReport {
+    /// Final metrics counters.
+    pub metrics: MetricsSnapshot,
+    /// Complete event trace, when tracing was enabled.
+    pub trace: Option<Trace>,
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.join_now();
     }
 }
 

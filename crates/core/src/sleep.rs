@@ -80,11 +80,10 @@ impl Sleepers {
         self.words[w].fetch_and(!m, Ordering::SeqCst);
     }
 
-    /// Wakes exactly one parked worker, if any. Returns `true` if a
-    /// worker was unparked. The woken worker's bit is cleared by the
-    /// caller side (here), so concurrent `unpark_one` calls wake distinct
-    /// workers.
-    pub fn unpark_one(&self) -> bool {
+    /// Wakes exactly one parked worker, if any. Returns the woken worker's
+    /// index. The woken worker's bit is cleared by the caller side (here),
+    /// so concurrent `unpark_one` calls wake distinct workers.
+    pub fn unpark_one(&self) -> Option<usize> {
         for (w, word) in self.words.iter().enumerate() {
             let mut cur = word.load(Ordering::SeqCst);
             while cur != 0 {
@@ -93,16 +92,17 @@ impl Sleepers {
                 match word.compare_exchange_weak(cur, cur & !m, Ordering::SeqCst, Ordering::SeqCst)
                 {
                     Ok(_) => {
-                        if let Some(t) = self.threads[w * WORD_BITS + bit].get() {
+                        let index = w * WORD_BITS + bit;
+                        if let Some(t) = self.threads[index].get() {
                             t.unpark();
                         }
-                        return true;
+                        return Some(index);
                     }
                     Err(actual) => cur = actual,
                 }
             }
         }
-        false
+        None
     }
 
     /// Wakes worker `index` if it is parked. Returns `true` if it was.
@@ -153,11 +153,11 @@ mod tests {
         let s = Sleepers::new(80); // spans two words
         s.prepare_park(3);
         s.prepare_park(70);
-        assert!(s.unpark_one());
+        assert_eq!(s.unpark_one(), Some(3));
         assert!(s.any_sleeping());
-        assert!(s.unpark_one());
+        assert_eq!(s.unpark_one(), Some(70));
         assert!(!s.any_sleeping());
-        assert!(!s.unpark_one());
+        assert_eq!(s.unpark_one(), None);
     }
 
     #[test]
@@ -176,7 +176,7 @@ mod tests {
         let s = Sleepers::new(4);
         s.prepare_park(1);
         s.cancel_park(1);
-        assert!(!s.unpark_one());
+        assert_eq!(s.unpark_one(), None);
     }
 
     #[test]
@@ -198,7 +198,7 @@ mod tests {
         }
         assert!(s.any_sleeping());
         let woke = std::time::Instant::now();
-        assert!(s.unpark_one());
+        assert_eq!(s.unpark_one(), Some(0));
         t.join().unwrap();
         assert!(
             woke.elapsed() < Duration::from_secs(5),
@@ -220,8 +220,9 @@ mod tests {
                 let s = s.clone();
                 std::thread::spawn(move || s.unpark_one())
             };
-            assert!(a.join().unwrap());
-            assert!(b.join().unwrap());
+            let (a, b) = (a.join().unwrap(), b.join().unwrap());
+            assert!(a.is_some() && b.is_some());
+            assert_ne!(a, b, "both unpark_one calls woke the same worker");
             assert!(!s.any_sleeping());
         }
     }

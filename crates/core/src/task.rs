@@ -26,7 +26,7 @@
 
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Weak};
 use std::task::Wake;
 
@@ -64,6 +64,11 @@ pub(crate) struct Task {
     /// Back-reference for wake routing. Weak: tasks must not keep the
     /// runtime alive.
     rt: Weak<RtInner>,
+    /// Trace tag of the suspension this task was last resumed from (`0` =
+    /// none). Set when the owner drains the resume event, consumed at the
+    /// next poll to emit the `ResumeExec` trace event. Only touched while
+    /// tracing is enabled.
+    trace_seq: AtomicU64,
 }
 
 impl std::fmt::Debug for Task {
@@ -82,7 +87,20 @@ impl Task {
             state: AtomicU8::new(state::QUEUED),
             future: Mutex::new(Some(fut)),
             rt,
+            trace_seq: AtomicU64::new(0),
         })
+    }
+
+    /// Tags the task with the trace seq of the suspension it resumes.
+    #[inline]
+    pub fn set_trace_seq(&self, seq: u64) {
+        self.trace_seq.store(seq, Ordering::Relaxed);
+    }
+
+    /// Takes (and clears) the resume trace tag; `0` if none.
+    #[inline]
+    pub fn take_trace_seq(&self) -> u64 {
+        self.trace_seq.swap(0, Ordering::Relaxed)
     }
 
     /// Current state (diagnostics and tests).

@@ -106,9 +106,12 @@ impl HeapTimer {
                         drop(s);
                         sink.deliver_batch(
                             he.entry.worker,
+                            0,
                             vec![ResumeEvent {
                                 task: he.entry.task,
                                 local_deque: he.entry.local_deque,
+                                seq: he.entry.seq,
+                                enabled_at: 0,
                             }],
                         );
                         s = self.state.lock();

@@ -44,6 +44,9 @@ pub(crate) struct TimerEntry {
     pub task: TaskRef,
     /// The owner's local index of that deque.
     pub local_deque: usize,
+    /// Trace suspension id pairing this expiration with its `Suspend`
+    /// event (`0` when tracing is off). Carried opaquely by the timer.
+    pub seq: u64,
 }
 
 /// Resume event delivered to a worker inbox: the paper's `callback(v, q)`
@@ -54,13 +57,20 @@ pub(crate) struct ResumeEvent {
     pub task: TaskRef,
     /// The owner's local index of the deque it belongs to (`q`).
     pub local_deque: usize,
+    /// Trace suspension id (`0` when tracing is off).
+    pub seq: u64,
+    /// Trace timestamp at which the event was handed to the runtime (the
+    /// suspension's *enable* time). Stamped by the sink; `0` from timers.
+    pub enabled_at: u64,
 }
 
 /// Where the timer delivers expirations. Provided by the runtime.
 pub(crate) trait ResumeSink: Send + Sync + 'static {
     /// Delivers a non-empty batch of events to worker `worker`'s inbox and
-    /// wakes it (at most one unpark for the whole batch).
-    fn deliver_batch(&self, worker: usize, events: Vec<ResumeEvent>);
+    /// wakes it (at most one unpark for the whole batch). `tick` is the
+    /// timer tick the batch expired on (`0` for tick-free timers); it only
+    /// labels trace events.
+    fn deliver_batch(&self, worker: usize, tick: u64, events: Vec<ResumeEvent>);
 }
 
 /// Handle to the configured timer implementation. Cloning shares the
@@ -144,7 +154,7 @@ pub(crate) mod test_support {
     }
 
     impl ResumeSink for CollectSink {
-        fn deliver_batch(&self, worker: usize, events: Vec<ResumeEvent>) {
+        fn deliver_batch(&self, worker: usize, _tick: u64, events: Vec<ResumeEvent>) {
             assert!(!events.is_empty(), "empty batch delivered");
             self.batches.lock().push((worker, events.len()));
             let mut got = self.events.lock();
@@ -166,6 +176,7 @@ pub(crate) mod test_support {
             worker,
             task: dummy_task(),
             local_deque,
+            seq: 0,
         }
     }
 

@@ -54,6 +54,8 @@ struct Pending {
     worker: usize,
     task: TaskRef,
     local_deque: usize,
+    /// Trace suspension id, carried through to the [`ResumeEvent`].
+    seq: u64,
 }
 
 /// Width of a level-`l` slot, in ticks.
@@ -256,6 +258,7 @@ impl WheelTimer {
             worker: entry.worker,
             task: entry.task,
             local_deque: entry.local_deque,
+            seq: entry.seq,
         };
         let mut due = Vec::new();
         s.place(p, &mut due);
@@ -326,10 +329,13 @@ impl WheelTimer {
         let mut rest = due.into_iter().peekable();
         while let Some(first) = rest.next() {
             let worker = first.worker;
+            let tick = first.expiry;
             let mut batch = Vec::with_capacity(self.batch_limit.min(16));
             batch.push(ResumeEvent {
                 task: first.task,
                 local_deque: first.local_deque,
+                seq: first.seq,
+                enabled_at: 0,
             });
             while batch.len() < self.batch_limit && rest.peek().is_some_and(|p| p.worker == worker)
             {
@@ -337,9 +343,11 @@ impl WheelTimer {
                 batch.push(ResumeEvent {
                     task: p.task,
                     local_deque: p.local_deque,
+                    seq: p.seq,
+                    enabled_at: 0,
                 });
             }
-            sink.deliver_batch(worker, batch);
+            sink.deliver_batch(worker, tick, batch);
         }
     }
 }
@@ -500,6 +508,7 @@ mod tests {
                 worker: 0,
                 task: dummy_task(),
                 local_deque: 9,
+                seq: 0,
             },
             &mut due,
         );
@@ -530,6 +539,7 @@ mod tests {
                 worker: 0,
                 task: dummy_task(),
                 local_deque: 0,
+                seq: 0,
             },
             &mut due,
         );

@@ -1,0 +1,439 @@
+//! Per-event scheduler tracing: the observability layer for the paper's
+//! schedule-shaped claims.
+//!
+//! Every quantity the paper reasons about — steal attempts `R`, suspension
+//! width `U`, the ≤ `U + 1` live deques per worker of Lemma 7, the delay
+//! between a heavy edge becoming *enabled* and its vertex being *ready*
+//! and then *executed* — is a property of the schedule, not of any
+//! aggregate counter. This module records the schedule itself:
+//!
+//! * Each worker owns a **lock-free, fixed-capacity SPSC ring**
+//!   (cache-padded): the worker is the only producer, the
+//!   collector ([`Trace`] snapshots) the only consumer. Recording an
+//!   event is a clock read plus two relaxed-ish atomics and one slot
+//!   write — never a lock, never an allocation.
+//! * Events produced off the worker threads (injections, resume-batch
+//!   deliveries from timer threads, unparks from arbitrary producers) go
+//!   to a bounded mutex-protected side buffer; those paths already take
+//!   locks, so the mutex adds nothing.
+//! * When the ring is full the **newest event is dropped** and counted
+//!   ([`Trace::dropped`]); existing events are never overwritten, so the
+//!   recorded prefix of each worker's history is always contiguous.
+//! * Tracing is enabled by [`crate::Config::trace_capacity`] (or
+//!   `RuntimeBuilder::trace_capacity`); when disabled (the default) every record
+//!   site is one branch on an `Option` that is always `None` — the hot
+//!   path cost is indistinguishable from the untraced build.
+//!
+//! Suspension lifecycle events are linked by a per-registration **`seq`**
+//! tag so the collector can reconstruct per-suspension latency:
+//!
+//! ```text
+//! Suspend{seq}          worker registers the suspension   (suspend time)
+//!   └─ Resume{batch}    timer/completer delivers          (enable time)
+//!       └─ ResumeReady{seq, enabled_at}  owner drains it  (ready time)
+//!           └─ ResumeExec{seq}           task re-polled   (executed time)
+//! ```
+//!
+//! [`Trace::stats`] derives the paper-facing statistics (steal success
+//! rate, enable→ready→executed histograms, per-worker deque high-water
+//! marks against Lemma 7) and [`Trace::export_chrome`] writes the raw
+//! events as Chrome-trace/Perfetto JSON.
+
+mod export;
+mod stats;
+
+pub use stats::{LatencyHistogram, TraceStats};
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::metrics::CachePadded;
+
+/// Sentinel worker/deque index for "not applicable / off-runtime".
+pub const NONE_ID: u32 = u32::MAX;
+
+/// Outcome of one steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StealOutcome {
+    /// The attempt returned a task.
+    Success,
+    /// The victim deque was empty (or freed, or not yet selectable).
+    Empty,
+    /// The pop-top raced with another thief/the owner and the bounded
+    /// retry budget ran out.
+    LostRace,
+}
+
+/// What kind of latency-incurring operation a suspension came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuspendKind {
+    /// A timer-backed latency ([`crate::simulate_latency`]).
+    Timer,
+    /// An externally completed operation ([`crate::external_op`],
+    /// channel receives).
+    External,
+}
+
+/// One scheduler event. Field conventions:
+///
+/// * deque indices named `deque` are **owner-local** (the worker's own
+///   numbering, the same space Lemma 7's `U + 1` bound lives in);
+/// * `victim_deque` in [`EventKind::Steal`] is the **global registry id**
+///   ([`lhws_deque::DequeId`]), since thieves address deques globally;
+/// * [`NONE_ID`] marks "no such index" (e.g. a steal attempt drawn from
+///   an empty registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// One steal attempt (exactly one per `steals_attempted` bump).
+    Steal {
+        /// Global registry id of the victim deque, or [`NONE_ID`].
+        victim_deque: u32,
+        /// Worker owning the victim deque, or [`NONE_ID`].
+        victim_worker: u32,
+        /// How the attempt ended.
+        outcome: StealOutcome,
+    },
+    /// A task registered a suspension against its active deque.
+    Suspend {
+        /// Owner-local index of the deque the task suspended on.
+        deque: u32,
+        /// Timer- or externally-completed suspension.
+        kind: SuspendKind,
+        /// Per-registration tag linking the later `ResumeReady` /
+        /// `ResumeExec` events.
+        seq: u64,
+    },
+    /// A batch of resume events was delivered to a worker inbox (the
+    /// timestamp is the **enable** time of every event in the batch).
+    Resume {
+        /// Number of events in the delivered batch.
+        batch_len: u32,
+        /// Timer-wheel tick the batch expired on (0 for heap-timer and
+        /// external deliveries).
+        tick: u64,
+    },
+    /// The owning worker drained one resume event into its deque — the
+    /// suspension's vertex is now **ready**.
+    ResumeReady {
+        /// Tag of the matching `Suspend`.
+        seq: u64,
+        /// Enable timestamp stamped at delivery (nanoseconds on the
+        /// trace clock), for the enable→ready latency.
+        enabled_at: u64,
+    },
+    /// A resumed task reached its next poll — the vertex **executed**.
+    ResumeExec {
+        /// Tag of the matching `Suspend`.
+        seq: u64,
+    },
+    /// An idle worker switched to one of its ready deques.
+    DequeSwitch {
+        /// Owner-local index of the deque switched to.
+        deque: u32,
+    },
+    /// The worker brought a deque live (fresh or recycled).
+    DequeAlloc {
+        /// Live deques owned by this worker **after** the allocation —
+        /// running maximum is the Lemma 7 high-water mark.
+        live: u32,
+    },
+    /// The worker freed an empty, suspension-less deque.
+    DequeRelease {
+        /// Live deques owned by this worker after the release.
+        live: u32,
+    },
+    /// The worker found no work anywhere and parked.
+    Park,
+    /// A producer unparked a worker (at most one per published event).
+    Unpark {
+        /// The worker that was woken.
+        worker: u32,
+    },
+    /// A task entered the global injector from outside any worker.
+    Inject,
+}
+
+/// A timestamped event recorded by worker `worker` (or, for side-buffer
+/// events, *concerning* that worker; [`NONE_ID`] when unattributable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the runtime's trace epoch.
+    pub ts: u64,
+    /// Worker index (ring index for worker-recorded events).
+    pub worker: u32,
+    /// The event.
+    pub kind: EventKind,
+}
+
+/// Fixed-capacity SPSC ring. The producing worker writes `tail`, the
+/// (mutex-serialized) collector advances `head`. Full ring ⇒ the new
+/// event is dropped and counted, never overwriting history.
+struct Ring {
+    slots: Box<[UnsafeCell<MaybeUninit<TraceEvent>>]>,
+    mask: usize,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// Safety: `slots` is only written by the single producer (guarded by the
+// head/tail protocol) and read by the single consumer; `TraceEvent` is
+// `Copy` so reads never observe a partially dropped value.
+unsafe impl Send for Ring {}
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    fn with_capacity(capacity: usize) -> Ring {
+        let capacity = capacity.max(2).next_power_of_two();
+        Ring {
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            mask: capacity - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Producer side: append or drop-and-count.
+    #[inline]
+    fn push(&self, ev: TraceEvent) {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > self.mask {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        unsafe { (*self.slots[tail & self.mask].get()).write(ev) };
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Consumer side (callers hold the collector lock).
+    fn pop(&self) -> Option<TraceEvent> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let ev = unsafe { (*self.slots[head & self.mask].get()).assume_init_read() };
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(ev)
+    }
+}
+
+/// The runtime's event recorder: one ring per worker plus the shared side
+/// buffer. Lives behind `Option<Arc<_>>` in the runtime — `None` is the
+/// entire cost of disabled tracing.
+pub(crate) struct Tracer {
+    rings: Box<[CachePadded<Ring>]>,
+    /// Off-worker events (injections, deliveries, unparks).
+    shared: Mutex<Vec<TraceEvent>>,
+    shared_capacity: usize,
+    shared_dropped: AtomicU64,
+    /// Serializes collectors so the rings stay single-consumer.
+    collect: Mutex<()>,
+    epoch: Instant,
+}
+
+impl Tracer {
+    /// Creates a tracer for `workers` rings of (at least) `capacity`
+    /// events each.
+    pub fn new(workers: usize, capacity: usize) -> Tracer {
+        Tracer {
+            rings: (0..workers)
+                .map(|_| CachePadded::new(Ring::with_capacity(capacity)))
+                .collect(),
+            shared: Mutex::new(Vec::new()),
+            shared_capacity: capacity.max(2).next_power_of_two(),
+            shared_dropped: AtomicU64::new(0),
+            collect: Mutex::new(()),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the trace epoch.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records an event from worker `worker`'s own thread (the SPSC
+    /// producer for its ring).
+    #[inline]
+    pub fn record(&self, worker: usize, kind: EventKind) {
+        self.rings[worker].push(TraceEvent {
+            ts: self.now(),
+            worker: worker as u32,
+            kind,
+        });
+    }
+
+    /// Records an event from an arbitrary thread, attributed to `worker`
+    /// (or [`NONE_ID`]). Goes to the mutex-protected side buffer.
+    pub fn record_shared(&self, worker: u32, kind: EventKind) {
+        let ev = TraceEvent {
+            ts: self.now(),
+            worker,
+            kind,
+        };
+        let mut buf = self.shared.lock();
+        if buf.len() >= self.shared_capacity {
+            self.shared_dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            buf.push(ev);
+        }
+    }
+
+    /// Drains every ring and the side buffer into a [`Trace`] snapshot,
+    /// sorted by timestamp. Events recorded concurrently with the drain
+    /// land in the next snapshot.
+    pub fn drain(&self) -> Trace {
+        let _guard = self.collect.lock();
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        for ring in self.rings.iter() {
+            while let Some(ev) = ring.pop() {
+                events.push(ev);
+            }
+            dropped += ring.dropped.load(Ordering::Relaxed);
+        }
+        events.append(&mut self.shared.lock());
+        dropped += self.shared_dropped.load(Ordering::Relaxed);
+        events.sort_by_key(|e| e.ts);
+        Trace {
+            events,
+            dropped,
+            workers: self.rings.len(),
+        }
+    }
+}
+
+/// A drained snapshot of the runtime's event history.
+///
+/// Obtained from [`Runtime::trace_snapshot`](crate::Runtime::trace_snapshot)
+/// (point-in-time, racing with the still-running schedule) or from
+/// [`Runtime::shutdown`](crate::Runtime::shutdown) (complete and quiescent).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// All recorded events, sorted by timestamp.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overflow (raise
+    /// [`Config::trace_capacity`](crate::Config::trace_capacity) if
+    /// non-zero and completeness matters).
+    pub dropped: u64,
+    /// Number of worker rings the trace was collected from.
+    pub workers: usize,
+}
+
+impl Trace {
+    /// Derives the paper-facing statistics from the recorded events.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_events(&self.events, self.workers)
+    }
+
+    /// Writes the events as Chrome-trace/Perfetto JSON (load via
+    /// `chrome://tracing` or <https://ui.perfetto.dev>).
+    pub fn export_chrome<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        export::write_chrome_trace(self, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            ts,
+            worker: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn ring_roundtrip_in_order() {
+        let r = Ring::with_capacity(8);
+        for i in 0..5 {
+            r.push(ev(i, EventKind::Park));
+        }
+        for i in 0..5 {
+            assert_eq!(r.pop().unwrap().ts, i);
+        }
+        assert!(r.pop().is_none());
+    }
+
+    #[test]
+    fn ring_drops_newest_when_full() {
+        let r = Ring::with_capacity(4); // rounded to 4
+        for i in 0..6 {
+            r.push(ev(i, EventKind::Park));
+        }
+        assert_eq!(r.dropped.load(Ordering::Relaxed), 2);
+        // The *oldest* events survive.
+        let got: Vec<u64> = std::iter::from_fn(|| r.pop()).map(|e| e.ts).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ring_wraps_after_drain() {
+        let r = Ring::with_capacity(4);
+        for round in 0..10u64 {
+            r.push(ev(round, EventKind::Park));
+            assert_eq!(r.pop().unwrap().ts, round);
+        }
+        assert_eq!(r.dropped.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn ring_spsc_concurrent() {
+        let r = std::sync::Arc::new(Ring::with_capacity(1 << 12));
+        let n = 100_000u64;
+        let producer = {
+            let r = r.clone();
+            std::thread::spawn(move || {
+                for i in 0..n {
+                    r.push(ev(i, EventKind::Park));
+                }
+            })
+        };
+        let mut last = None;
+        let mut got = 0u64;
+        while got < n {
+            if let Some(e) = r.pop() {
+                // Order is preserved even if overflow dropped some.
+                if let Some(prev) = last {
+                    assert!(e.ts > prev);
+                }
+                last = Some(e.ts);
+                got += 1;
+            }
+            if got + r.dropped.load(Ordering::Relaxed) >= n && r.pop().is_none() {
+                break;
+            }
+        }
+        producer.join().unwrap();
+        while r.pop().is_some() {
+            got += 1;
+        }
+        assert_eq!(got + r.dropped.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn tracer_drain_merges_and_sorts() {
+        let t = Tracer::new(2, 64);
+        t.record(1, EventKind::Park);
+        t.record(0, EventKind::Park);
+        t.record_shared(NONE_ID, EventKind::Inject);
+        let trace = t.drain();
+        assert_eq!(trace.events.len(), 3);
+        assert_eq!(trace.workers, 2);
+        assert!(trace.events.windows(2).all(|w| w[0].ts <= w[1].ts));
+        // Second drain starts empty.
+        assert!(t.drain().events.is_empty());
+    }
+}

@@ -1,0 +1,390 @@
+//! Derived statistics: the paper's quantities measured on a real run.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use super::{EventKind, StealOutcome, TraceEvent};
+
+/// Number of power-of-two latency buckets (covers 1ns..≈17min).
+const BUCKETS: usize = 40;
+
+/// In-flight suspension record while pairing lifecycle events:
+/// `(suspend_ts, Some((enabled_at, ready_ts)))` once delivery was seen.
+type Lifecycle = (Option<u64>, Option<(u64, u64)>);
+
+/// A log₂-bucketed latency histogram over nanosecond samples.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))` ns (bucket 0 also takes
+/// zero). Quantiles are reported as the upper bound of the bucket the
+/// quantile falls in — at most 2× off, which is plenty for the
+/// order-of-magnitude latency questions the paper asks.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Adds one sample, in nanoseconds.
+    pub fn record(&mut self, nanos: u64) {
+        let idx = (63 - nanos.max(1).leading_zeros()) as usize;
+        self.buckets[idx.min(BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(nanos);
+        self.min = self.min.min(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample, in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Smallest sample, in nanoseconds (0 when empty).
+    pub fn min_nanos(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, in nanoseconds.
+    pub fn max_nanos(&self) -> u64 {
+        self.max
+    }
+
+    /// Upper bound of the bucket holding quantile `q` (`0.0..=1.0`), in
+    /// nanoseconds. Returns 0 when empty.
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max
+    }
+}
+
+/// Formats nanoseconds with a human unit.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{}.{}µs", ns / 1_000, (ns % 1_000) / 100),
+        1_000_000..=999_999_999 => format!("{}.{}ms", ns / 1_000_000, (ns % 1_000_000) / 100_000),
+        _ => format!(
+            "{}.{}s",
+            ns / 1_000_000_000,
+            (ns % 1_000_000_000) / 100_000_000
+        ),
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "(no samples)");
+        }
+        write!(
+            f,
+            "n={} min={} mean={} p50≤{} p90≤{} p99≤{} max={}",
+            self.count,
+            fmt_ns(self.min_nanos()),
+            fmt_ns(self.mean_nanos()),
+            fmt_ns(self.quantile_nanos(0.50)),
+            fmt_ns(self.quantile_nanos(0.90)),
+            fmt_ns(self.quantile_nanos(0.99)),
+            fmt_ns(self.max_nanos()),
+        )
+    }
+}
+
+/// Statistics derived from a [`Trace`](super::Trace): every number the
+/// ISSUE's empirical checks need, computed in one pass over the events.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct TraceStats {
+    /// Steal attempts recorded (the paper's `R`).
+    pub steal_attempts: u64,
+    /// Attempts that returned a task.
+    pub steal_successes: u64,
+    /// Attempts that found an empty/freed victim.
+    pub steal_empty: u64,
+    /// Attempts abandoned after losing pop-top races.
+    pub steal_lost_race: u64,
+    /// Suspensions registered.
+    pub suspensions: u64,
+    /// Resume events delivered (sum of batch lengths).
+    pub resumes_delivered: u64,
+    /// Resume batches delivered.
+    pub resume_batches: u64,
+    /// Largest delivered batch.
+    pub max_resume_batch: u64,
+    /// Deque switches (idle worker resumed a ready deque).
+    pub deque_switches: u64,
+    /// Parks recorded.
+    pub parks: u64,
+    /// Unparks recorded.
+    pub unparks: u64,
+    /// External injections recorded.
+    pub injects: u64,
+    /// Suspension registration → enable (delivery) latency: the latency
+    /// the operation actually incurred.
+    pub suspend_to_enable: LatencyHistogram,
+    /// Enable → ready latency: delivery until the owner drained the event
+    /// into a deque (the scheduler's share of resume delay).
+    pub enable_to_ready: LatencyHistogram,
+    /// Ready → executed latency: in-deque wait until the resumed task's
+    /// next poll.
+    pub ready_to_exec: LatencyHistogram,
+    /// Per-worker live-deque high-water marks (Lemma 7: ≤ `U + 1`).
+    pub deque_high_water: Vec<u64>,
+}
+
+impl TraceStats {
+    /// Computes the statistics from `events` recorded across `workers`
+    /// rings.
+    pub fn from_events(events: &[TraceEvent], workers: usize) -> TraceStats {
+        let mut s = TraceStats {
+            deque_high_water: vec![0; workers],
+            ..TraceStats::default()
+        };
+        // seq → (suspend_ts, (enabled_at, ready_ts)); filled in as the
+        // lifecycle events stream past (they are timestamp-sorted, but we
+        // do not rely on it).
+        let mut pending: HashMap<u64, Lifecycle> = HashMap::new();
+        for ev in events {
+            match ev.kind {
+                EventKind::Steal { outcome, .. } => {
+                    s.steal_attempts += 1;
+                    match outcome {
+                        StealOutcome::Success => s.steal_successes += 1,
+                        StealOutcome::Empty => s.steal_empty += 1,
+                        StealOutcome::LostRace => s.steal_lost_race += 1,
+                    }
+                }
+                EventKind::Suspend { seq, .. } => {
+                    s.suspensions += 1;
+                    pending.entry(seq).or_default().0 = Some(ev.ts);
+                }
+                EventKind::Resume { batch_len, .. } => {
+                    s.resume_batches += 1;
+                    s.resumes_delivered += batch_len as u64;
+                    s.max_resume_batch = s.max_resume_batch.max(batch_len as u64);
+                }
+                EventKind::ResumeReady { seq, enabled_at } => {
+                    let entry = pending.entry(seq).or_default();
+                    entry.1 = Some((enabled_at, ev.ts));
+                }
+                EventKind::ResumeExec { seq } => {
+                    if let Some((suspend, Some((enabled_at, ready_ts)))) = pending.remove(&seq) {
+                        if let Some(suspend_ts) = suspend {
+                            s.suspend_to_enable
+                                .record(enabled_at.saturating_sub(suspend_ts));
+                        }
+                        s.enable_to_ready
+                            .record(ready_ts.saturating_sub(enabled_at));
+                        s.ready_to_exec.record(ev.ts.saturating_sub(ready_ts));
+                    }
+                }
+                EventKind::DequeSwitch { .. } => s.deque_switches += 1,
+                EventKind::DequeAlloc { live } => {
+                    if let Some(hw) = s.deque_high_water.get_mut(ev.worker as usize) {
+                        *hw = (*hw).max(live as u64);
+                    }
+                }
+                EventKind::DequeRelease { .. } => {}
+                EventKind::Park => s.parks += 1,
+                EventKind::Unpark { .. } => s.unparks += 1,
+                EventKind::Inject => s.injects += 1,
+            }
+        }
+        s
+    }
+
+    /// Fraction of steal attempts that succeeded (`0.0` when none).
+    pub fn steal_success_rate(&self) -> f64 {
+        if self.steal_attempts == 0 {
+            0.0
+        } else {
+            self.steal_successes as f64 / self.steal_attempts as f64
+        }
+    }
+
+    /// The largest per-worker deque high-water mark.
+    pub fn max_deque_high_water(&self) -> u64 {
+        self.deque_high_water.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "steals            : {}/{} succeeded ({:.1}%), {} empty, {} lost races",
+            self.steal_successes,
+            self.steal_attempts,
+            self.steal_success_rate() * 100.0,
+            self.steal_empty,
+            self.steal_lost_race,
+        )?;
+        writeln!(
+            f,
+            "suspensions       : {} registered, {} resumed in {} batches (max batch {})",
+            self.suspensions, self.resumes_delivered, self.resume_batches, self.max_resume_batch,
+        )?;
+        writeln!(f, "suspend→enable    : {}", self.suspend_to_enable)?;
+        writeln!(f, "enable→ready      : {}", self.enable_to_ready)?;
+        writeln!(f, "ready→executed    : {}", self.ready_to_exec)?;
+        writeln!(
+            f,
+            "deque switches    : {}  parks: {}  unparks: {}  injects: {}",
+            self.deque_switches, self.parks, self.unparks, self.injects,
+        )?;
+        write!(
+            f,
+            "deque high-water  : {:?} (max {})",
+            self.deque_high_water,
+            self.max_deque_high_water(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{SuspendKind, NONE_ID};
+    use super::*;
+
+    fn ev(ts: u64, worker: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent { ts, worker, kind }
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = LatencyHistogram::default();
+        assert!(h.is_empty());
+        for v in [100, 200, 400, 800, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min_nanos(), 100);
+        assert_eq!(h.max_nanos(), 100_000);
+        assert!(h.mean_nanos() > 0);
+        // The median (3rd of 5) is 400, bucket [256,512) → upper bound 512.
+        assert_eq!(h.quantile_nanos(0.5), 512);
+        assert!(h.quantile_nanos(1.0) >= 100_000 / 2);
+        assert!(!format!("{h}").is_empty());
+    }
+
+    #[test]
+    fn histogram_zero_sample() {
+        let mut h = LatencyHistogram::default();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min_nanos(), 0);
+    }
+
+    #[test]
+    fn stats_steals_and_rate() {
+        let mk = |o| EventKind::Steal {
+            victim_deque: 1,
+            victim_worker: 0,
+            outcome: o,
+        };
+        let events = vec![
+            ev(1, 0, mk(StealOutcome::Success)),
+            ev(2, 0, mk(StealOutcome::Empty)),
+            ev(3, 1, mk(StealOutcome::Empty)),
+            ev(4, 1, mk(StealOutcome::LostRace)),
+        ];
+        let s = TraceStats::from_events(&events, 2);
+        assert_eq!(s.steal_attempts, 4);
+        assert_eq!(s.steal_successes, 1);
+        assert_eq!(s.steal_empty, 2);
+        assert_eq!(s.steal_lost_race, 1);
+        assert!((s.steal_success_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_suspension_lifecycle_pairs_by_seq() {
+        let events = vec![
+            ev(
+                100,
+                0,
+                EventKind::Suspend {
+                    deque: 0,
+                    kind: SuspendKind::Timer,
+                    seq: 7,
+                },
+            ),
+            ev(
+                500,
+                NONE_ID,
+                EventKind::Resume {
+                    batch_len: 1,
+                    tick: 3,
+                },
+            ),
+            ev(
+                600,
+                0,
+                EventKind::ResumeReady {
+                    seq: 7,
+                    enabled_at: 500,
+                },
+            ),
+            ev(900, 0, EventKind::ResumeExec { seq: 7 }),
+        ];
+        let s = TraceStats::from_events(&events, 1);
+        assert_eq!(s.suspensions, 1);
+        assert_eq!(s.resumes_delivered, 1);
+        assert_eq!(s.suspend_to_enable.count(), 1);
+        assert_eq!(s.suspend_to_enable.min_nanos(), 400);
+        assert_eq!(s.enable_to_ready.min_nanos(), 100);
+        assert_eq!(s.ready_to_exec.min_nanos(), 300);
+    }
+
+    #[test]
+    fn stats_high_water_per_worker() {
+        let events = vec![
+            ev(1, 0, EventKind::DequeAlloc { live: 1 }),
+            ev(2, 0, EventKind::DequeAlloc { live: 2 }),
+            ev(3, 0, EventKind::DequeRelease { live: 1 }),
+            ev(4, 1, EventKind::DequeAlloc { live: 5 }),
+        ];
+        let s = TraceStats::from_events(&events, 2);
+        assert_eq!(s.deque_high_water, vec![2, 5]);
+        assert_eq!(s.max_deque_high_water(), 5);
+    }
+}

@@ -29,6 +29,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::sync::{Arc, Weak};
+use std::task::Waker;
 use std::time::{Duration, Instant};
 
 use lhws_deque::{DequeId, Steal, WorkerHandle};
@@ -40,6 +41,7 @@ use crate::metrics::CounterBlock;
 use crate::runtime::RtInner;
 use crate::task::{Task, TaskRef};
 use crate::timer::{ResumeEvent, TimerEntry};
+use crate::trace::{EventKind, StealOutcome, SuspendKind, Tracer, NONE_ID};
 
 /// Sentinel for "no active deque" in the TLS cell.
 const NO_DEQUE: usize = usize::MAX;
@@ -62,6 +64,19 @@ struct WorkerTls {
     /// Tasks enabled on this thread during the current poll (fork2 spawns,
     /// join wake-ups, pfor unfolding); flushed to the active deque.
     pending_local: RefCell<Vec<TaskRef>>,
+    /// Running count of trace suspension tags handed out by this worker
+    /// (only advanced while tracing is enabled).
+    suspend_seq: Cell<u64>,
+}
+
+/// Allocates a trace suspension tag: worker-unique by construction
+/// (worker index in the high bits, per-worker counter in the low 40), and
+/// never `0` — `0` is the "untraced" sentinel carried through
+/// [`TimerEntry::seq`] / [`ResumeEvent::seq`].
+fn alloc_seq(tls: &WorkerTls) -> u64 {
+    let n = tls.suspend_seq.get() + 1;
+    tls.suspend_seq.set(n);
+    ((tls.index as u64 + 1) << 40) | (n & ((1 << 40) - 1))
 }
 
 thread_local! {
@@ -135,11 +150,24 @@ pub(crate) fn register_latency(deadline: Instant) -> bool {
         if local_deque == NO_DEQUE {
             return false;
         }
+        let mut seq = 0;
+        if let Some(tr) = &rt.tracer {
+            seq = alloc_seq(tls);
+            tr.record(
+                tls.index,
+                EventKind::Suspend {
+                    deque: local_deque as u32,
+                    kind: SuspendKind::Timer,
+                    seq,
+                },
+            );
+        }
         rt.timer().register(TimerEntry {
             deadline,
             task,
             worker: tls.index,
             local_deque,
+            seq,
         });
         tls.suspend_count.set(tls.suspend_count.get() + 1);
         let c = rt.counters.worker(tls.index);
@@ -149,19 +177,79 @@ pub(crate) fn register_latency(deadline: Instant) -> bool {
 }
 
 /// A task's suspension placement: which runtime/worker/deque it suspended
-/// on, recorded when an external operation registers during a poll.
-pub(crate) struct ExternalRegistration {
-    pub rt: Weak<RtInner>,
-    pub worker: usize,
-    pub local_deque: usize,
-    pub task: TaskRef,
+/// on, recorded when a suspending operation registers during a poll.
+///
+/// **Contract: one registration pairs with exactly one resume event.**
+/// Whoever holds the registration owes the deque one [`ResumeEvent`] —
+/// delivered by [`SuspensionRegistration::resume`] on completion, *or* on
+/// cancellation/drop of the waiting operation — so the deque's
+/// `suspendCtr` always balances. Spurious re-polls while registered must
+/// keep the original registration rather than creating a second one.
+pub(crate) struct SuspensionRegistration {
+    rt: Weak<RtInner>,
+    worker: usize,
+    local_deque: usize,
+    task: TaskRef,
+    /// Trace tag of the paired `Suspend` event (`0` when untraced).
+    seq: u64,
 }
 
-/// Registers the currently polled task for an external completion against
-/// its active deque, marking this poll as suspending. Returns `None` off
-/// worker threads or in blocking mode (callers fall back to waker-based
-/// waiting).
-pub(crate) fn register_external() -> Option<ExternalRegistration> {
+impl SuspensionRegistration {
+    /// Delivers the one resume event owed by this registration — the
+    /// paper's `callback(v, q)` — to the owning worker's inbox.
+    pub fn resume(self) {
+        if let Some(rt) = self.rt.upgrade() {
+            rt.deliver_resume(
+                self.worker,
+                ResumeEvent {
+                    task: self.task,
+                    local_deque: self.local_deque,
+                    seq: self.seq,
+                    enabled_at: 0,
+                },
+            );
+        }
+    }
+}
+
+/// How a suspending operation waits for its completion.
+pub(crate) enum SuspendWait {
+    /// Suspended on a worker deque ([`SuspensionRegistration`]'s one
+    /// registration ↔ one resume event contract applies).
+    Deque(SuspensionRegistration),
+    /// Off-worker or blocking mode: plain waker-based waiting.
+    Waker(Waker),
+}
+
+impl SuspendWait {
+    /// Completes the wait: delivers the owed resume event (deque path) or
+    /// wakes the task (waker path).
+    pub fn notify(self) {
+        match self {
+            SuspendWait::Deque(reg) => reg.resume(),
+            SuspendWait::Waker(w) => w.wake(),
+        }
+    }
+}
+
+/// Registers the currently polled task as suspended on its active deque,
+/// falling back to waker-based waiting off worker threads or in blocking
+/// mode. This is the **single** registration entry point for externally
+/// completed operations (`external_op`, channel receives).
+///
+/// On the deque path this bumps the poll's suspend count (raising the
+/// deque's `suspendCtr` after the poll); the returned wait must then be
+/// notified exactly once — see [`SuspensionRegistration`]'s contract.
+pub(crate) fn register_suspension(waker: &Waker) -> SuspendWait {
+    match try_register_deque() {
+        Some(reg) => SuspendWait::Deque(reg),
+        None => SuspendWait::Waker(waker.clone()),
+    }
+}
+
+/// The deque half of [`register_suspension`]: `None` off worker threads,
+/// in blocking mode, or outside a poll.
+fn try_register_deque() -> Option<SuspensionRegistration> {
     TLS.with(|t| {
         let borrow = t.borrow();
         let tls = borrow.as_ref()?;
@@ -174,14 +262,27 @@ pub(crate) fn register_external() -> Option<ExternalRegistration> {
         if local_deque == NO_DEQUE {
             return None;
         }
+        let mut seq = 0;
+        if let Some(tr) = &rt.tracer {
+            seq = alloc_seq(tls);
+            tr.record(
+                tls.index,
+                EventKind::Suspend {
+                    deque: local_deque as u32,
+                    kind: SuspendKind::External,
+                    seq,
+                },
+            );
+        }
         tls.suspend_count.set(tls.suspend_count.get() + 1);
         let c = rt.counters.worker(tls.index);
         c.bump(&c.suspensions);
-        Some(ExternalRegistration {
+        Some(SuspensionRegistration {
             rt: tls.rt.clone(),
             worker: tls.index,
             local_deque,
             task,
+            seq,
         })
     })
 }
@@ -217,6 +318,9 @@ pub(crate) struct Worker {
     advertised: Vec<DequeId>,
     /// Reused build buffer for [`Worker::advertise`].
     adv_scratch: Vec<DequeId>,
+    /// Cached from `rt.tracer` so every event site is one local branch;
+    /// `None` (tracing disabled) costs nothing on the hot path.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Worker {
@@ -225,6 +329,7 @@ impl Worker {
             .config
             .seed
             .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
+        let tracer = rt.tracer.clone();
         Worker {
             rt,
             index,
@@ -239,6 +344,7 @@ impl Worker {
             inbox_scratch: Vec::new(),
             advertised: Vec::new(),
             adv_scratch: Vec::new(),
+            tracer,
         }
     }
 
@@ -246,6 +352,15 @@ impl Worker {
     #[inline]
     fn ctr(&self) -> &CounterBlock {
         self.rt.counters.worker(self.index)
+    }
+
+    /// Records a trace event on this worker's ring; one never-taken branch
+    /// when tracing is disabled.
+    #[inline]
+    fn trace(&self, kind: EventKind) {
+        if let Some(t) = &self.tracer {
+            t.record(self.index, kind);
+        }
     }
 
     /// Runs the scheduling loop until shutdown.
@@ -280,6 +395,7 @@ impl Worker {
         if self.active.is_none() {
             if let Some(q) = self.pop_ready() {
                 self.ctr().bump(&self.ctr().deque_switches);
+                self.trace(EventKind::DequeSwitch { deque: q as u32 });
                 self.activate(q);
             } else if let Some(task) = self.rt.pop_injected() {
                 self.assigned = Some(task);
@@ -321,6 +437,7 @@ impl Worker {
             sleepers.cancel_park(self.index);
             return;
         }
+        self.trace(EventKind::Park);
         std::thread::park_timeout(Duration::from_micros(self.rt.config.park_micros));
         sleepers.cancel_park(self.index);
     }
@@ -332,6 +449,14 @@ impl Worker {
     fn poll_task(&mut self, task: TaskRef) {
         task.begin_poll();
         self.ctr().bump(&self.ctr().polls);
+        if self.tracer.is_some() {
+            // A resumed suspension reaches its next poll: the vertex
+            // *executed*. (The tag is only ever set while tracing.)
+            let seq = task.take_trace_seq();
+            if seq != 0 {
+                self.trace(EventKind::ResumeExec { seq });
+            }
+        }
         // One TLS access per poll: install the current task, run the poll,
         // and read back the suspend count under the same borrow. Nested
         // TLS uses during the poll (spawn_local, register_latency, …) take
@@ -422,6 +547,20 @@ impl Worker {
         }
         for ev in batch.drain(..) {
             self.ctr().bump(&self.ctr().resumes);
+            if let Some(tr) = &self.tracer {
+                if ev.seq != 0 {
+                    // The owner drained the event: the vertex is *ready*.
+                    tr.record(
+                        self.index,
+                        EventKind::ResumeReady {
+                            seq: ev.seq,
+                            enabled_at: ev.enabled_at,
+                        },
+                    );
+                    // Tag the task so its next poll emits `ResumeExec`.
+                    ev.task.set_trace_seq(ev.seq);
+                }
+            }
             let d = &mut self.owned[ev.local_deque];
             debug_assert!(d.suspend_ctr > 0, "resume without suspension");
             d.suspend_ctr -= 1;
@@ -503,6 +642,9 @@ impl Worker {
         };
         self.live_deques += 1;
         self.ctr().observe_deques(self.live_deques);
+        self.trace(EventKind::DequeAlloc {
+            live: self.live_deques as u32,
+        });
         q
     }
 
@@ -513,6 +655,9 @@ impl Worker {
         self.owned[q].freed = true;
         self.empty.push(q);
         self.live_deques -= 1;
+        self.trace(EventKind::DequeRelease {
+            live: self.live_deques as u32,
+        });
     }
 
     fn activate(&mut self, q: usize) {
@@ -549,44 +694,66 @@ impl Worker {
     // Stealing.
     // ------------------------------------------------------------------
 
-    /// One steal attempt. A [`Steal::Retry`] from the deque (a benign
-    /// pop-top race) re-tries the same victim up to [`STEAL_RETRIES`]
+    /// One pop-top on victim deque `id`. A [`Steal::Retry`] from the deque
+    /// (a benign race) re-tries the same victim up to [`STEAL_RETRIES`]
     /// times before the attempt counts as failed — previously a Retry was
     /// swallowed as a failure outright, wasting the victim draw.
-    fn steal_from(&self, id: DequeId) -> Option<TaskRef> {
+    fn steal_from(&self, id: DequeId) -> (Option<TaskRef>, StealOutcome) {
         for _ in 0..STEAL_RETRIES {
             match self.rt.registry.steal(id) {
-                Steal::Success(task) => return Some(task),
-                Steal::Empty => return None,
+                Steal::Success(task) => return (Some(task), StealOutcome::Success),
+                Steal::Empty => return (None, StealOutcome::Empty),
                 Steal::Retry => std::hint::spin_loop(),
             }
         }
-        None
+        (None, StealOutcome::LostRace)
     }
 
+    /// One steal attempt (exactly one `Steal` trace event — including
+    /// attempts that never reach a victim deque — so trace steal counts
+    /// match `steals_attempted` exactly).
     fn try_steal(&mut self) -> Option<TaskRef> {
-        match self.rt.config.steal_policy {
-            StealPolicy::RandomDeque => {
-                let id = self.rt.registry.random_id(self.rng.gen())?;
-                self.steal_from(id)
-            }
+        let (victim_deque, victim_worker, got, outcome) = match self.rt.config.steal_policy {
+            StealPolicy::RandomDeque => match self.rt.registry.random_id(self.rng.gen()) {
+                None => (NONE_ID, NONE_ID, None, StealOutcome::Empty),
+                Some(id) => {
+                    let (task, outcome) = self.steal_from(id);
+                    // The owner lookup is trace-only metadata; skip it when
+                    // no one is recording.
+                    let owner = if self.tracer.is_some() {
+                        self.rt.registry.owner_of(id).map_or(NONE_ID, |w| w as u32)
+                    } else {
+                        NONE_ID
+                    };
+                    (id.index() as u32, owner, task, outcome)
+                }
+            },
             StealPolicy::WorkerThenDeque => {
                 let p = self.rt.config.workers;
                 if p == 1 {
-                    return None;
+                    (NONE_ID, NONE_ID, None, StealOutcome::Empty)
+                } else {
+                    let mut victim = self.rng.gen_range(0..p - 1);
+                    if victim >= self.index {
+                        victim += 1;
+                    }
+                    let ids: Vec<DequeId> = self.rt.shared_steal[victim].lock().clone();
+                    if ids.is_empty() {
+                        (NONE_ID, victim as u32, None, StealOutcome::Empty)
+                    } else {
+                        let id = ids[self.rng.gen_range(0..ids.len())];
+                        let (task, outcome) = self.steal_from(id);
+                        (id.index() as u32, victim as u32, task, outcome)
+                    }
                 }
-                let mut victim = self.rng.gen_range(0..p - 1);
-                if victim >= self.index {
-                    victim += 1;
-                }
-                let ids: Vec<DequeId> = self.rt.shared_steal[victim].lock().clone();
-                if ids.is_empty() {
-                    return None;
-                }
-                let id = ids[self.rng.gen_range(0..ids.len())];
-                self.steal_from(id)
             }
-        }
+        };
+        self.trace(EventKind::Steal {
+            victim_deque,
+            victim_worker,
+            outcome,
+        });
+        got
     }
 
     /// Publishes this worker's stealable deques (active + ready) for the
@@ -629,6 +796,7 @@ impl Worker {
                 current_task: RefCell::new(None),
                 suspend_count: Cell::new(0),
                 pending_local: RefCell::new(Vec::new()),
+                suspend_seq: Cell::new(0),
             });
         });
     }

@@ -1,0 +1,267 @@
+//! Trace/metrics coherence and builder-validation tests.
+//!
+//! The tracing layer promises that its event stream is not merely
+//! *plausible* but *exact*: every metrics counter bump at a traced site
+//! pairs with exactly one trace event. These tests run real workloads with
+//! tracing on and check the two accounting systems against each other, plus
+//! the empirical side of Lemma 7 (a worker owns at most `U + 1` live
+//! deques when at most `U` suspensions are in flight).
+
+use std::time::Duration;
+
+use lhws_core::trace::{EventKind, SuspendKind};
+use lhws_core::{fork2, join_all, simulate_latency, Config, ConfigError, Runtime, RuntimeError};
+
+/// Plenty of ring space: coherence checks require `dropped == 0`.
+const CAPACITY: usize = 1 << 16;
+
+fn traced_runtime(workers: usize) -> Runtime {
+    Runtime::builder()
+        .workers(workers)
+        .trace_capacity(CAPACITY)
+        .build()
+        .unwrap()
+}
+
+fn fib(n: u64) -> std::pin::Pin<Box<dyn std::future::Future<Output = u64> + Send>> {
+    Box::pin(async move {
+        if n < 2 {
+            n
+        } else {
+            let (a, b) = fork2(fib(n - 1), fib(n - 2)).await;
+            a + b
+        }
+    })
+}
+
+#[test]
+fn steal_events_match_steal_metrics() {
+    let rt = traced_runtime(4);
+    let got = rt.block_on(fib(16));
+    assert_eq!(got, 987);
+    let report = rt.shutdown();
+    let trace = report.trace.expect("tracing was enabled");
+    assert_eq!(trace.dropped, 0, "ring capacity must cover the workload");
+
+    let steal_events = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Steal { .. }))
+        .count() as u64;
+    assert_eq!(
+        steal_events, report.metrics.steals_attempted,
+        "one Steal trace event per steals_attempted bump"
+    );
+
+    let stats = trace.stats();
+    assert_eq!(stats.steal_attempts, steal_events);
+    assert_eq!(stats.steal_successes, report.metrics.steals_succeeded);
+}
+
+#[test]
+fn resume_batches_sum_to_resumed_count() {
+    let rt = traced_runtime(3);
+    rt.block_on(async {
+        let handles: Vec<_> = (0..24)
+            .map(|i| {
+                lhws_core::spawn(async move {
+                    simulate_latency(Duration::from_millis(1 + (i % 4))).await;
+                    i
+                })
+            })
+            .collect();
+        join_all(handles).await
+    });
+    let report = rt.shutdown();
+    let trace = report.trace.expect("tracing was enabled");
+    assert_eq!(trace.dropped, 0);
+
+    let delivered: u64 = trace
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Resume { batch_len, .. } => Some(batch_len as u64),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(
+        delivered, report.metrics.resumes,
+        "Resume batch lengths sum to the drained-resume count"
+    );
+    assert_eq!(report.metrics.resumes, 24);
+    assert_eq!(report.metrics.suspensions, 24);
+
+    let suspends = trace
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EventKind::Suspend {
+                    kind: SuspendKind::Timer,
+                    ..
+                }
+            )
+        })
+        .count() as u64;
+    assert_eq!(suspends, report.metrics.suspensions);
+
+    // Every suspension completed, so each lifecycle pairs end to end.
+    let stats = trace.stats();
+    assert_eq!(stats.suspensions, 24);
+    assert_eq!(stats.resumes_delivered, 24);
+    assert_eq!(stats.ready_to_exec.count(), 24);
+}
+
+#[test]
+fn high_water_respects_lemma7_bound() {
+    // One worker, U = 8 concurrently suspending tasks: Lemma 7 bounds the
+    // worker's live deques by U + 1.
+    const U: u64 = 8;
+    let rt = traced_runtime(1);
+    rt.block_on(async {
+        let handles: Vec<_> = (0..U)
+            .map(|_| {
+                lhws_core::spawn(async {
+                    simulate_latency(Duration::from_millis(5)).await;
+                })
+            })
+            .collect();
+        join_all(handles).await
+    });
+    let report = rt.shutdown();
+    let stats = report.trace.expect("tracing was enabled").stats();
+    assert!(
+        stats.max_deque_high_water() <= U + 1,
+        "high-water {} exceeds Lemma 7 bound {}",
+        stats.max_deque_high_water(),
+        U + 1
+    );
+    // The trace-side high-water and the metrics-side observation agree.
+    assert_eq!(
+        stats.max_deque_high_water(),
+        report.metrics.max_deques_per_worker
+    );
+}
+
+#[test]
+fn tracing_disabled_yields_no_trace() {
+    let rt = Runtime::builder().workers(2).build().unwrap();
+    assert_eq!(rt.block_on(fib(10)), 55);
+    assert!(rt.trace_snapshot().is_none());
+    let mut out = Vec::new();
+    rt.trace_export(&mut out).unwrap();
+    // Disabled tracing exports an empty-but-valid document.
+    assert!(out.starts_with(b"{"));
+    let report = rt.shutdown();
+    assert!(report.trace.is_none());
+}
+
+// ---------------------------------------------------------------------
+// Builder validation: one test per `ConfigError` variant.
+// ---------------------------------------------------------------------
+
+fn rejects(err: RuntimeError, want: ConfigError) {
+    match err {
+        RuntimeError::InvalidConfig(e) => assert_eq!(e, want),
+        other => panic!("expected InvalidConfig({want:?}), got {other:?}"),
+    }
+}
+
+#[test]
+fn builder_rejects_zero_workers() {
+    let err = Runtime::builder().workers(0).build().unwrap_err();
+    rejects(err, ConfigError::ZeroWorkers);
+}
+
+#[test]
+fn builder_rejects_explicit_zero_timer_shards() {
+    let err = Runtime::builder()
+        .workers(2)
+        .timer_shards(0)
+        .build()
+        .unwrap_err();
+    rejects(err, ConfigError::ZeroTimerShards);
+    // Not setting the knob at all means "one shard per worker" and is fine.
+    let rt = Runtime::builder().workers(2).build().unwrap();
+    drop(rt);
+}
+
+#[test]
+fn builder_rejects_zero_timer_tick() {
+    let err = Runtime::builder()
+        .workers(1)
+        .timer_tick(Duration::ZERO)
+        .build()
+        .unwrap_err();
+    rejects(err, ConfigError::ZeroTimerTick);
+}
+
+#[test]
+fn builder_rejects_zero_resume_batch_limit() {
+    let err = Runtime::builder()
+        .workers(1)
+        .resume_batch_limit(0)
+        .build()
+        .unwrap_err();
+    rejects(err, ConfigError::ZeroResumeBatchLimit);
+}
+
+#[test]
+fn builder_rejects_zero_pfor_grain() {
+    let err = Runtime::builder()
+        .workers(1)
+        .pfor_grain(0)
+        .build()
+        .unwrap_err();
+    rejects(err, ConfigError::ZeroPforGrain);
+}
+
+#[test]
+fn builder_rejects_zero_park_interval() {
+    let err = Runtime::builder()
+        .workers(1)
+        .park_micros(0)
+        .build()
+        .unwrap_err();
+    rejects(err, ConfigError::ZeroParkInterval);
+}
+
+#[test]
+fn builder_rejects_registry_smaller_than_workers() {
+    let err = Runtime::builder()
+        .workers(4)
+        .registry_capacity(2)
+        .build()
+        .unwrap_err();
+    rejects(
+        err,
+        ConfigError::RegistryTooSmall {
+            capacity: 2,
+            workers: 4,
+        },
+    );
+}
+
+#[test]
+fn config_validate_catches_direct_field_writes() {
+    let cfg = Config {
+        workers: 0,
+        ..Config::default()
+    };
+    assert_eq!(cfg.validate(), Err(ConfigError::ZeroWorkers));
+    // The fluent setters clamp, so a setter-built Config always passes.
+    assert_eq!(Config::default().workers(0).validate(), Ok(()));
+}
+
+#[test]
+fn shutdown_report_is_coherent_with_live_metrics() {
+    let rt = traced_runtime(2);
+    rt.block_on(fib(12));
+    let live = rt.metrics();
+    let report = rt.shutdown();
+    // Shutdown joins the workers, so its snapshot can only have grown.
+    assert!(report.metrics.polls >= live.polls);
+    let delta = report.metrics.delta(&live);
+    assert_eq!(delta.tasks_spawned, 0, "no tasks spawn after block_on");
+}

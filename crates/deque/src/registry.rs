@@ -137,6 +137,13 @@ impl<T: Send> Registry<T> {
         self.slots.get(id.index()).and_then(|s| s.get())
     }
 
+    /// Id of the worker that owns deque `id`, if the registering write has
+    /// landed. Owners never change (freed deques are recycled by the same
+    /// worker), so the answer is stable once `Some`.
+    pub fn owner_of(&self, id: DequeId) -> Option<usize> {
+        self.get(id).map(|s| s.owner)
+    }
+
     /// Attempts to steal from deque `id` (the paper's `popTop` on
     /// `randomDeque()`'s result). An unset slot reads as an empty deque.
     pub fn steal(&self, id: DequeId) -> Steal<T> {
@@ -245,6 +252,8 @@ mod tests {
         let (_w, s) = WorkerHandle::new(DequeKind::ChaseLev);
         let id = reg.register(7, s).unwrap();
         assert_eq!(reg.get(id).unwrap().owner, 7);
+        assert_eq!(reg.owner_of(id), Some(7));
+        assert_eq!(reg.owner_of(DequeId(3)), None, "unset slot has no owner");
     }
 
     #[test]

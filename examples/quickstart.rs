@@ -12,11 +12,15 @@
 
 use std::time::{Duration, Instant};
 
-use lhws::runtime::{fork2, simulate_latency, Config, LatencyMode, Runtime};
+use lhws::runtime::{fork2, simulate_latency, LatencyMode, Runtime};
 
 fn main() {
-    // A 2-worker latency-hiding runtime.
-    let rt = Runtime::new(Config::default().workers(2)).unwrap();
+    // A 2-worker latency-hiding runtime, with scheduler tracing on.
+    let rt = Runtime::builder()
+        .workers(2)
+        .trace_capacity(1 << 16)
+        .build()
+        .unwrap();
 
     let start = Instant::now();
     let result = rt.block_on(async {
@@ -68,8 +72,25 @@ fn main() {
     println!("64 concurrent interactions, hidden: {total} in {hidden:?}");
     assert!(hidden < Duration::from_millis(1000));
 
+    // Shut down and inspect the trace: suspension-latency histograms,
+    // steal success rate, and the Lemma 7 deque high-water mark. The
+    // Chrome-trace JSON loads in chrome://tracing or ui.perfetto.dev.
+    let report = rt.shutdown();
+    let trace = report.trace.expect("tracing was enabled");
+    println!("\n{}", trace.stats());
+    let mut json = Vec::new();
+    trace.export_chrome(&mut json).unwrap();
+    println!(
+        "(Chrome trace: {} bytes; write it to a file to view)",
+        json.len()
+    );
+
     // And the blocking baseline for contrast (2 workers block on each op).
-    let rt_block = Runtime::new(Config::default().workers(2).mode(LatencyMode::Block)).unwrap();
+    let rt_block = Runtime::builder()
+        .workers(2)
+        .mode(LatencyMode::Block)
+        .build()
+        .unwrap();
     let start = Instant::now();
     rt_block.block_on(async {
         let handles: Vec<_> = (0..8) // only 8: blocking 64 would take 3.2 s

@@ -19,10 +19,10 @@
 //! ## Quickstart
 //!
 //! ```
-//! use lhws::runtime::{Runtime, Config, fork2, simulate_latency};
+//! use lhws::runtime::{Runtime, fork2, simulate_latency};
 //! use std::time::Duration;
 //!
-//! let rt = Runtime::new(Config::default().workers(4)).unwrap();
+//! let rt = Runtime::builder().workers(4).build().unwrap();
 //! let out = rt.block_on(async {
 //!     // Two branches run in parallel; the right branch incurs latency
 //!     // (e.g. waiting for a remote server) without blocking its worker.
