@@ -23,7 +23,7 @@ use std::task::{Context, Poll};
 
 use parking_lot::Mutex;
 
-use crate::external::{external_op, Canceled, Completer, ExternalOp};
+use crate::external::{external_op, Canceled, Completer, DeadlineOp, ExternalOp};
 use crate::worker::{self, SuspendWait};
 
 // ---------------------------------------------------------------------
@@ -54,6 +54,21 @@ impl<T: Send + 'static> OneshotSender<T> {
 #[derive(Debug)]
 pub struct OneshotReceiver<T: Send + 'static> {
     op: ExternalOp<T>,
+}
+
+impl<T: Send + 'static> OneshotReceiver<T> {
+    /// Bounds the receive by a wall-clock deadline: the returned future
+    /// resolves `Err(OpError::TimedOut)` if no send arrives in time. See
+    /// [`ExternalOp::with_deadline`].
+    pub fn with_deadline(self, deadline: std::time::Instant) -> DeadlineOp<T> {
+        self.op.with_deadline(deadline)
+    }
+
+    /// Convenience for [`OneshotReceiver::with_deadline`] with a relative
+    /// timeout.
+    pub fn with_timeout(self, timeout: std::time::Duration) -> DeadlineOp<T> {
+        self.op.with_timeout(timeout)
+    }
 }
 
 impl<T: Send + 'static> Future for OneshotReceiver<T> {
@@ -289,6 +304,35 @@ mod tests {
             rx.await
         });
         assert_eq!(out, Err(Canceled));
+    }
+
+    #[test]
+    fn oneshot_with_timeout_times_out_then_send_is_harmless() {
+        use crate::external::OpError;
+        let rt = rt(2);
+        let out = rt.block_on(async {
+            let (tx, rx) = oneshot::<u32>();
+            let got = rx.with_timeout(Duration::from_millis(10)).await;
+            // The late send loses the settle race silently.
+            tx.send(5);
+            got
+        });
+        assert_eq!(out, Err(OpError::TimedOut));
+    }
+
+    #[test]
+    fn oneshot_with_timeout_receives_in_time() {
+        let rt = rt(2);
+        let out = rt.block_on(async {
+            let (tx, rx) = oneshot::<u32>();
+            let (_, got) = fork2(
+                async move { tx.send(41) },
+                rx.with_timeout(Duration::from_secs(30)),
+            )
+            .await;
+            got.unwrap() + 1
+        });
+        assert_eq!(out, 42);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::time::Duration;
 
 use lhws_deque::DequeKind;
 
+use crate::fault::{FaultPlan, FaultSite};
 use crate::runtime::{Runtime, RuntimeError};
 
 /// How the runtime treats latency-incurring operations.
@@ -100,6 +101,11 @@ pub struct Config {
     /// allocated and every event site reduces to one never-taken branch.
     /// See [`crate::trace`].
     pub trace_capacity: usize,
+    /// Deterministic fault-injection schedule for chaos testing. `None`
+    /// (the default) builds no injector at all — every injection site
+    /// reduces to one never-taken branch, the same zero-cost pattern as
+    /// the tracer. See [`crate::fault`].
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for Config {
@@ -120,6 +126,7 @@ impl Default for Config {
             timer_shards: 0,
             resume_batch_limit: 1024,
             trace_capacity: 0,
+            fault_plan: None,
         }
     }
 }
@@ -203,6 +210,13 @@ impl Config {
         self
     }
 
+    /// Enables deterministic fault injection with the given plan. See
+    /// [`crate::fault`].
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Validates the knob combination, returning the first violation.
     ///
     /// The fluent [`Config`] setters clamp rather than fail, so a `Config`
@@ -230,6 +244,9 @@ impl Config {
                 capacity: self.registry_capacity,
                 workers: self.workers,
             });
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate()?;
         }
         Ok(())
     }
@@ -262,6 +279,14 @@ pub enum ConfigError {
         /// The configured worker count it must cover.
         workers: usize,
     },
+    /// A [`FaultPlan`] rate exceeds 1 000 000 ppm (rates are fractions of
+    /// one million visits).
+    FaultRateOutOfRange {
+        /// The injection site whose rate is out of range.
+        site: FaultSite,
+        /// The offending rate.
+        ppm: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -284,6 +309,9 @@ impl fmt::Display for ConfigError {
                 f,
                 "registry_capacity ({capacity}) must be >= workers ({workers})"
             ),
+            ConfigError::FaultRateOutOfRange { site, ppm } => {
+                write!(f, "fault rate for {site:?} ({ppm} ppm) exceeds 1000000 ppm")
+            }
         }
     }
 }
@@ -403,6 +431,13 @@ impl RuntimeBuilder {
     /// [`crate::trace`].
     pub fn trace_capacity(mut self, events: usize) -> Self {
         self.cfg.trace_capacity = events;
+        self
+    }
+
+    /// Enables deterministic fault injection with the given plan. Rates
+    /// above 1 000 000 ppm are rejected at build time. See [`crate::fault`].
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault_plan = Some(plan);
         self
     }
 

@@ -25,11 +25,18 @@
 //! * Dropping the `Completer` without completing cancels the operation:
 //!   the future resolves to `Err(Canceled)` and a resume event is still
 //!   delivered so the suspension count stays balanced.
+//! * [`ExternalOp::with_deadline`] bounds the wait through the runtime
+//!   timer: the resulting [`DeadlineOp`] resolves `Err(TimedOut)` if the
+//!   completer has not fired by the deadline. The settle protocol is
+//!   **idempotent** — the deadline and a racing completer both try to
+//!   settle, exactly one wins, and the loser is a no-op (the completer
+//!   reports which via [`Completer::complete`]'s return value).
 
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::Arc;
 use std::task::{Context, Poll};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -47,14 +54,35 @@ impl std::fmt::Display for Canceled {
 
 impl std::error::Error for Canceled {}
 
+/// Why an external operation resolved without a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpError {
+    /// The [`Completer`] was dropped unfired (or the runtime shut down
+    /// with the deadline still pending).
+    Canceled,
+    /// A [`DeadlineOp`] deadline expired before the completer fired.
+    TimedOut,
+}
+
+impl std::fmt::Display for OpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpError::Canceled => write!(f, "external operation canceled"),
+            OpError::TimedOut => write!(f, "external operation timed out"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
 enum OpState<T> {
     /// Created; not yet polled, not yet completed.
     Idle,
     /// Waiting: suspended on a worker deque or parked behind a waker
     /// (see [`worker::register_suspension`]).
     Parked(SuspendWait),
-    /// Completed (or canceled); value not yet taken.
-    Done(Result<T, Canceled>),
+    /// Completed (or canceled / timed out); value not yet taken.
+    Done(Result<T, OpError>),
     /// Value delivered to the future.
     Finished,
 }
@@ -91,9 +119,14 @@ impl<T: Send + 'static> std::fmt::Debug for Completer<T> {
 
 impl<T: Send + 'static> Completer<T> {
     /// Completes the operation with `value`, resuming the waiting task.
-    pub fn complete(mut self, value: T) {
-        if let Some(shared) = self.shared.take() {
-            settle(&shared, Ok(value));
+    ///
+    /// Returns `true` when this call **won** the settle race — the waiter
+    /// will observe `Ok(value)` — and `false` when it lost (a deadline
+    /// already timed the operation out), in which case `value` is dropped.
+    pub fn complete(mut self, value: T) -> bool {
+        match self.shared.take() {
+            Some(shared) => settle(&shared, Ok(value)),
+            None => false,
         }
     }
 }
@@ -101,15 +134,21 @@ impl<T: Send + 'static> Completer<T> {
 impl<T: Send + 'static> Drop for Completer<T> {
     fn drop(&mut self) {
         if let Some(shared) = self.shared.take() {
-            settle(&shared, Err(Canceled));
+            settle(&shared, Err(OpError::Canceled));
         }
     }
 }
 
-/// Stores the outcome and resumes/wakes the waiter, if any.
-fn settle<T: Send + 'static>(shared: &Shared<T>, outcome: Result<T, Canceled>) {
+/// Stores the outcome and resumes/wakes the waiter, if any. Idempotent:
+/// the first settler wins and returns `true`; later settlers (a completer
+/// racing a deadline, or vice versa) are no-ops returning `false`, so the
+/// waiter is notified exactly once.
+fn settle<T: Send + 'static>(shared: &Shared<T>, outcome: Result<T, OpError>) -> bool {
     let prev = {
         let mut st = shared.state.lock();
+        if matches!(&*st, OpState::Done(_) | OpState::Finished) {
+            return false; // already settled; this settler lost the race
+        }
         std::mem::replace(&mut *st, OpState::Done(outcome))
     };
     match prev {
@@ -117,8 +156,9 @@ fn settle<T: Send + 'static>(shared: &Shared<T>, outcome: Result<T, Canceled>) {
         // The paper's callback(v, q) on the deque path; a plain wake on
         // the waker path.
         OpState::Parked(wait) => wait.notify(),
-        OpState::Done(_) | OpState::Finished => unreachable!("completed twice"),
+        OpState::Done(_) | OpState::Finished => unreachable!("checked above"),
     }
+    true
 }
 
 /// Future side of an [`external_op`]. Resolves when the completer fires.
@@ -132,6 +172,26 @@ impl<T: Send + 'static> std::fmt::Debug for ExternalOp<T> {
     }
 }
 
+impl<T: Send + 'static> ExternalOp<T> {
+    /// Bounds this operation with an absolute deadline through the runtime
+    /// timer: the returned [`DeadlineOp`] resolves `Err(TimedOut)` if the
+    /// completer has not fired by `deadline`. See [`DeadlineOp`] for the
+    /// race and counter-balance semantics.
+    pub fn with_deadline(self, deadline: Instant) -> DeadlineOp<T> {
+        DeadlineOp {
+            shared: self.shared,
+            deadline,
+            arm_attempted: false,
+            timer_armed: false,
+        }
+    }
+
+    /// [`ExternalOp::with_deadline`] with a relative timeout.
+    pub fn with_timeout(self, timeout: Duration) -> DeadlineOp<T> {
+        self.with_deadline(Instant::now() + timeout)
+    }
+}
+
 impl<T: Send + 'static> Future for ExternalOp<T> {
     type Output = Result<T, Canceled>;
 
@@ -142,7 +202,9 @@ impl<T: Send + 'static> Future for ExternalOp<T> {
                 let OpState::Done(v) = std::mem::replace(&mut *st, OpState::Finished) else {
                     unreachable!()
                 };
-                Poll::Ready(v)
+                // A plain ExternalOp never arms a deadline, so the only
+                // error it can observe is cancellation.
+                Poll::Ready(v.map_err(|_| Canceled))
             }
             OpState::Finished => panic!("ExternalOp polled after completion"),
             OpState::Parked(SuspendWait::Deque(_)) => {
@@ -151,6 +213,85 @@ impl<T: Send + 'static> Future for ExternalOp<T> {
                 Poll::Pending
             }
             st_ref @ (OpState::Idle | OpState::Parked(SuspendWait::Waker(_))) => {
+                *st_ref = OpState::Parked(worker::register_suspension(cx.waker()));
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// An [`ExternalOp`] bounded by a deadline (see
+/// [`ExternalOp::with_deadline`]).
+///
+/// On a latency-hiding runtime the first poll arms a one-shot deadline on
+/// the runtime timer; whichever of {completer, deadline, runtime shutdown}
+/// settles first wins, and the suspension registered by the poll is
+/// resumed exactly once regardless — counters stay balanced. Off any
+/// runtime there is no timer, so the deadline is checked at each poll
+/// (best effort): a completer firing still wakes the future, but a timeout
+/// is only observed when something polls it.
+pub struct DeadlineOp<T: Send + 'static> {
+    shared: Arc<Shared<T>>,
+    deadline: Instant,
+    /// First poll already tried to arm the timer (arm exactly once).
+    arm_attempted: bool,
+    /// A runtime timer holds the deadline; no per-poll deadline checks
+    /// needed.
+    timer_armed: bool,
+}
+
+impl<T: Send + 'static> std::fmt::Debug for DeadlineOp<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeadlineOp")
+            .field("deadline", &self.deadline)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> Future for DeadlineOp<T> {
+    type Output = Result<T, OpError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        if !this.arm_attempted {
+            this.arm_attempted = true;
+            if let Some(rt) = worker::current_runtime() {
+                // Arm before taking the state lock: timer registration
+                // takes a shard lock, and the callback takes the state
+                // lock — never both at once, in either order.
+                let shared = this.shared.clone();
+                rt.timer().register_deadline(
+                    this.deadline,
+                    Box::new(move |expired| {
+                        let outcome = if expired {
+                            OpError::TimedOut
+                        } else {
+                            OpError::Canceled // runtime shut down first
+                        };
+                        settle(&shared, Err(outcome));
+                    }),
+                );
+                this.timer_armed = true;
+            }
+        }
+        let mut st = this.shared.state.lock();
+        match &mut *st {
+            OpState::Done(_) => {
+                let OpState::Done(v) = std::mem::replace(&mut *st, OpState::Finished) else {
+                    unreachable!()
+                };
+                Poll::Ready(v)
+            }
+            OpState::Finished => panic!("DeadlineOp polled after completion"),
+            OpState::Parked(SuspendWait::Deque(_)) => Poll::Pending,
+            st_ref @ (OpState::Idle | OpState::Parked(SuspendWait::Waker(_))) => {
+                if !this.timer_armed && Instant::now() >= this.deadline {
+                    // No timer to enforce the deadline (off-runtime poll):
+                    // enforce it here. No suspension was registered on
+                    // this path, so nothing needs resuming.
+                    *st_ref = OpState::Finished;
+                    return Poll::Ready(Err(OpError::TimedOut));
+                }
                 *st_ref = OpState::Parked(worker::register_suspension(cx.waker()));
                 Poll::Pending
             }
@@ -230,6 +371,68 @@ mod tests {
         });
         firing.join().unwrap();
         assert_eq!(sum, (0..n as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn deadline_times_out_and_completer_loses() {
+        let rt = Runtime::new(Config::default().workers(2)).unwrap();
+        let (c, op) = external_op::<u32>();
+        let got = rt.block_on(op.with_timeout(Duration::from_millis(20)));
+        assert_eq!(got, Err(OpError::TimedOut));
+        // The late completer loses the settle race, harmlessly.
+        assert!(!c.complete(9), "completer must report it lost");
+        // The suspension registered by the waiting poll was resumed by the
+        // timeout settle: counters balance.
+        let m = rt.metrics();
+        assert_eq!(m.suspensions, m.resumes);
+    }
+
+    #[test]
+    fn completer_beats_deadline() {
+        let rt = Runtime::new(Config::default().workers(2)).unwrap();
+        let (c, op) = external_op::<u32>();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            assert!(c.complete(7), "completer fired well before the deadline");
+        });
+        let got = rt.block_on(op.with_timeout(Duration::from_secs(30)));
+        assert_eq!(got, Ok(7));
+        t.join().unwrap();
+        // The armed deadline is canceled at shutdown and counted.
+        let report = rt.shutdown();
+        assert_eq!(report.canceled_ops, 1);
+        assert_eq!(report.leaked_suspensions, 0);
+    }
+
+    #[test]
+    fn deadline_cancellation_still_surfaces() {
+        let rt = Runtime::new(Config::default().workers(2)).unwrap();
+        let (c, op) = external_op::<u32>();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            drop(c);
+        });
+        let got = rt.block_on(op.with_timeout(Duration::from_secs(30)));
+        assert_eq!(got, Err(OpError::Canceled));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn off_runtime_deadline_checked_on_poll() {
+        use std::task::Wake;
+        struct Noop;
+        impl Wake for Noop {
+            fn wake(self: Arc<Self>) {}
+        }
+        let (_c, op) = external_op::<u32>();
+        let mut d = op.with_deadline(Instant::now() - Duration::from_millis(1));
+        let waker = Waker::from(Arc::new(Noop));
+        let mut cx = Context::from_waker(&waker);
+        // No runtime → no timer; the expired deadline is observed at poll.
+        assert_eq!(
+            Pin::new(&mut d).poll(&mut cx),
+            Poll::Ready(Err(OpError::TimedOut))
+        );
     }
 
     #[test]

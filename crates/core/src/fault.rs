@@ -1,0 +1,916 @@
+//! Deterministic fault injection and trace-backed invariant auditing.
+//!
+//! The scheduler's core guarantees — every suspension registration pairs
+//! with exactly one resume, deques are recycled and never leaked, Lemma
+//! 7's `U + 1` live-deque bound — are properties of adversarial
+//! schedules, not of happy paths. This module manufactures the adversary:
+//!
+//! * [`FaultPlan`] is a seeded, declarative schedule of faults, enabled by
+//!   [`Config::fault_plan`](crate::Config::fault_plan). When unset (the
+//!   default) the runtime carries no injector at all — the same
+//!   `Option<Arc<_>>` zero-cost pattern as the tracer.
+//! * Each injection *site* (a scheduler decision point: steal attempts,
+//!   resume delivery, polls, the worker loop) consumes one **visit** of a
+//!   per-site counter. Whether the k-th visit of a site fires is a pure
+//!   function of `(seed, site, k)` — a SplitMix64 stream — so the fault
+//!   schedule for a given seed is bit-for-bit reproducible:
+//!   [`FaultPlan::schedule_digest`] hashes it without running anything.
+//!   (Which visit a given *dynamic* event lands on still depends on thread
+//!   interleaving; determinism is per-site-stream, which is what makes a
+//!   failing seed replayable.)
+//! * [`audit`] replays a [`Trace`] after a chaos run and checks the
+//!   invariants the faults are trying to break: suspension/resume pairing
+//!   by `seq` tag, deque alloc/release balance, and the Lemma 7
+//!   high-water bound.
+//!
+//! What each knob injects:
+//!
+//! | knob | site | effect |
+//! |------|------|--------|
+//! | `steal_fail_ppm` | steal loop | the attempt fails before drawing a victim (a forced lost race / retry storm) |
+//! | `resume_delay_ppm` | `deliver_resume` | the event is re-routed through the timer with a jittered delay (late, but still exactly once) |
+//! | `resume_reorder_ppm` | `deliver_batch` | the batch's event order is reversed before delivery |
+//! | `spurious_wake_ppm` | after a `Pending` poll | the task is woken without any of its registrations completing |
+//! | `poll_delay_ppm` | before a poll | the worker sleeps, emulating OS preemption between deadline computation and first poll |
+//! | `task_panic_ppm` | first poll of a spawned task | the task panics (propagates at its join, as a user panic would) |
+//! | `deque_switch_ppm` | after draining resumes | the non-empty active deque is demoted to the ready list |
+//! | `drop_unpark_ppm` | inject/delivery | the wake-up is skipped; the park timeout is the only backstop |
+//! | `worker_panic_after` | worker loop | the first worker to reach the N-th loop iteration panics, poisoning the runtime |
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::config::ConfigError;
+use crate::trace::{EventKind, Trace};
+
+/// One million: ppm rates are fractions of this.
+const PPM_SCALE: u64 = 1_000_000;
+
+/// An injection site: a scheduler decision point the fault plan can
+/// perturb. Each site consumes its own deterministic decision stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Forced steal failure (before the victim draw).
+    StealFail,
+    /// Delayed resume delivery at `deliver_resume`.
+    ResumeDelay,
+    /// Reversed event order within a delivered resume batch.
+    ResumeReorder,
+    /// Spurious wake of a task that polled `Pending`.
+    SpuriousWake,
+    /// Sleep before a poll (emulated preemption).
+    PollDelay,
+    /// Injected panic on a spawned task's first poll.
+    TaskPanic,
+    /// Forced demotion of the active deque to the ready list.
+    DequeSwitch,
+    /// Dropped wake-up after publishing work (park-timeout backstop).
+    DropUnpark,
+}
+
+impl FaultSite {
+    /// Every site, in decision-stream order (the order
+    /// [`FaultPlan::schedule_digest`] folds them in).
+    pub const ALL: [FaultSite; 8] = [
+        FaultSite::StealFail,
+        FaultSite::ResumeDelay,
+        FaultSite::ResumeReorder,
+        FaultSite::SpuriousWake,
+        FaultSite::PollDelay,
+        FaultSite::TaskPanic,
+        FaultSite::DequeSwitch,
+        FaultSite::DropUnpark,
+    ];
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            FaultSite::StealFail => 0,
+            FaultSite::ResumeDelay => 1,
+            FaultSite::ResumeReorder => 2,
+            FaultSite::SpuriousWake => 3,
+            FaultSite::PollDelay => 4,
+            FaultSite::TaskPanic => 5,
+            FaultSite::DequeSwitch => 6,
+            FaultSite::DropUnpark => 7,
+        }
+    }
+
+    /// Per-site salt separating the decision streams under one seed.
+    #[inline]
+    fn salt(self) -> u64 {
+        // Arbitrary distinct odd constants; part of the stable schedule
+        // definition (changing one changes every digest).
+        [
+            0x517E_A1FA_117E_D001,
+            0x52E5_0DE1_A7ED_0003,
+            0x52E0_12DE_12ED_0005,
+            0x5925_1005_3A8E_0007,
+            0x90DE_1A75_0110_0009,
+            0x7A5C_9A21_C000_000B,
+            0xDE0E_5312_7C11_000D,
+            0xD209_0213_9A12_000F,
+        ][self.index()]
+    }
+}
+
+const N_SITES: usize = FaultSite::ALL.len();
+
+/// SplitMix64 finalizer: the stream generator behind every decision.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The decision word for visit `visit` of `site` under `seed` — a pure
+/// function, so the schedule can be recomputed (or digested) offline.
+#[inline]
+pub fn decision_word(seed: u64, site: FaultSite, visit: u64) -> u64 {
+    let stream = splitmix64(seed ^ site.salt());
+    splitmix64(stream ^ visit.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A seeded fault-injection schedule. All rates are parts-per-million of
+/// visits to the corresponding site (`0` = never, `1_000_000` = always);
+/// the default plan injects nothing. Plain `Copy` data, so
+/// [`Config`](crate::Config) stays `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of every decision stream.
+    pub seed: u64,
+    /// Rate of forced steal failures.
+    pub steal_fail_ppm: u32,
+    /// Rate of delayed resume deliveries.
+    pub resume_delay_ppm: u32,
+    /// Maximum delay added to a delayed resume, in microseconds (the
+    /// actual jitter is drawn deterministically from the decision word).
+    pub resume_delay_micros: u64,
+    /// Rate of reversed resume batches.
+    pub resume_reorder_ppm: u32,
+    /// Rate of spurious wakes after `Pending` polls.
+    pub spurious_wake_ppm: u32,
+    /// Rate of sleeps before polls (emulated preemption).
+    pub poll_delay_ppm: u32,
+    /// Maximum pre-poll sleep, in microseconds.
+    pub poll_delay_micros: u64,
+    /// Rate of injected panics on spawned tasks' first polls.
+    pub task_panic_ppm: u32,
+    /// Rate of forced active-deque demotions.
+    pub deque_switch_ppm: u32,
+    /// Rate of dropped wake-ups.
+    pub drop_unpark_ppm: u32,
+    /// If set, the first worker whose scheduler loop reaches this many
+    /// total iterations (counted across all workers) panics — exercising
+    /// the supervision/poisoning path. Fires at most once per runtime.
+    pub worker_panic_after: Option<u64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::new(0)
+    }
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and every fault disabled.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            steal_fail_ppm: 0,
+            resume_delay_ppm: 0,
+            resume_delay_micros: 200,
+            resume_reorder_ppm: 0,
+            spurious_wake_ppm: 0,
+            poll_delay_ppm: 0,
+            poll_delay_micros: 200,
+            task_panic_ppm: 0,
+            deque_switch_ppm: 0,
+            drop_unpark_ppm: 0,
+            worker_panic_after: None,
+        }
+    }
+
+    /// The standard chaos preset: every non-destructive fault at a rate
+    /// that stresses the suspend/resume protocol without starving the
+    /// workload. Task panics and worker panics stay off — enable them
+    /// explicitly for supervision tests.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan::new(seed)
+            .steal_fail(200_000)
+            .resume_delay(150_000, Duration::from_micros(300))
+            .resume_reorder(300_000)
+            .spurious_wake(100_000)
+            .poll_delay(20_000, Duration::from_micros(150))
+            .deque_switch(80_000)
+            .drop_unpark(150_000)
+    }
+
+    /// Sets the forced-steal-failure rate.
+    pub fn steal_fail(mut self, ppm: u32) -> Self {
+        self.steal_fail_ppm = ppm;
+        self
+    }
+
+    /// Sets the delayed-resume rate and maximum delay.
+    pub fn resume_delay(mut self, ppm: u32, max: Duration) -> Self {
+        self.resume_delay_ppm = ppm;
+        self.resume_delay_micros = max.as_micros().max(1) as u64;
+        self
+    }
+
+    /// Sets the batch-reorder rate.
+    pub fn resume_reorder(mut self, ppm: u32) -> Self {
+        self.resume_reorder_ppm = ppm;
+        self
+    }
+
+    /// Sets the spurious-wake rate.
+    pub fn spurious_wake(mut self, ppm: u32) -> Self {
+        self.spurious_wake_ppm = ppm;
+        self
+    }
+
+    /// Sets the pre-poll delay rate and maximum sleep.
+    pub fn poll_delay(mut self, ppm: u32, max: Duration) -> Self {
+        self.poll_delay_ppm = ppm;
+        self.poll_delay_micros = max.as_micros().max(1) as u64;
+        self
+    }
+
+    /// Sets the injected-task-panic rate.
+    pub fn task_panic(mut self, ppm: u32) -> Self {
+        self.task_panic_ppm = ppm;
+        self
+    }
+
+    /// Sets the forced-deque-switch rate.
+    pub fn deque_switch(mut self, ppm: u32) -> Self {
+        self.deque_switch_ppm = ppm;
+        self
+    }
+
+    /// Sets the dropped-wake-up rate.
+    pub fn drop_unpark(mut self, ppm: u32) -> Self {
+        self.drop_unpark_ppm = ppm;
+        self
+    }
+
+    /// Arms a one-shot worker-loop panic after `n` total loop iterations.
+    pub fn worker_panic_after(mut self, n: u64) -> Self {
+        self.worker_panic_after = Some(n);
+        self
+    }
+
+    /// The configured rate for `site`, in ppm.
+    pub fn rate(&self, site: FaultSite) -> u32 {
+        match site {
+            FaultSite::StealFail => self.steal_fail_ppm,
+            FaultSite::ResumeDelay => self.resume_delay_ppm,
+            FaultSite::ResumeReorder => self.resume_reorder_ppm,
+            FaultSite::SpuriousWake => self.spurious_wake_ppm,
+            FaultSite::PollDelay => self.poll_delay_ppm,
+            FaultSite::TaskPanic => self.task_panic_ppm,
+            FaultSite::DequeSwitch => self.deque_switch_ppm,
+            FaultSite::DropUnpark => self.drop_unpark_ppm,
+        }
+    }
+
+    /// Whether visit `visit` of `site` fires under this plan — the pure
+    /// schedule function the injector evaluates at runtime.
+    pub fn fires(&self, site: FaultSite, visit: u64) -> bool {
+        let ppm = self.rate(site) as u64;
+        ppm > 0 && decision_word(self.seed, site, visit) % PPM_SCALE < ppm
+    }
+
+    /// Hashes the first `visits_per_site` decisions of every site into one
+    /// word. Two runs with the same plan share the digest by construction;
+    /// the reproducibility tests (and the chaos soak) assert exactly that.
+    pub fn schedule_digest(&self, visits_per_site: u64) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for site in FaultSite::ALL {
+            let ppm = self.rate(site) as u64;
+            for k in 0..visits_per_site {
+                let w = decision_word(self.seed, site, k);
+                let fired = (ppm > 0 && w % PPM_SCALE < ppm) as u64;
+                h = (h ^ w ^ (fired << 63)).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    }
+
+    /// Validates the plan's rates (each must be ≤ 1 000 000 ppm).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for site in FaultSite::ALL {
+            let ppm = self.rate(site);
+            if ppm as u64 > PPM_SCALE {
+                return Err(ConfigError::FaultRateOutOfRange { site, ppm });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The runtime half of a [`FaultPlan`]: per-site visit counters plus the
+/// worker-loop iteration counter. Lives behind `Option<Arc<_>>` in the
+/// runtime — `None` is the entire cost of disabled injection.
+pub(crate) struct FaultInjector {
+    plan: FaultPlan,
+    visits: [AtomicU64; N_SITES],
+    injected: [AtomicU64; N_SITES],
+    loop_iters: AtomicU64,
+    worker_panics: AtomicU64,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            visits: Default::default(),
+            injected: Default::default(),
+            loop_iters: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+        }
+    }
+
+    /// Consumes one visit of `site`; returns the decision word when the
+    /// visit fires. Rate-zero sites are free (no counter traffic).
+    #[inline]
+    fn roll(&self, site: FaultSite) -> Option<u64> {
+        let ppm = self.plan.rate(site) as u64;
+        if ppm == 0 {
+            return None;
+        }
+        let k = self.visits[site.index()].fetch_add(1, Ordering::Relaxed);
+        let w = decision_word(self.plan.seed, site, k);
+        if w % PPM_SCALE < ppm {
+            self.injected[site.index()].fetch_add(1, Ordering::Relaxed);
+            Some(w)
+        } else {
+            None
+        }
+    }
+
+    pub fn steal_fail(&self) -> bool {
+        self.roll(FaultSite::StealFail).is_some()
+    }
+
+    /// Jittered delay to re-route a resume delivery through, if this
+    /// visit fires. The jitter is drawn from the decision word, so it is
+    /// part of the deterministic schedule.
+    pub fn resume_delay(&self) -> Option<Duration> {
+        self.roll(FaultSite::ResumeDelay)
+            .map(|w| Duration::from_micros(1 + (w >> 20) % self.plan.resume_delay_micros))
+    }
+
+    pub fn resume_reorder(&self) -> bool {
+        self.roll(FaultSite::ResumeReorder).is_some()
+    }
+
+    pub fn spurious_wake(&self) -> bool {
+        self.roll(FaultSite::SpuriousWake).is_some()
+    }
+
+    pub fn poll_delay(&self) -> Option<Duration> {
+        self.roll(FaultSite::PollDelay)
+            .map(|w| Duration::from_micros(1 + (w >> 20) % self.plan.poll_delay_micros))
+    }
+
+    pub fn task_panic(&self) -> bool {
+        self.roll(FaultSite::TaskPanic).is_some()
+    }
+
+    pub fn force_deque_switch(&self) -> bool {
+        self.roll(FaultSite::DequeSwitch).is_some()
+    }
+
+    pub fn drop_unpark(&self) -> bool {
+        self.roll(FaultSite::DropUnpark).is_some()
+    }
+
+    /// Counts one worker-loop iteration; `true` exactly when this
+    /// iteration is the plan's `worker_panic_after` threshold (at most
+    /// once per runtime — `fetch_add` hands out unique values).
+    pub fn worker_loop_should_panic(&self) -> bool {
+        match self.plan.worker_panic_after {
+            None => false,
+            Some(n) => {
+                let fires = self.loop_iters.fetch_add(1, Ordering::Relaxed) + 1 == n;
+                if fires {
+                    self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                }
+                fires
+            }
+        }
+    }
+
+    /// Total faults injected so far, across all sites (plus the
+    /// worker-loop panic, which has no per-visit site).
+    pub fn injected_total(&self) -> u64 {
+        self.injected
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum::<u64>()
+            + self.worker_panics.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &self.plan)
+            .field("injected", &self.injected_total())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A wrapper future that may panic on its first poll, per the plan's
+/// `task_panic_ppm`. Wrapped *inside* the task's `CatchUnwind` at spawn,
+/// so an injected panic travels the same road as a user panic: caught,
+/// stored in the `JoinCell`, re-thrown at the join point.
+pub(crate) struct PanicInjected<F> {
+    inner: F,
+    /// Taken on first poll; `None` (no plan / rate 0) is a no-op wrapper.
+    armed: Option<std::sync::Arc<FaultInjector>>,
+}
+
+impl<F> PanicInjected<F> {
+    pub fn new(inner: F, armed: Option<std::sync::Arc<FaultInjector>>) -> Self {
+        PanicInjected { inner, armed }
+    }
+}
+
+impl<F: std::future::Future> std::future::Future for PanicInjected<F> {
+    type Output = F::Output;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Self::Output> {
+        // Safety: `inner` is structurally pinned; `armed` is never pinned.
+        let this = unsafe { self.get_unchecked_mut() };
+        if let Some(f) = this.armed.take() {
+            if f.task_panic() {
+                panic!("injected task panic (fault plan)");
+            }
+        }
+        unsafe { std::pin::Pin::new_unchecked(&mut this.inner) }.poll(cx)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace auditing.
+// ---------------------------------------------------------------------
+
+/// How many violation messages [`audit`] keeps verbatim (the count keeps
+/// counting past this).
+const MAX_VIOLATION_MESSAGES: usize = 16;
+
+/// Result of [`audit`]: counts, the Lemma 7 observables, and every
+/// invariant violation found.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct AuditReport {
+    /// `Suspend` events seen (registrations).
+    pub suspensions: u64,
+    /// `ResumeReady` events seen (registrations drained by their owner).
+    pub readies: u64,
+    /// `ResumeExec` events seen (resumed tasks re-polled).
+    pub execs: u64,
+    /// Registrations with no `ResumeReady` — suspensions still in flight
+    /// when the trace was cut. Non-zero is normal for mid-run snapshots
+    /// and poisoned runtimes; quiescent drained runs should see `0`.
+    pub unresolved: u64,
+    /// Maximum simultaneously in-flight suspensions (the paper's `U`,
+    /// as observable from the trace).
+    pub max_inflight: u64,
+    /// Per-worker live-deque high-water marks.
+    pub deque_high_water: Vec<u64>,
+    /// Total violations found (messages beyond the first few are counted,
+    /// not stored).
+    pub violation_count: u64,
+    /// The first violations, as human-readable messages.
+    pub violations: Vec<String>,
+    /// The trace dropped events (ring overflow), so absence of a paired
+    /// event proves nothing. `passed` is `false` in this state.
+    pub inconclusive: bool,
+}
+
+impl AuditReport {
+    /// `true` when no invariant violation was found *and* the trace was
+    /// complete enough to tell.
+    pub fn passed(&self) -> bool {
+        self.violation_count == 0 && !self.inconclusive
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "audit: {} — {} suspensions, {} ready, {} executed, {} unresolved, U={}, high-water {:?}",
+            if self.passed() {
+                "PASS"
+            } else if self.inconclusive {
+                "INCONCLUSIVE (trace dropped events)"
+            } else {
+                "FAIL"
+            },
+            self.suspensions,
+            self.readies,
+            self.execs,
+            self.unresolved,
+            self.max_inflight,
+            self.deque_high_water,
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  violation: {v}")?;
+        }
+        if self.violation_count as usize > self.violations.len() {
+            writeln!(
+                f,
+                "  … and {} more",
+                self.violation_count as usize - self.violations.len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct SeqRec {
+    suspends: u32,
+    readies: u32,
+    execs: u32,
+}
+
+/// Replays `trace` and checks the scheduler's invariants:
+///
+/// 1. **Pairing** — every `seq` tag is suspended at most once, made ready
+///    at most once, never ready without a suspension, and never executed
+///    more often than it was made ready. (An exec count *below* the ready
+///    count is legal: a resumed task that completed or panicked before its
+///    re-poll never executes.)
+/// 2. **Deque balance** — each worker's `DequeAlloc`/`DequeRelease` live
+///    counts form a walk by ±1 that never goes negative: no double-free,
+///    no leaked allocation slot.
+/// 3. **Lemma 7** — every worker's live-deque high-water mark is at most
+///    `U + 1`, where `U` is the maximum number of simultaneously in-flight
+///    suspensions observed in the trace.
+///
+/// Works on any [`Trace`]; quiescent shutdown traces give the strongest
+/// verdict. A trace with dropped events yields `inconclusive`.
+pub fn audit(trace: &Trace) -> AuditReport {
+    let mut seqs: HashMap<u64, SeqRec> = HashMap::new();
+    let mut inflight: u64 = 0;
+    let mut max_inflight: u64 = 0;
+    let mut live: Vec<Option<u64>> = vec![None; trace.workers];
+    let mut high: Vec<u64> = vec![0; trace.workers];
+    let mut suspensions = 0u64;
+    let mut readies = 0u64;
+    let mut execs = 0u64;
+    let mut violation_count = 0u64;
+    let mut violations = Vec::new();
+
+    let violate = |violations: &mut Vec<String>, count: &mut u64, msg: String| {
+        *count += 1;
+        if violations.len() < MAX_VIOLATION_MESSAGES {
+            violations.push(msg);
+        }
+    };
+
+    for ev in &trace.events {
+        match ev.kind {
+            EventKind::Suspend { seq, .. } => {
+                suspensions += 1;
+                inflight += 1;
+                max_inflight = max_inflight.max(inflight);
+                if seq != 0 {
+                    let rec = seqs.entry(seq).or_default();
+                    rec.suspends += 1;
+                    if rec.suspends > 1 {
+                        violate(
+                            &mut violations,
+                            &mut violation_count,
+                            format!("suspension seq {seq:#x} registered {} times", rec.suspends),
+                        );
+                    }
+                }
+            }
+            EventKind::ResumeReady { seq, .. } => {
+                readies += 1;
+                inflight = inflight.saturating_sub(1);
+                if seq != 0 {
+                    let rec = seqs.entry(seq).or_default();
+                    rec.readies += 1;
+                    if rec.suspends == 0 {
+                        violate(
+                            &mut violations,
+                            &mut violation_count,
+                            format!("resume for seq {seq:#x} with no matching suspension"),
+                        );
+                    }
+                    if rec.readies > 1 {
+                        violate(
+                            &mut violations,
+                            &mut violation_count,
+                            format!("suspension seq {seq:#x} resumed {} times", rec.readies),
+                        );
+                    }
+                }
+            }
+            EventKind::ResumeExec { seq } => {
+                execs += 1;
+                if seq != 0 {
+                    let rec = seqs.entry(seq).or_default();
+                    rec.execs += 1;
+                    if rec.execs > rec.readies {
+                        violate(
+                            &mut violations,
+                            &mut violation_count,
+                            format!(
+                                "seq {seq:#x} executed {} times but made ready only {}",
+                                rec.execs, rec.readies
+                            ),
+                        );
+                    }
+                }
+            }
+            EventKind::DequeAlloc { live: l } => {
+                let w = ev.worker as usize;
+                if w < live.len() {
+                    let expect = live[w].map_or(1, |cur| cur + 1);
+                    if l as u64 != expect {
+                        violate(
+                            &mut violations,
+                            &mut violation_count,
+                            format!(
+                                "worker {w}: deque alloc jumped live count to {l} (expected {expect})"
+                            ),
+                        );
+                    }
+                    live[w] = Some(l as u64);
+                    high[w] = high[w].max(l as u64);
+                }
+            }
+            EventKind::DequeRelease { live: l } => {
+                let w = ev.worker as usize;
+                if w < live.len() {
+                    match live[w] {
+                        Some(cur) if cur > 0 && l as u64 == cur - 1 => live[w] = Some(l as u64),
+                        Some(cur) => {
+                            violate(
+                                &mut violations,
+                                &mut violation_count,
+                                format!(
+                                    "worker {w}: deque release moved live count {cur} → {l} (expected {})",
+                                    cur.saturating_sub(1)
+                                ),
+                            );
+                            live[w] = Some(l as u64);
+                        }
+                        None => {
+                            violate(
+                                &mut violations,
+                                &mut violation_count,
+                                format!("worker {w}: deque release before any allocation"),
+                            );
+                            live[w] = Some(l as u64);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let unresolved = seqs
+        .values()
+        .filter(|r| r.suspends > 0 && r.readies == 0)
+        .count() as u64;
+
+    // Lemma 7: at most U + 1 live deques per worker.
+    for (w, &hw) in high.iter().enumerate() {
+        if hw > max_inflight + 1 {
+            violate(
+                &mut violations,
+                &mut violation_count,
+                format!(
+                    "worker {w}: live-deque high-water {hw} exceeds Lemma 7 bound U+1 = {}",
+                    max_inflight + 1
+                ),
+            );
+        }
+    }
+
+    AuditReport {
+        suspensions,
+        readies,
+        execs,
+        unresolved,
+        max_inflight,
+        deque_high_water: high,
+        violation_count,
+        violations,
+        inconclusive: trace.dropped > 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SuspendKind, TraceEvent};
+
+    #[test]
+    fn decision_stream_is_pure_and_separated() {
+        for site in FaultSite::ALL {
+            for k in 0..64 {
+                assert_eq!(
+                    decision_word(42, site, k),
+                    decision_word(42, site, k),
+                    "pure function"
+                );
+            }
+        }
+        // Different seeds and different sites give different streams.
+        assert_ne!(
+            decision_word(1, FaultSite::StealFail, 0),
+            decision_word(2, FaultSite::StealFail, 0)
+        );
+        assert_ne!(
+            decision_word(1, FaultSite::StealFail, 0),
+            decision_word(1, FaultSite::ResumeDelay, 0)
+        );
+    }
+
+    #[test]
+    fn rates_hit_roughly_proportionally() {
+        let plan = FaultPlan::new(7).steal_fail(250_000);
+        let n = 100_000u64;
+        let hits = (0..n)
+            .filter(|&k| plan.fires(FaultSite::StealFail, k))
+            .count() as f64;
+        let frac = hits / n as f64;
+        assert!(
+            (frac - 0.25).abs() < 0.01,
+            "250k ppm should fire ~25% of visits, got {frac}"
+        );
+        // Rate 0 never fires; rate 1M always fires.
+        let never = FaultPlan::new(7);
+        assert!((0..1000).all(|k| !never.fires(FaultSite::StealFail, k)));
+        let always = FaultPlan::new(7).steal_fail(1_000_000);
+        assert!((0..1000).all(|k| always.fires(FaultSite::StealFail, k)));
+    }
+
+    #[test]
+    fn digest_depends_on_seed_and_rates() {
+        let a = FaultPlan::chaos(1).schedule_digest(512);
+        assert_eq!(a, FaultPlan::chaos(1).schedule_digest(512), "reproducible");
+        assert_ne!(a, FaultPlan::chaos(2).schedule_digest(512), "seed matters");
+        assert_ne!(
+            a,
+            FaultPlan::chaos(1).steal_fail(1).schedule_digest(512),
+            "rates matter"
+        );
+    }
+
+    #[test]
+    fn plan_validation_rejects_over_unit_rates() {
+        assert!(FaultPlan::chaos(0).validate().is_ok());
+        let bad = FaultPlan::new(0).spurious_wake(1_000_001);
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::FaultRateOutOfRange {
+                site: FaultSite::SpuriousWake,
+                ppm: 1_000_001
+            })
+        ));
+    }
+
+    #[test]
+    fn injector_counts_and_worker_panic_fires_once() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(3)
+                .steal_fail(1_000_000)
+                .worker_panic_after(4),
+        );
+        assert!(inj.steal_fail() && inj.steal_fail());
+        assert_eq!(inj.injected_total(), 2);
+        let fired: Vec<bool> = (0..8).map(|_| inj.worker_loop_should_panic()).collect();
+        assert_eq!(fired.iter().filter(|&&b| b).count(), 1);
+        assert!(fired[3], "fires exactly at the threshold iteration");
+    }
+
+    fn ev(ts: u64, worker: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent { ts, worker, kind }
+    }
+
+    fn suspend(ts: u64, worker: u32, seq: u64) -> TraceEvent {
+        ev(
+            ts,
+            worker,
+            EventKind::Suspend {
+                deque: 0,
+                kind: SuspendKind::Timer,
+                seq,
+            },
+        )
+    }
+
+    fn ready(ts: u64, worker: u32, seq: u64) -> TraceEvent {
+        ev(
+            ts,
+            worker,
+            EventKind::ResumeReady {
+                seq,
+                enabled_at: ts,
+            },
+        )
+    }
+
+    fn trace_of(events: Vec<TraceEvent>, workers: usize) -> Trace {
+        Trace {
+            events,
+            dropped: 0,
+            workers,
+        }
+    }
+
+    #[test]
+    fn audit_passes_clean_lifecycle() {
+        let t = trace_of(
+            vec![
+                ev(1, 0, EventKind::DequeAlloc { live: 1 }),
+                suspend(2, 0, 9),
+                ready(3, 0, 9),
+                ev(4, 0, EventKind::ResumeExec { seq: 9 }),
+                ev(5, 0, EventKind::DequeRelease { live: 0 }),
+            ],
+            1,
+        );
+        let r = audit(&t);
+        assert!(r.passed(), "{r}");
+        assert_eq!(
+            (r.suspensions, r.readies, r.execs, r.unresolved),
+            (1, 1, 1, 0)
+        );
+        assert_eq!(r.max_inflight, 1);
+        assert_eq!(r.deque_high_water, vec![1]);
+    }
+
+    #[test]
+    fn audit_flags_double_resume_and_orphan() {
+        let t = trace_of(
+            vec![
+                suspend(1, 0, 5),
+                ready(2, 0, 5),
+                ready(3, 0, 5),
+                ready(4, 0, 6),
+            ],
+            1,
+        );
+        let r = audit(&t);
+        assert!(!r.passed());
+        assert_eq!(r.violation_count, 2, "{r}");
+    }
+
+    #[test]
+    fn audit_flags_deque_imbalance_and_lemma7() {
+        // live jumps 1 → 3 (skipped alloc) and exceeds U+1 (no suspensions
+        // at all, so the bound is 1).
+        let t = trace_of(
+            vec![
+                ev(1, 0, EventKind::DequeAlloc { live: 1 }),
+                ev(2, 0, EventKind::DequeAlloc { live: 3 }),
+            ],
+            1,
+        );
+        let r = audit(&t);
+        assert!(!r.passed());
+        assert!(r.violations.iter().any(|v| v.contains("jumped")), "{r}");
+        assert!(r.violations.iter().any(|v| v.contains("Lemma 7")), "{r}");
+    }
+
+    #[test]
+    fn audit_marks_dropped_traces_inconclusive() {
+        let mut t = trace_of(vec![suspend(1, 0, 5), ready(2, 0, 5)], 1);
+        t.dropped = 3;
+        let r = audit(&t);
+        assert!(!r.passed());
+        assert!(r.inconclusive);
+        assert_eq!(r.violation_count, 0);
+    }
+
+    #[test]
+    fn audit_counts_unresolved_without_violating() {
+        let t = trace_of(vec![suspend(1, 0, 5), suspend(2, 0, 6), ready(3, 0, 5)], 1);
+        let r = audit(&t);
+        assert!(r.passed(), "in-flight suspensions are not violations: {r}");
+        assert_eq!(r.unresolved, 1);
+        assert_eq!(r.max_inflight, 2);
+    }
+}

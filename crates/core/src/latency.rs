@@ -32,46 +32,72 @@ use crate::worker;
 pub fn simulate_latency(d: Duration) -> LatencyFuture {
     LatencyFuture {
         deadline: Instant::now() + d,
+        registered: false,
     }
 }
 
 /// Sleeps until `deadline` (same semantics as [`simulate_latency`]).
 pub fn latency_until(deadline: Instant) -> LatencyFuture {
-    LatencyFuture { deadline }
+    LatencyFuture {
+        deadline,
+        registered: false,
+    }
 }
 
 /// Future returned by [`simulate_latency`].
 #[derive(Debug)]
 pub struct LatencyFuture {
     deadline: Instant,
+    /// Whether a timer registration is (or was) outstanding. In Hide mode
+    /// the *first* on-worker poll always registers — even when the
+    /// deadline has already passed (the timer clamps past deadlines to
+    /// the next tick). An expired-deadline `Ready` fast path here would
+    /// race OS preemption between deadline computation and first poll and
+    /// silently skip the suspension, losing a registration the trace
+    /// invariants (and tests) expect to see.
+    registered: bool,
 }
 
 impl Future for LatencyFuture {
     type Output = ();
 
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
-        let now = Instant::now();
-        if now >= self.deadline {
-            return Poll::Ready(());
+        let this = self.get_mut();
+        if this.registered {
+            // A poll after our timer registration: either the resume
+            // (deadline reached, possibly early by one tick of timer
+            // granularity) or a spurious wake.
+            if Instant::now() >= this.deadline {
+                return Poll::Ready(());
+            }
+            // Register again so suspendCtr increments and resume events
+            // keep pairing one-to-one. Falls through to the unregistered
+            // path (the task may have migrated off a worker in tests).
         }
         match worker::current_latency_mode() {
             Some(LatencyMode::Hide) => {
                 // Register a fresh timer entry for this suspension; the
                 // worker pairs it with a suspendCtr increment after the
-                // poll. (Re-polls before the deadline — e.g. a spurious
-                // wake — register again, so increments and resume events
-                // always pair one-to-one.)
-                if worker::register_latency(self.deadline) {
+                // poll. Past deadlines register too (see `registered`):
+                // the timer fires them on its next tick.
+                if worker::register_latency(this.deadline) {
+                    this.registered = true;
                     Poll::Pending
                 } else {
                     // Not actually on a worker (e.g. polled during a test
                     // harness): degrade to blocking.
-                    std::thread::sleep(self.deadline - now);
+                    let now = Instant::now();
+                    if now < this.deadline {
+                        std::thread::sleep(this.deadline - now);
+                    }
                     Poll::Ready(())
                 }
             }
             Some(LatencyMode::Block) | None => {
-                std::thread::sleep(self.deadline - now);
+                let now = Instant::now();
+                if now < this.deadline {
+                    std::thread::sleep(this.deadline - now);
+                }
                 Poll::Ready(())
             }
         }

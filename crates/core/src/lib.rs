@@ -43,12 +43,22 @@
 //! [`Trace::stats`](trace::Trace::stats) derives suspension-latency
 //! histograms, steal success rates and per-worker live-deque high-water
 //! marks (the quantity Lemma 7 bounds by `U + 1`).
+//!
+//! ## Chaos testing
+//!
+//! [`RuntimeBuilder::fault_plan`] arms deterministic, seeded fault
+//! injection at the scheduler's decision points — delayed and reordered
+//! resume deliveries, forced steal failures, spurious wakes, dropped
+//! unparks, injected task and worker panics — and
+//! [`Trace::audit`](trace::Trace::audit) checks the scheduler's
+//! invariants over the recorded trace afterwards. See [`fault`].
 
 #![warn(missing_docs)]
 
 pub mod channel;
 mod config;
 pub mod external;
+pub mod fault;
 mod join;
 mod latency;
 mod metrics;
@@ -61,7 +71,8 @@ pub mod trace;
 mod worker;
 
 pub use config::{Config, ConfigError, LatencyMode, RuntimeBuilder, StealPolicy, TimerKind};
-pub use external::{external_op, Canceled, Completer, ExternalOp};
+pub use external::{external_op, Canceled, Completer, DeadlineOp, ExternalOp, OpError};
+pub use fault::{audit, AuditReport, FaultPlan, FaultSite};
 pub use join::JoinHandle;
 pub use latency::{latency_until, simulate_latency, LatencyFuture, LatencyProfile, RemoteService};
 pub use metrics::{Metrics, MetricsSnapshot};

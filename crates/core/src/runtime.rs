@@ -6,16 +6,18 @@ use std::future::Future;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle as ThreadHandle;
+use std::time::{Duration, Instant};
 
 use lhws_deque::{DequeId, Registry};
 use parking_lot::{Condvar, Mutex};
 
 use crate::config::{Config, ConfigError, RuntimeBuilder};
+use crate::fault::{FaultInjector, PanicInjected};
 use crate::join::{CatchUnwind, JoinCell, JoinHandle, PanicPayload};
 use crate::metrics::{CachePadded, Counters, MetricsSnapshot};
 use crate::sleep::Sleepers;
 use crate::task::{Task, TaskRef};
-use crate::timer::{ResumeEvent, ResumeSink, Timer};
+use crate::timer::{ResumeEvent, ResumeSink, Timer, TimerEntry};
 use crate::trace::{EventKind, Trace, Tracer, NONE_ID};
 use crate::worker::{self, Worker};
 
@@ -53,6 +55,13 @@ pub(crate) struct RtInner {
     /// Event tracer; `None` (the default) is the whole cost of disabled
     /// tracing. See [`crate::trace`].
     pub tracer: Option<Arc<Tracer>>,
+    /// Fault injector; `None` (the default) is the whole cost of disabled
+    /// fault injection — the same pattern as `tracer`. See [`crate::fault`].
+    pub faults: Option<Arc<FaultInjector>>,
+    /// Index of the first worker whose scheduler loop panicked, if any.
+    /// Once set the runtime is poisoned: shutdown has been initiated and
+    /// blocked callers resolve with an error instead of hanging.
+    poisoned: OnceLock<usize>,
 }
 
 impl RtInner {
@@ -64,6 +73,26 @@ impl RtInner {
         self.shutdown.load(Ordering::Acquire)
     }
 
+    /// Marks the runtime poisoned after worker `worker`'s scheduler loop
+    /// panicked: records the worker, initiates shutdown so the remaining
+    /// workers exit, cancels pending timer/deadline registrations, and
+    /// unparks everyone. Suspended tasks will never resume — callers
+    /// blocked in [`Runtime::block_on`] observe the poison flag via their
+    /// timed wait instead of hanging on a lost completion.
+    pub fn poison(&self, worker: usize) {
+        let _ = self.poisoned.set(worker);
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(timer) = self.timer.get() {
+            timer.shutdown();
+        }
+        self.sleepers.unpark_all();
+    }
+
+    /// The worker whose panic poisoned the runtime, if any.
+    pub fn poisoned_worker(&self) -> Option<usize> {
+        self.poisoned.get().copied()
+    }
+
     /// Pushes an external task/wake-up and wakes **at most one** parked
     /// worker — an awake worker will find the task by polling the
     /// injector, and waking more than one per task is a thundering herd.
@@ -71,6 +100,14 @@ impl RtInner {
         self.injector.lock().push_back(task);
         if let Some(t) = &self.tracer {
             t.record_shared(NONE_ID, EventKind::Inject);
+        }
+        // Fault: swallow the unpark. Safe because parks are timed
+        // (`Config::park_micros`), so a sleeping worker re-polls the
+        // injector within one park interval.
+        if let Some(f) = &self.faults {
+            if f.drop_unpark() {
+                return;
+            }
         }
         if let Some(woken) = self.sleepers.unpark_one() {
             self.counters.bump(&self.counters.unparks);
@@ -114,6 +151,23 @@ impl RtInner {
     /// `callback(v, q)`). Used by external completions, which arrive one
     /// at a time; timer expirations go through [`ResumeSink`] in batches.
     pub fn deliver_resume(&self, worker: usize, mut event: ResumeEvent) {
+        if let Some(f) = &self.faults {
+            // Fault: delay the delivery by re-routing it through the timer
+            // with a short jittered deadline. The timer hands it back via
+            // `deliver_batch`, which does not re-roll this site, so a
+            // delayed event is delivered exactly once (or counted as
+            // canceled if shutdown wins the race).
+            if let Some(delay) = f.resume_delay() {
+                self.timer().register(TimerEntry {
+                    deadline: Instant::now() + delay,
+                    worker,
+                    task: event.task,
+                    local_deque: event.local_deque,
+                    seq: event.seq,
+                });
+                return;
+            }
+        }
         if let Some(t) = &self.tracer {
             // Delivery time is the suspension's *enable* time.
             event.enabled_at = t.now();
@@ -126,6 +180,12 @@ impl RtInner {
             );
         }
         self.inboxes[worker].queue.lock().push(event);
+        // Fault: swallow the unpark (timed parks bound the damage).
+        if let Some(f) = &self.faults {
+            if f.drop_unpark() {
+                return;
+            }
+        }
         if self.sleepers.unpark_worker(worker) {
             self.counters.bump(&self.counters.unparks);
             if let Some(t) = &self.tracer {
@@ -143,6 +203,16 @@ impl RtInner {
 impl ResumeSink for RtInner {
     fn deliver_batch(&self, worker: usize, tick: u64, mut events: Vec<ResumeEvent>) {
         debug_assert!(!events.is_empty());
+        // Fault: reverse the batch, exercising the consumer's indifference
+        // to intra-batch ordering (each event resumes an independent
+        // suspension; nothing may assume deadline order within a tick).
+        if events.len() > 1 {
+            if let Some(f) = &self.faults {
+                if f.resume_reorder() {
+                    events.reverse();
+                }
+            }
+        }
         if let Some(t) = &self.tracer {
             let enabled_at = t.now();
             for e in events.iter_mut() {
@@ -163,6 +233,12 @@ impl ResumeSink for RtInner {
                 std::mem::swap(&mut *q, &mut events);
             } else {
                 q.append(&mut events);
+            }
+        }
+        // Fault: swallow the unpark (timed parks bound the damage).
+        if let Some(f) = &self.faults {
+            if f.drop_unpark() {
+                return;
             }
         }
         // One unpark for the whole batch, and only if the worker is
@@ -201,13 +277,20 @@ impl std::fmt::Debug for Runtime {
     }
 }
 
-/// Errors from runtime construction.
+/// Errors from runtime construction and supervision.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuntimeError {
     /// Failed to spawn a worker or timer thread.
     ThreadSpawn(String),
     /// The configuration was rejected (see [`ConfigError`]).
     InvalidConfig(ConfigError),
+    /// A worker's scheduler loop panicked; the runtime is poisoned and the
+    /// blocked call was aborted instead of hanging on a resume that will
+    /// never arrive.
+    WorkerPanicked {
+        /// Index of the worker whose loop panicked.
+        worker: usize,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -215,6 +298,12 @@ impl std::fmt::Display for RuntimeError {
         match self {
             RuntimeError::ThreadSpawn(e) => write!(f, "failed to spawn thread: {e}"),
             RuntimeError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+            RuntimeError::WorkerPanicked { worker } => {
+                write!(
+                    f,
+                    "runtime poisoned: worker {worker}'s scheduler loop panicked"
+                )
+            }
         }
     }
 }
@@ -242,6 +331,9 @@ impl Runtime {
         let p = config.workers;
         let tracer =
             (config.trace_capacity > 0).then(|| Arc::new(Tracer::new(p, config.trace_capacity)));
+        let faults = config
+            .fault_plan
+            .map(|plan| Arc::new(FaultInjector::new(plan)));
         let inner = Arc::new(RtInner {
             config,
             registry: Registry::with_capacity(config.registry_capacity),
@@ -253,6 +345,8 @@ impl Runtime {
             counters: Counters::with_workers(p),
             shared_steal: (0..p).map(|_| Mutex::new(Vec::new())).collect(),
             tracer,
+            faults,
+            poisoned: OnceLock::new(),
         });
 
         let (timer, timer_threads) = Timer::start(&config, inner.clone() as Arc<dyn ResumeSink>);
@@ -264,9 +358,19 @@ impl Runtime {
         let mut workers = Vec::with_capacity(p);
         for i in 0..p {
             let w = Worker::new(inner.clone(), i);
+            let supervisor = inner.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("lhws-worker-{i}"))
-                .spawn(move || w.run())
+                .spawn(move || {
+                    // Supervision: a panic escaping the scheduler loop
+                    // (not a task panic — those are caught per-poll) means
+                    // this worker's suspensions are lost. Poison the
+                    // runtime so blocked callers fail fast instead of
+                    // hanging.
+                    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| w.run())).is_err() {
+                        supervisor.poison(i);
+                    }
+                })
                 .map_err(|e| RuntimeError::ThreadSpawn(e.to_string()))?;
             workers.push(handle);
         }
@@ -293,7 +397,29 @@ impl Runtime {
 
     /// Runs a future to completion on the runtime, blocking the calling
     /// thread (which must not be a worker of this runtime).
+    ///
+    /// Panics if the runtime is poisoned by a worker-loop panic while the
+    /// future is in flight; use [`Runtime::try_block_on`] to handle that
+    /// as an error instead.
     pub fn block_on<F>(&self, fut: F) -> F::Output
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        match self.try_block_on(fut) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`Runtime::block_on`], but resolves with
+    /// [`RuntimeError::WorkerPanicked`] if a worker's scheduler loop
+    /// panics while the future is in flight, instead of hanging forever
+    /// on a completion that will never be delivered. The error surfaces
+    /// within roughly one park interval (`Config::park_micros`) of the
+    /// poisoning. Panics *inside the future itself* are still propagated
+    /// by resuming the unwind on this thread.
+    pub fn try_block_on<F>(&self, fut: F) -> Result<F::Output, RuntimeError>
     where
         F: Future + Send + 'static,
         F::Output: Send + 'static,
@@ -324,13 +450,23 @@ impl Runtime {
         let task = Task::new_queued(Arc::downgrade(&self.inner), Box::pin(body));
         self.inner.inject(task);
 
+        // Timed wait: the completion notify is the fast path; the timeout
+        // exists solely so a poisoned runtime is noticed. A completed
+        // result always wins over poison — the value is real even if a
+        // worker died afterwards.
+        let park = Duration::from_micros(self.inner.config.park_micros);
         let mut slot = cell.slot.lock();
-        while slot.is_none() {
-            cell.cond.wait(&mut slot);
-        }
-        match slot.take().expect("just checked") {
-            Ok(v) => v,
-            Err(payload) => std::panic::resume_unwind(payload),
+        loop {
+            if let Some(result) = slot.take() {
+                return match result {
+                    Ok(v) => Ok(v),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
+            }
+            if let Some(worker) = self.inner.poisoned_worker() {
+                return Err(RuntimeError::WorkerPanicked { worker });
+            }
+            cell.cond.wait_for(&mut slot, park);
         }
     }
 
@@ -379,8 +515,13 @@ impl Runtime {
     /// suspension has its full lifecycle recorded.
     pub fn shutdown(mut self) -> ShutdownReport {
         self.join_now();
+        let metrics = self.inner.counters.snapshot();
         ShutdownReport {
-            metrics: self.inner.counters.snapshot(),
+            leaked_suspensions: metrics.suspensions.saturating_sub(metrics.resumes),
+            canceled_ops: self.inner.timer().canceled_ops(),
+            poisoned_worker: self.inner.poisoned_worker(),
+            faults_injected: self.inner.faults.as_ref().map_or(0, |f| f.injected_total()),
+            metrics,
             trace: self.inner.tracer.as_ref().map(|t| t.drain()),
         }
     }
@@ -409,6 +550,17 @@ pub struct ShutdownReport {
     pub metrics: MetricsSnapshot,
     /// Complete event trace, when tracing was enabled.
     pub trace: Option<Trace>,
+    /// Suspensions registered but never resumed — tasks that were still
+    /// parked (on timers, channels, or external ops) when shutdown cut
+    /// them off. Zero for a quiescent runtime.
+    pub leaked_suspensions: u64,
+    /// Timer registrations (latency resumes and deadline callbacks)
+    /// canceled by shutdown rather than delivered.
+    pub canceled_ops: u64,
+    /// The worker whose scheduler-loop panic poisoned the runtime, if any.
+    pub poisoned_worker: Option<usize>,
+    /// Total faults injected by the fault plan (zero when none was set).
+    pub faults_injected: u64,
 }
 
 impl Drop for Runtime {
@@ -425,8 +577,12 @@ where
 {
     let cell = JoinCell::new();
     let c2 = cell.clone();
+    // `PanicInjected` sits *inside* `CatchUnwind`, so an injected task
+    // panic takes the exact same unwind path as a user panic: caught
+    // here, surfaced at the join point.
+    let faults = rt.faults.clone();
     let body = async move {
-        let result = CatchUnwind::new(fut).await;
+        let result = CatchUnwind::new(PanicInjected::new(fut, faults)).await;
         c2.complete(result);
     };
     let task = Task::new_queued(Arc::downgrade(rt), Box::pin(body));

@@ -25,6 +25,14 @@
 //! already-published work and it never parks. Workers additionally park
 //! with a timeout (`Config::park_micros`), bounding the cost of any
 //! missed wake-up to one park interval.
+//!
+//! The timed park is also what makes two fault-tolerance properties hold:
+//! the fault layer's `DropUnpark` injection (swallowing a legitimate
+//! unpark, see [`crate::fault`]) degrades throughput by at most one park
+//! interval per drop instead of deadlocking, and a poisoned runtime
+//! (worker scheduler-loop panic) is observed by the remaining workers'
+//! shutdown check within one interval even if the poisoner's
+//! `unpark_all` raced their park commit.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;

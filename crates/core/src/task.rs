@@ -184,8 +184,9 @@ impl Wake for Task {
     }
 }
 
-/// The wake protocol described in the module docs.
-fn wake_task(task: TaskRef) {
+/// The wake protocol described in the module docs. `pub(crate)` so the
+/// fault layer can inject spurious wakes through the real protocol.
+pub(crate) fn wake_task(task: TaskRef) {
     loop {
         let s = task.state.load(Ordering::Acquire);
         match s {

@@ -9,17 +9,25 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
-use super::{ResumeEvent, ResumeSink, TimerEntry};
+use super::{DeadlineCallback, ResumeEvent, ResumeSink, TimerEntry};
+
+/// What a heap slot holds: a latency expiration to deliver through the
+/// resume sink, or a deadline callback to invoke directly.
+enum HeapItem {
+    Resume(TimerEntry),
+    Deadline(DeadlineCallback),
+}
 
 struct HeapEntry {
     deadline: Instant,
     seq: u64,
-    entry: TimerEntry,
+    item: HeapItem,
 }
 
 impl PartialEq for HeapEntry {
@@ -50,6 +58,8 @@ struct TimerState {
 pub(crate) struct HeapTimer {
     state: Mutex<TimerState>,
     cond: Condvar,
+    /// Entries canceled by (or registered after) shutdown.
+    canceled: AtomicU64,
 }
 
 impl HeapTimer {
@@ -58,6 +68,7 @@ impl HeapTimer {
         let timer = Arc::new(HeapTimer {
             state: Mutex::new(TimerState::default()),
             cond: Condvar::new(),
+            canceled: AtomicU64::new(0),
         });
         let t2 = timer.clone();
         let handle = std::thread::Builder::new()
@@ -69,22 +80,75 @@ impl HeapTimer {
 
     /// Registers a latency expiration.
     pub fn register(&self, entry: TimerEntry) {
+        let deadline = entry.deadline;
+        if !self.push(deadline, HeapItem::Resume(entry)) {
+            self.canceled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Registers a deadline callback (`cb(true)` at expiry, `cb(false)`
+    /// when shutdown wins).
+    pub fn register_deadline(&self, deadline: Instant, cb: DeadlineCallback) {
+        if let Some(HeapItem::Deadline(cb)) = self.push_or_return(deadline, HeapItem::Deadline(cb))
+        {
+            self.canceled.fetch_add(1, Ordering::Relaxed);
+            cb(false);
+        }
+    }
+
+    /// Pushes `item` unless shut down. Returns `false` when rejected.
+    fn push(&self, deadline: Instant, item: HeapItem) -> bool {
+        self.push_or_return(deadline, item).is_none()
+    }
+
+    /// Pushes `item` unless shut down, returning the item back on
+    /// rejection so the caller can run its cancellation path outside the
+    /// lock.
+    fn push_or_return(&self, deadline: Instant, item: HeapItem) -> Option<HeapItem> {
         let mut s = self.state.lock();
+        if s.shutdown {
+            return Some(item);
+        }
         let seq = s.seq;
         s.seq += 1;
         s.heap.push(Reverse(HeapEntry {
-            deadline: entry.deadline,
+            deadline,
             seq,
-            entry,
+            item,
         }));
         drop(s);
         self.cond.notify_one();
+        None
     }
 
-    /// Signals the timer thread to exit.
+    /// Signals the timer thread to exit, dropping pending resume entries
+    /// (counted) and firing pending deadline callbacks with `false`.
     pub fn shutdown(&self) {
-        self.state.lock().shutdown = true;
+        let mut canceled_cbs = Vec::new();
+        let mut dropped = 0u64;
+        {
+            let mut s = self.state.lock();
+            if !s.shutdown {
+                s.shutdown = true;
+                for Reverse(he) in s.heap.drain() {
+                    match he.item {
+                        HeapItem::Resume(_) => dropped += 1,
+                        HeapItem::Deadline(cb) => canceled_cbs.push(cb),
+                    }
+                }
+            }
+        }
+        self.canceled
+            .fetch_add(dropped + canceled_cbs.len() as u64, Ordering::Relaxed);
         self.cond.notify_one();
+        for cb in canceled_cbs {
+            cb(false);
+        }
+    }
+
+    /// Entries canceled by shutdown (or registered after it).
+    pub fn canceled_ops(&self) -> u64 {
+        self.canceled.load(Ordering::Relaxed)
     }
 
     fn run(&self, sink: Arc<dyn ResumeSink>) {
@@ -102,18 +166,22 @@ impl HeapTimer {
                     if top.deadline <= now {
                         let Reverse(he) = s.heap.pop().expect("peeked");
                         // Deliver without holding the lock: the sink may
-                        // unpark threads or take inbox locks.
+                        // unpark threads or take inbox locks, and deadline
+                        // callbacks take arbitrary user-side locks.
                         drop(s);
-                        sink.deliver_batch(
-                            he.entry.worker,
-                            0,
-                            vec![ResumeEvent {
-                                task: he.entry.task,
-                                local_deque: he.entry.local_deque,
-                                seq: he.entry.seq,
-                                enabled_at: 0,
-                            }],
-                        );
+                        match he.item {
+                            HeapItem::Resume(entry) => sink.deliver_batch(
+                                entry.worker,
+                                0,
+                                vec![ResumeEvent {
+                                    task: entry.task,
+                                    local_deque: entry.local_deque,
+                                    seq: entry.seq,
+                                    enabled_at: 0,
+                                }],
+                            ),
+                            HeapItem::Deadline(cb) => cb(true),
+                        }
                         s = self.state.lock();
                     } else {
                         let deadline = top.deadline;
@@ -183,5 +251,65 @@ mod tests {
         assert_eq!(sink.total_events(), 50);
         timer.shutdown();
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_callbacks_fire_and_cancel() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let sink = CollectSink::new();
+        let (timer, handle) = HeapTimer::start(sink);
+        let fired = Arc::new(AtomicU32::new(0));
+        let f2 = fired.clone();
+        timer.register_deadline(
+            Instant::now() + Duration::from_millis(5),
+            Box::new(move |expired| {
+                f2.store(if expired { 1 } else { 2 }, Ordering::SeqCst);
+            }),
+        );
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while fired.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "deadline expired");
+
+        // A far-future callback is canceled (cb(false)) by shutdown.
+        let canceled = Arc::new(AtomicU32::new(0));
+        let c2 = canceled.clone();
+        timer.register_deadline(
+            Instant::now() + Duration::from_secs(60),
+            Box::new(move |expired| {
+                c2.store(if expired { 1 } else { 2 }, Ordering::SeqCst);
+            }),
+        );
+        timer.shutdown();
+        handle.join().unwrap();
+        assert_eq!(canceled.load(Ordering::SeqCst), 2, "canceled at shutdown");
+        assert_eq!(timer.canceled_ops(), 1);
+
+        // Registration after shutdown cancels immediately.
+        let late = Arc::new(AtomicU32::new(0));
+        let l2 = late.clone();
+        timer.register_deadline(
+            Instant::now() + Duration::from_secs(60),
+            Box::new(move |expired| {
+                l2.store(if expired { 1 } else { 2 }, Ordering::SeqCst);
+            }),
+        );
+        assert_eq!(late.load(Ordering::SeqCst), 2);
+        assert_eq!(timer.canceled_ops(), 2);
+    }
+
+    #[test]
+    fn shutdown_counts_dropped_resume_entries() {
+        let sink = CollectSink::new();
+        let (timer, handle) = HeapTimer::start(sink.clone());
+        let far = Instant::now() + Duration::from_secs(60);
+        for i in 0..4 {
+            timer.register(entry(far, i, 0));
+        }
+        timer.shutdown();
+        handle.join().unwrap();
+        assert_eq!(timer.canceled_ops(), 4);
+        assert_eq!(sink.total_events(), 0);
     }
 }

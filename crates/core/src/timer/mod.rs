@@ -49,6 +49,13 @@ pub(crate) struct TimerEntry {
     pub seq: u64,
 }
 
+/// A deadline notification callback, invoked exactly once by the timer:
+/// with `true` when the deadline expired, or `false` when the timer shut
+/// down (or was already shut down at registration) before the deadline.
+/// Used by [`crate::external::DeadlineOp`] to settle `Err(TimedOut)` /
+/// `Err(Canceled)` without a dedicated suspension.
+pub(crate) type DeadlineCallback = Box<dyn FnOnce(bool) + Send + 'static>;
+
 /// Resume event delivered to a worker inbox: the paper's `callback(v, q)`
 /// arguments.
 #[derive(Debug)]
@@ -114,12 +121,32 @@ impl Timer {
         }
     }
 
-    /// Signals the timer thread(s) to exit. Entries still pending are
-    /// dropped.
+    /// Registers a deadline callback: `cb(true)` fires when `deadline`
+    /// passes, `cb(false)` when the timer shuts down first.
+    pub fn register_deadline(&self, deadline: Instant, cb: DeadlineCallback) {
+        match self {
+            Timer::Heap(t) => t.register_deadline(deadline, cb),
+            Timer::Wheel(t) => t.register_deadline(deadline, cb),
+        }
+    }
+
+    /// Signals the timer thread(s) to exit. Pending resume entries are
+    /// dropped (counted in [`Timer::canceled_ops`]); pending deadline
+    /// callbacks fire with `false`.
     pub fn shutdown(&self) {
         match self {
             Timer::Heap(t) => t.shutdown(),
             Timer::Wheel(t) => t.shutdown(),
+        }
+    }
+
+    /// Operations canceled by shutdown: resume entries dropped undelivered
+    /// plus deadline callbacks fired with `false` (including registrations
+    /// that arrived after shutdown).
+    pub fn canceled_ops(&self) -> u64 {
+        match self {
+            Timer::Heap(t) => t.canceled_ops(),
+            Timer::Wheel(t) => t.canceled_ops(),
         }
     }
 }

@@ -29,13 +29,14 @@
 //! Deadlines are rounded **up** to the next tick boundary; an entry never
 //! fires early, and fires at most one tick late plus scheduling noise.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
-use super::{ResumeEvent, ResumeSink, TimerEntry};
+use super::{DeadlineCallback, ResumeEvent, ResumeSink, TimerEntry};
 use crate::task::TaskRef;
 
 /// Slots per level. 64 keeps slot indexing a mask and shift.
@@ -46,16 +47,31 @@ const LEVELS: usize = 4;
 /// log2(SLOTS), for shift-based slot math.
 const SLOT_BITS: u32 = 6;
 
-/// An entry resident in the wheel: a [`TimerEntry`] with its deadline
-/// quantized to an absolute tick.
+/// Pseudo-worker index for deadline-callback entries. Sorts after every
+/// real worker in [`WheelTimer::deliver`], so callbacks never interleave
+/// with (or batch into) resume deliveries.
+const DEADLINE_WORKER: usize = usize::MAX;
+
+/// What a wheel slot holds: a latency expiration to deliver through the
+/// resume sink, or a deadline callback to invoke directly.
+enum Payload {
+    Resume {
+        task: TaskRef,
+        local_deque: usize,
+        /// Trace suspension id, carried through to the [`ResumeEvent`].
+        seq: u64,
+    },
+    Deadline(DeadlineCallback),
+}
+
+/// An entry resident in the wheel, its deadline quantized to an absolute
+/// tick.
 struct Pending {
     /// Absolute expiry tick (deadline rounded up).
     expiry: u64,
+    /// Owning worker, or [`DEADLINE_WORKER`] for callbacks.
     worker: usize,
-    task: TaskRef,
-    local_deque: usize,
-    /// Trace suspension id, carried through to the [`ResumeEvent`].
-    seq: u64,
+    payload: Payload,
 }
 
 /// Width of a level-`l` slot, in ticks.
@@ -178,6 +194,20 @@ impl ShardState {
         }
         best
     }
+
+    /// Removes every resident entry (used at shutdown so pending resumes
+    /// can be counted and deadline callbacks canceled).
+    fn drain_all(&mut self) -> Vec<Pending> {
+        let mut out = Vec::with_capacity(self.count);
+        for level in &mut self.wheel {
+            for slot in level {
+                out.append(slot);
+            }
+        }
+        out.append(&mut self.overflow);
+        self.count = 0;
+        out
+    }
 }
 
 struct Shard {
@@ -191,6 +221,10 @@ pub(crate) struct WheelTimer {
     tick: Duration,
     origin: Instant,
     batch_limit: usize,
+    /// Entries canceled by (or registered after) shutdown.
+    canceled: AtomicU64,
+    /// Round-robin cursor spreading deadline callbacks across shards.
+    deadline_rr: AtomicUsize,
 }
 
 impl WheelTimer {
@@ -214,6 +248,8 @@ impl WheelTimer {
             tick,
             origin: Instant::now(),
             batch_limit: batch_limit.max(1),
+            canceled: AtomicU64::new(0),
+            deadline_rr: AtomicUsize::new(0),
         });
         let handles = (0..nshards)
             .map(|i| {
@@ -245,9 +281,46 @@ impl WheelTimer {
     pub fn register(&self, entry: TimerEntry) {
         let shard = &self.shards[entry.worker % self.shards.len()];
         let expiry = self.expiry_tick(entry.deadline);
+        let payload = Payload::Resume {
+            task: entry.task,
+            local_deque: entry.local_deque,
+            seq: entry.seq,
+        };
+        if self.insert(shard, expiry, entry.worker, payload).is_some() {
+            // Runtime is dying; drop the entry with the task, but count it.
+            self.canceled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Registers a deadline callback (`cb(true)` at expiry, `cb(false)`
+    /// when shutdown wins). Callbacks are spread round-robin over shards.
+    pub fn register_deadline(&self, deadline: Instant, cb: DeadlineCallback) {
+        let idx = self.deadline_rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let expiry = self.expiry_tick(deadline);
+        let rejected = self.insert(
+            &self.shards[idx],
+            expiry,
+            DEADLINE_WORKER,
+            Payload::Deadline(cb),
+        );
+        if let Some(Payload::Deadline(cb)) = rejected {
+            self.canceled.fetch_add(1, Ordering::Relaxed);
+            cb(false);
+        }
+    }
+
+    /// Files a payload into `shard`, or hands it back if the shard is shut
+    /// down (so cancellation runs without any shard lock held).
+    fn insert(
+        &self,
+        shard: &Shard,
+        expiry: u64,
+        worker: usize,
+        payload: Payload,
+    ) -> Option<Payload> {
         let mut s = shard.state.lock();
         if s.shutdown {
-            return; // runtime is dying; drop the entry with the task
+            return Some(payload);
         }
         // Quantize past/immediate deadlines to the next tick so delivery
         // always flows through the shard thread (and batches with
@@ -255,10 +328,8 @@ impl WheelTimer {
         let expiry = expiry.max(s.current + 1);
         let p = Pending {
             expiry,
-            worker: entry.worker,
-            task: entry.task,
-            local_deque: entry.local_deque,
-            seq: entry.seq,
+            worker,
+            payload,
         };
         let mut due = Vec::new();
         s.place(p, &mut due);
@@ -269,14 +340,39 @@ impl WheelTimer {
         if must_wake {
             shard.cond.notify_one();
         }
+        None
     }
 
-    /// Signals every shard thread to exit. Pending entries are dropped.
+    /// Signals every shard thread to exit. Pending resume entries are
+    /// dropped (counted); pending deadline callbacks fire with `false`,
+    /// outside every shard lock.
     pub fn shutdown(&self) {
+        let mut canceled_cbs = Vec::new();
+        let mut dropped = 0u64;
         for shard in self.shards.iter() {
-            shard.state.lock().shutdown = true;
+            let mut s = shard.state.lock();
+            if !s.shutdown {
+                s.shutdown = true;
+                for p in s.drain_all() {
+                    match p.payload {
+                        Payload::Resume { .. } => dropped += 1,
+                        Payload::Deadline(cb) => canceled_cbs.push(cb),
+                    }
+                }
+            }
+            drop(s);
             shard.cond.notify_one();
         }
+        self.canceled
+            .fetch_add(dropped + canceled_cbs.len() as u64, Ordering::Relaxed);
+        for cb in canceled_cbs {
+            cb(false);
+        }
+    }
+
+    /// Entries canceled by shutdown (or registered after it).
+    pub fn canceled_ops(&self) -> u64 {
+        self.canceled.load(Ordering::Relaxed)
     }
 
     fn run(&self, index: usize, sink: Arc<dyn ResumeSink>) {
@@ -323,29 +419,50 @@ impl WheelTimer {
 
     /// Groups `due` by worker and delivers one batch per worker (chunked
     /// by `batch_limit`). The stable sort preserves per-worker expiry and
-    /// registration order.
+    /// registration order; deadline callbacks sort last
+    /// ([`DEADLINE_WORKER`]) and fire one by one with `true`.
     fn deliver(&self, mut due: Vec<Pending>, sink: &Arc<dyn ResumeSink>) {
         due.sort_by_key(|p| p.worker);
         let mut rest = due.into_iter().peekable();
         while let Some(first) = rest.next() {
             let worker = first.worker;
             let tick = first.expiry;
+            let (task, local_deque, seq) = match first.payload {
+                Payload::Resume {
+                    task,
+                    local_deque,
+                    seq,
+                } => (task, local_deque, seq),
+                Payload::Deadline(cb) => {
+                    cb(true);
+                    continue;
+                }
+            };
             let mut batch = Vec::with_capacity(self.batch_limit.min(16));
             batch.push(ResumeEvent {
-                task: first.task,
-                local_deque: first.local_deque,
-                seq: first.seq,
+                task,
+                local_deque,
+                seq,
                 enabled_at: 0,
             });
             while batch.len() < self.batch_limit && rest.peek().is_some_and(|p| p.worker == worker)
             {
                 let p = rest.next().expect("peeked");
-                batch.push(ResumeEvent {
-                    task: p.task,
-                    local_deque: p.local_deque,
-                    seq: p.seq,
-                    enabled_at: 0,
-                });
+                match p.payload {
+                    Payload::Resume {
+                        task,
+                        local_deque,
+                        seq,
+                    } => batch.push(ResumeEvent {
+                        task,
+                        local_deque,
+                        seq,
+                        enabled_at: 0,
+                    }),
+                    // Unreachable in practice (DEADLINE_WORKER never equals
+                    // a real worker index), but fire rather than lose it.
+                    Payload::Deadline(cb) => cb(true),
+                }
             }
             sink.deliver_batch(worker, tick, batch);
         }
@@ -506,9 +623,11 @@ mod tests {
             Pending {
                 expiry: 100,
                 worker: 0,
-                task: dummy_task(),
-                local_deque: 9,
-                seq: 0,
+                payload: Payload::Resume {
+                    task: dummy_task(),
+                    local_deque: 9,
+                    seq: 0,
+                },
             },
             &mut due,
         );
@@ -537,9 +656,11 @@ mod tests {
             Pending {
                 expiry: far,
                 worker: 0,
-                task: dummy_task(),
-                local_deque: 0,
-                seq: 0,
+                payload: Payload::Resume {
+                    task: dummy_task(),
+                    local_deque: 0,
+                    seq: 0,
+                },
             },
             &mut due,
         );
@@ -555,5 +676,62 @@ mod tests {
         assert!(s.overflow.is_empty(), "overflow entry not refiled");
         assert!(due.is_empty());
         assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn deadline_callbacks_fire_and_cancel() {
+        use std::sync::atomic::AtomicU32;
+        let (sink, timer, handles) = start_wheel(2, Duration::from_micros(200), 1024);
+        let fired = Arc::new(AtomicU32::new(0));
+        let f2 = fired.clone();
+        timer.register_deadline(
+            Instant::now() + Duration::from_millis(5),
+            Box::new(move |expired| {
+                f2.store(if expired { 1 } else { 2 }, Ordering::SeqCst);
+            }),
+        );
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while fired.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "deadline expired");
+        assert_eq!(sink.total_events(), 0, "callbacks never reach the sink");
+
+        // A far-future callback is canceled (cb(false)) by shutdown, and a
+        // post-shutdown registration cancels immediately.
+        let canceled = Arc::new(AtomicU32::new(0));
+        let c2 = canceled.clone();
+        timer.register_deadline(
+            Instant::now() + Duration::from_secs(60),
+            Box::new(move |expired| {
+                c2.store(if expired { 1 } else { 2 }, Ordering::SeqCst);
+            }),
+        );
+        finish(timer.clone(), handles);
+        assert_eq!(canceled.load(Ordering::SeqCst), 2, "canceled at shutdown");
+        assert_eq!(timer.canceled_ops(), 1);
+
+        let late = Arc::new(AtomicU32::new(0));
+        let l2 = late.clone();
+        timer.register_deadline(
+            Instant::now() + Duration::from_secs(60),
+            Box::new(move |expired| {
+                l2.store(if expired { 1 } else { 2 }, Ordering::SeqCst);
+            }),
+        );
+        assert_eq!(late.load(Ordering::SeqCst), 2);
+        assert_eq!(timer.canceled_ops(), 2);
+    }
+
+    #[test]
+    fn shutdown_counts_dropped_resume_entries() {
+        let (sink, timer, handles) = start_wheel(2, Duration::from_micros(200), 1024);
+        let far = Instant::now() + Duration::from_secs(60);
+        for i in 0..6 {
+            timer.register(entry(far, i, 0));
+        }
+        finish(timer.clone(), handles);
+        assert_eq!(timer.canceled_ops(), 6);
+        assert_eq!(sink.total_events(), 0);
     }
 }

@@ -341,6 +341,13 @@ impl Trace {
     pub fn export_chrome<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
         export::write_chrome_trace(self, w)
     }
+
+    /// Runs the invariant auditor over this trace — suspension/resume
+    /// pairing, deque alloc/release balance, the Lemma 7 high-water bound.
+    /// Convenience for [`crate::fault::audit`].
+    pub fn audit(&self) -> crate::fault::AuditReport {
+        crate::fault::audit(self)
+    }
 }
 
 #[cfg(test)]

@@ -37,6 +37,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{LatencyMode, StealPolicy};
+use crate::fault::FaultInjector;
 use crate::metrics::CounterBlock;
 use crate::runtime::RtInner;
 use crate::task::{Task, TaskRef};
@@ -321,6 +322,9 @@ pub(crate) struct Worker {
     /// Cached from `rt.tracer` so every event site is one local branch;
     /// `None` (tracing disabled) costs nothing on the hot path.
     tracer: Option<Arc<Tracer>>,
+    /// Cached from `rt.faults` — same zero-cost-when-`None` pattern as
+    /// the tracer. See [`crate::fault`].
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl Worker {
@@ -330,6 +334,7 @@ impl Worker {
             .seed
             .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
         let tracer = rt.tracer.clone();
+        let faults = rt.faults.clone();
         Worker {
             rt,
             index,
@@ -345,6 +350,7 @@ impl Worker {
             advertised: Vec::new(),
             adv_scratch: Vec::new(),
             tracer,
+            faults,
         }
     }
 
@@ -375,10 +381,18 @@ impl Worker {
             if self.rt.is_shutdown() {
                 break;
             }
+            if let Some(f) = &self.faults {
+                // Outside poll_task's catch_unwind: this panic escapes the
+                // scheduler loop itself and exercises runtime supervision.
+                if f.worker_loop_should_panic() {
+                    panic!("injected worker-loop panic (fault plan)");
+                }
+            }
             if let Some(task) = self.assigned.take() {
                 self.poll_task(task);
                 self.flush_pending();
                 self.drain_resumes();
+                self.maybe_forced_switch();
                 if let Some(a) = self.active {
                     self.assigned = self.owned[a].handle.pop_bottom();
                 }
@@ -447,6 +461,15 @@ impl Worker {
     // ------------------------------------------------------------------
 
     fn poll_task(&mut self, task: TaskRef) {
+        let mut inject_spurious = false;
+        if let Some(f) = &self.faults {
+            // Emulate OS preemption between deadline computation and the
+            // poll — the window behind the resume_path flake.
+            if let Some(delay) = f.poll_delay() {
+                std::thread::sleep(delay);
+            }
+            inject_spurious = f.spurious_wake();
+        }
         task.begin_poll();
         self.ctr().bump(&self.ctr().polls);
         if self.tracer.is_some() {
@@ -482,6 +505,12 @@ impl Worker {
                     if task.finish_pending() {
                         // Woken during the poll: runnable again right away.
                         tls.pending_local.borrow_mut().push(task.clone());
+                    } else if inject_spurious {
+                        // Spurious wake before completion: the task re-polls
+                        // while its registrations stay armed. Suspending
+                        // futures must keep their original registration
+                        // (one registration ↔ one resume event).
+                        crate::task::wake_task(task.clone());
                     }
                 }
                 Err(_panic) => {
@@ -593,6 +622,27 @@ impl Worker {
             }
             self.mark_ready(q);
         }
+        self.advertise();
+    }
+
+    /// Fault hook: demote a non-empty active deque to the ready list, as
+    /// if the worker had been forced off it. The next idle step reactivates
+    /// it (or a sibling) through the normal `pop_ready` switch path, which
+    /// always runs before `new_deque` — so Lemma 7's bound is preserved.
+    fn maybe_forced_switch(&mut self) {
+        let Some(f) = &self.faults else { return };
+        let Some(a) = self.active else { return };
+        if self.owned[a].handle.is_empty() || !f.force_deque_switch() {
+            return;
+        }
+        self.active = None;
+        TLS.with(|t| {
+            let borrow = t.borrow();
+            if let Some(tls) = borrow.as_ref() {
+                tls.active_local.set(NO_DEQUE);
+            }
+        });
+        self.mark_ready(a);
         self.advertise();
     }
 
@@ -713,6 +763,19 @@ impl Worker {
     /// attempts that never reach a victim deque — so trace steal counts
     /// match `steals_attempted` exactly).
     fn try_steal(&mut self) -> Option<TaskRef> {
+        if let Some(f) = &self.faults {
+            // Forced failure before the victim draw: from the scheduler's
+            // perspective, a steal that lost its race (retry storms under
+            // high rates). Still exactly one Steal event per attempt.
+            if f.steal_fail() {
+                self.trace(EventKind::Steal {
+                    victim_deque: NONE_ID,
+                    victim_worker: NONE_ID,
+                    outcome: StealOutcome::LostRace,
+                });
+                return None;
+            }
+        }
         let (victim_deque, victim_worker, got, outcome) = match self.rt.config.steal_policy {
             StealPolicy::RandomDeque => match self.rt.registry.random_id(self.rng.gen()) {
                 None => (NONE_ID, NONE_ID, None, StealOutcome::Empty),
