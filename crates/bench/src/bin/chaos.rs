@@ -18,6 +18,7 @@ use std::time::Duration;
 use lhws_bench::Args;
 use lhws_core::channel::mpsc;
 use lhws_core::{join_all, simulate_latency, FaultPlan, Runtime};
+use lhws_net::{Reactor, TcpListener, TcpStream};
 
 const TRACE_CAPACITY: usize = 1 << 18;
 
@@ -99,6 +100,55 @@ fn forkjoin(rt: &Runtime, depth: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Loopback TCP echo through the epoll reactor: every socket wait is a
+/// readiness registration, so the `DroppedReadiness` site gets visited
+/// and must be recovered by level-triggered re-arming.
+fn netecho(rt: &Runtime, conns: u64) -> Result<(), String> {
+    let reactor = Reactor::new(rt).map_err(|e| format!("netecho: reactor: {e}"))?;
+    let got = rt.block_on(async move {
+        let listener = TcpListener::bind(&reactor, "127.0.0.1:0")
+            .map_err(|e| format!("netecho: bind: {e}"))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let serve = async {
+            let mut sum = 0u64;
+            for _ in 0..conns {
+                let (mut conn, _) = listener.accept().await.map_err(|e| e.to_string())?;
+                let mut buf = [0u8; 16];
+                let n = conn.read(&mut buf).await.map_err(|e| e.to_string())?;
+                conn.write_all(&buf[..n]).await.map_err(|e| e.to_string())?;
+                let s = std::str::from_utf8(&buf[..n]).map_err(|e| e.to_string())?;
+                sum += s.parse::<u64>().map_err(|e| e.to_string())?;
+            }
+            Ok::<u64, String>(sum)
+        };
+        let r2 = reactor.clone();
+        let drive = async move {
+            for i in 0..conns {
+                let mut s =
+                    TcpStream::connect(&r2, addr).map_err(|e| format!("netecho: connect: {e}"))?;
+                let msg = i.to_string();
+                s.write_all(msg.as_bytes())
+                    .await
+                    .map_err(|e| e.to_string())?;
+                let mut buf = [0u8; 16];
+                let n = s.read(&mut buf).await.map_err(|e| e.to_string())?;
+                if buf[..n] != *msg.as_bytes() {
+                    return Err(format!("netecho: conn {i}: bad echo"));
+                }
+            }
+            Ok(())
+        };
+        let (served, drove) = lhws_core::fork2(serve, drive).await;
+        drove?;
+        served
+    })?;
+    let want: u64 = (0..conns).sum();
+    if got != want {
+        return Err(format!("netecho: got {got}, want {want}"));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let seed: u64 = args.get("seed", 1);
@@ -122,6 +172,7 @@ fn main() -> ExitCode {
             ("scatter", scatter(&rt, n)),
             ("pingpong", pingpong(&rt, n / 2)),
             ("forkjoin", forkjoin(&rt, fib_depth)),
+            ("netecho", netecho(&rt, n / 8)),
         ];
         let report = rt.shutdown();
         for (name, r) in results {

@@ -1,0 +1,339 @@
+//! Closed-loop TCP load generator for the reactor-backed server.
+//!
+//! ```text
+//! # Self-hosted compare: in-process server per mode, loopback sockets.
+//! cargo run -p lhws-bench --release --bin loadgen -- \
+//!     [--conns C] [--requests R] [--think-us T] [--fib N] \
+//!     [--server-workers P] [--client-workers P] [--quick] [--out FILE]
+//!
+//! # External server (CI smoke): drive an already-running server.
+//! cargo run -p lhws-bench --release --bin loadgen -- \
+//!     --addr 127.0.0.1:7911 [--quick] ...
+//! ```
+//!
+//! Each connection runs a closed loop: send `W <n>`, await `R <v>`,
+//! think, repeat, drawing from a shared request budget until it is
+//! exhausted. Per-request latencies are recorded exactly (sorted vector,
+//! no histogram buckets) and reported as p50/p99/p999.
+//!
+//! In compare mode the server runtime is started once per
+//! [`LatencyMode`]: `Hide` hosts every connection's kernel wait as a
+//! suspended deque through the epoll reactor, while `Block` parks a
+//! worker per outstanding read — with `C ≫ P` only `P` connections make
+//! progress at a time, which is the measurable cost of blocking the
+//! paper quantifies. Results land in `BENCH_net.json`.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lhws_bench::Args;
+use lhws_core::{fork2, join_all, simulate_latency, spawn, Config, LatencyMode, Runtime};
+use lhws_net::{LineReader, Reactor, TcpListener, TcpStream};
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib(n - 1) + fib(n - 2)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Params {
+    conns: usize,
+    requests: u64,
+    think: Duration,
+    fib_n: u64,
+    server_workers: usize,
+    client_workers: usize,
+}
+
+// ---------------------------------------------------------------------
+// Server side (compare mode): the example server's loop, in-process.
+// ---------------------------------------------------------------------
+
+async fn serve_conn(stream: TcpStream) -> std::io::Result<u64> {
+    let mut reader = LineReader::new(stream);
+    let mut served = 0u64;
+    while let Some(line) = reader.read_line().await? {
+        let n: u64 = line
+            .strip_prefix("W ")
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| std::io::Error::other(format!("bad request line {line:?}")))?;
+        let v = if n < 2 {
+            n
+        } else {
+            let (a, b) = fork2(async move { fib(n - 1) }, async move { fib(n - 2) }).await;
+            a + b
+        };
+        reader
+            .stream_mut()
+            .write_all(format!("R {v}\n").as_bytes())
+            .await?;
+        served += 1;
+    }
+    Ok(served)
+}
+
+/// Starts an in-process server for `conns` connections on an OS-assigned
+/// port. The accept loop runs to completion on a dedicated thread whose
+/// join hands the runtime back for shutdown once the clients are done.
+fn start_server(
+    mode: LatencyMode,
+    p: Params,
+) -> (
+    std::thread::JoinHandle<(Runtime, u64)>,
+    std::net::SocketAddr,
+) {
+    let rt = Runtime::new(Config::default().workers(p.server_workers).mode(mode)).unwrap();
+    let reactor = Reactor::new(&rt).unwrap();
+    let listener = TcpListener::bind(&reactor, "127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let conns = p.conns;
+    let joiner = std::thread::spawn(move || {
+        let total = rt.block_on(async move {
+            let mut handles = Vec::with_capacity(conns);
+            for _ in 0..conns {
+                let (stream, _peer) = listener.accept().await.unwrap();
+                handles.push(spawn(serve_conn(stream)));
+            }
+            let mut total = 0u64;
+            for h in handles {
+                total += h.await.unwrap();
+            }
+            total
+        });
+        (rt, total)
+    });
+    (joiner, addr)
+}
+
+// ---------------------------------------------------------------------
+// Client side.
+// ---------------------------------------------------------------------
+
+/// One connection's closed loop. Returns per-request latencies in nanos.
+async fn drive_conn(
+    reactor: Reactor,
+    addr: std::net::SocketAddr,
+    budget: Arc<AtomicU64>,
+    think: Duration,
+    fib_n: u64,
+) -> std::io::Result<Vec<u64>> {
+    let stream = TcpStream::connect(&reactor, addr)?;
+    let mut reader = LineReader::new(stream);
+    let mut latencies = Vec::new();
+    let want = format!("R {}", fib(fib_n));
+    while budget
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |c| c.checked_sub(1))
+        .is_ok()
+    {
+        let t0 = Instant::now();
+        reader
+            .stream_mut()
+            .write_all(format!("W {fib_n}\n").as_bytes())
+            .await?;
+        let reply = reader
+            .read_line()
+            .await?
+            .ok_or_else(|| std::io::Error::other("server closed mid-run"))?;
+        latencies.push(t0.elapsed().as_nanos() as u64);
+        if reply != want {
+            return Err(std::io::Error::other(format!(
+                "bad reply: got {reply:?}, want {want:?}"
+            )));
+        }
+        if !think.is_zero() {
+            simulate_latency(think).await;
+        }
+    }
+    Ok(latencies)
+}
+
+struct RunStats {
+    throughput_rps: f64,
+    elapsed: Duration,
+    completed: u64,
+    errors: u64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+}
+
+fn percentile_us(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx] as f64 / 1_000.0
+}
+
+/// Drives `p.conns` closed-loop connections at `addr` from a fresh
+/// latency-hiding client runtime and aggregates exact latency stats.
+fn drive(addr: std::net::SocketAddr, p: Params) -> RunStats {
+    let rt = Runtime::new(
+        Config::default()
+            .workers(p.client_workers)
+            .mode(LatencyMode::Hide),
+    )
+    .unwrap();
+    let reactor = Reactor::new(&rt).unwrap();
+    let budget = Arc::new(AtomicU64::new(p.requests));
+    let think = p.think;
+    let fib_n = p.fib_n;
+    let conns = p.conns;
+    let start = Instant::now();
+    let results = rt.block_on(async move {
+        let handles: Vec<_> = (0..conns)
+            .map(|_| {
+                let reactor = reactor.clone();
+                let budget = budget.clone();
+                spawn(drive_conn(reactor, addr, budget, think, fib_n))
+            })
+            .collect();
+        join_all(handles).await
+    });
+    let elapsed = start.elapsed();
+    rt.shutdown();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    for r in results {
+        match r {
+            Ok(mut v) => latencies.append(&mut v),
+            Err(e) => {
+                eprintln!("loadgen: connection failed: {e}");
+                errors += 1;
+            }
+        }
+    }
+    latencies.sort_unstable();
+    let completed = latencies.len() as u64;
+    RunStats {
+        throughput_rps: completed as f64 / elapsed.as_secs_f64(),
+        elapsed,
+        completed,
+        errors,
+        p50_us: percentile_us(&latencies, 0.50),
+        p99_us: percentile_us(&latencies, 0.99),
+        p999_us: percentile_us(&latencies, 0.999),
+    }
+}
+
+fn print_stats(label: &str, s: &RunStats) {
+    println!(
+        "{label}: {} requests in {:.2?} = {:.0} req/s | p50 {:.0}us p99 {:.0}us p999 {:.0}us | {} conn errors",
+        s.completed, s.elapsed, s.throughput_rps, s.p50_us, s.p99_us, s.p999_us, s.errors
+    );
+}
+
+fn json_run(s: &RunStats) -> String {
+    format!(
+        "{{\"throughput_rps\": {:.1}, \"elapsed_ns\": {}, \"completed\": {}, \"errors\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}}}",
+        s.throughput_rps,
+        s.elapsed.as_nanos(),
+        s.completed,
+        s.errors,
+        s.p50_us,
+        s.p99_us,
+        s.p999_us
+    )
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let p = Params {
+        conns: args.get("conns", if quick { 8 } else { 256 }),
+        requests: args.get("requests", if quick { 1_000 } else { 8_192 }),
+        think: Duration::from_micros(args.get("think-us", if quick { 500 } else { 2_000 })),
+        fib_n: args.get("fib", 15),
+        server_workers: args.get("server-workers", 4),
+        client_workers: args.get("client-workers", 4),
+    };
+
+    if let Some(addr) = args.value("addr").map(str::to_string) {
+        // External-server mode (CI smoke): one run, no JSON.
+        let addr: std::net::SocketAddr = match addr.parse() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("loadgen: --addr: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "loadgen: driving {addr} with {} conns, {} requests",
+            p.conns, p.requests
+        );
+        let stats = drive(addr, p);
+        print_stats("external", &stats);
+        if stats.errors > 0 || stats.completed < p.requests {
+            eprintln!(
+                "loadgen: FAILED ({} errors, {}/{} completed)",
+                stats.errors, stats.completed, p.requests
+            );
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Compare mode: in-process server per scheduling mode.
+    println!(
+        "net loadgen: conns={} requests={} think={:?} fib={} server P={} client P={}",
+        p.conns, p.requests, p.think, p.fib_n, p.server_workers, p.client_workers
+    );
+    let mut stats = Vec::new();
+    let mut failed = false;
+    for (mode, label) in [(LatencyMode::Block, "block"), (LatencyMode::Hide, "hide")] {
+        let (server_join, addr) = start_server(mode, p);
+        let s = drive(addr, p);
+        print_stats(label, &s);
+        let (server_rt, served) = server_join.join().expect("server thread panicked");
+        let report = server_rt.shutdown();
+        if s.errors > 0 || s.completed < p.requests || served != s.completed {
+            eprintln!(
+                "loadgen: {label} run FAILED ({} errors, client {} vs server {} requests)",
+                s.errors, s.completed, served
+            );
+            failed = true;
+        }
+        if report.leaked_suspensions != 0 || report.canceled_io_waits != 0 {
+            eprintln!(
+                "loadgen: {label} server shutdown unclean: {} leaked, {} canceled io waits",
+                report.leaked_suspensions, report.canceled_io_waits
+            );
+            failed = true;
+        }
+        stats.push(s);
+    }
+    let speedup = stats[1].throughput_rps / stats[0].throughput_rps.max(1e-9);
+    println!("hide/block throughput: {speedup:.2}x");
+
+    let out = args.value("out").unwrap_or("BENCH_net.json").to_string();
+    let json = format!(
+        "{{\n  \"bench\": \"net_loadgen\",\n  \"config\": {{\"conns\": {}, \"requests\": {}, \"think_us\": {}, \"fib\": {}, \"server_workers\": {}, \"client_workers\": {}}},\n  \"block\": {},\n  \"hide\": {},\n  \"hide_over_block\": {:.2}\n}}\n",
+        p.conns,
+        p.requests,
+        p.think.as_micros(),
+        p.fib_n,
+        p.server_workers,
+        p.client_workers,
+        json_run(&stats[0]),
+        json_run(&stats[1]),
+        speedup
+    );
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("loadgen: writing {out}: {e}");
+        failed = true;
+    } else {
+        println!("wrote {out}");
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

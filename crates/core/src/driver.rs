@@ -1,0 +1,180 @@
+//! Attachment points for external event-source drivers (I/O reactors).
+//!
+//! The scheduler itself knows nothing about sockets or `epoll`; what it
+//! exports is the *resume machinery*: an [`external_op`](crate::external_op)
+//! suspension pairs a task with its deque, and firing the
+//! [`Completer`](crate::Completer) from any thread routes a resume event
+//! through the owner's inbox. A **driver** (e.g. `lhws_net`'s reactor) is
+//! a subsystem that turns kernel readiness into those completions. This
+//! module gives drivers the two things they cannot reach from outside the
+//! crate:
+//!
+//! * [`DriverHooks`] — a cheap handle into the runtime's observability
+//!   layers: the `io_*` metrics counters (bumped on the calling worker's
+//!   cache-padded block when possible), the `IoRegister`/`IoReady`/
+//!   `IoDeregister` trace events (routed to the worker's own SPSC ring
+//!   when the calling thread is a worker of this runtime, to the shared
+//!   side buffer otherwise), and the
+//!   [`DroppedReadiness`](crate::FaultSite::DroppedReadiness) fault site.
+//! * [`Driver`] — the shutdown half. A driver registered via
+//!   [`Runtime::attach_driver`](crate::Runtime::attach_driver) is shut
+//!   down by [`Runtime::shutdown`](crate::Runtime::shutdown) **before**
+//!   the workers are stopped, so the cancellations it settles (dropped
+//!   completers → `Err(Canceled)` resumes) are still drained and counted
+//!   rather than leaked. The waits it cancels are summed into
+//!   [`ShutdownReport::canceled_io_waits`](crate::ShutdownReport::canceled_io_waits).
+
+use std::sync::Weak;
+
+use crate::config::LatencyMode;
+use crate::runtime::RtInner;
+use crate::trace::{EventKind, NONE_ID};
+use crate::worker;
+
+/// An external event source attached to a runtime.
+///
+/// The only protocol obligation is deterministic shutdown: when the
+/// runtime shuts down it calls [`Driver::shutdown`] exactly once, while
+/// the workers are still running, and expects the driver to stop its
+/// threads, drain its registration table (settling every in-flight wait
+/// as canceled) and report what it cancelled.
+pub trait Driver: Send + Sync + 'static {
+    /// Short human-readable name, for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Stops the driver: joins its threads, drains every registered wait
+    /// (each must settle — typically `Err(Canceled)` via a dropped
+    /// completer) and returns the tally. Must be idempotent; the runtime
+    /// calls it once, but a standalone driver handle may race it.
+    fn shutdown(&self) -> DriverReport;
+}
+
+/// What a [`Driver`] cancelled when it was shut down.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriverReport {
+    /// In-flight waits settled as canceled by the shutdown drain.
+    pub canceled_waits: u64,
+    /// Registration-table entries (e.g. file descriptors) drained.
+    pub drained_registrations: u64,
+}
+
+/// A driver's handle into the runtime's metrics, trace, and fault layers.
+///
+/// Obtained from [`Runtime::driver_hooks`](crate::Runtime::driver_hooks).
+/// Holds only a weak reference: every method is a no-op (or `false`/`None`)
+/// once the runtime is gone, so a driver outliving its runtime is safe.
+#[derive(Clone)]
+pub struct DriverHooks {
+    rt: Weak<RtInner>,
+}
+
+impl std::fmt::Debug for DriverHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DriverHooks")
+            .field("runtime_alive", &(self.rt.strong_count() > 0))
+            .finish()
+    }
+}
+
+impl DriverHooks {
+    pub(crate) fn new(rt: Weak<RtInner>) -> DriverHooks {
+        DriverHooks { rt }
+    }
+
+    /// Counts one I/O readiness registration (a wait that reached the
+    /// kernel). Call where the wait is filed — usually on a worker
+    /// thread mid-poll, so the bump lands on its padded counter block.
+    pub fn count_io_registration(&self) {
+        if let Some(rt) = self.rt.upgrade() {
+            match worker::current_worker_index_in(&rt) {
+                Some(w) => {
+                    let c = rt.counters.worker(w);
+                    c.bump(&c.io_registrations);
+                }
+                None => rt.counters.bump(&rt.counters.io_registrations),
+            }
+        }
+    }
+
+    /// Counts one kernel readiness event turned into a completion.
+    pub fn count_io_readiness(&self) {
+        if let Some(rt) = self.rt.upgrade() {
+            match worker::current_worker_index_in(&rt) {
+                Some(w) => {
+                    let c = rt.counters.worker(w);
+                    c.bump(&c.io_readiness_events);
+                }
+                None => rt.counters.bump(&rt.counters.io_readiness_events),
+            }
+        }
+    }
+
+    /// Counts one I/O wait resolved by deadline expiry instead of
+    /// readiness.
+    pub fn count_io_timeout(&self) {
+        if let Some(rt) = self.rt.upgrade() {
+            match worker::current_worker_index_in(&rt) {
+                Some(w) => {
+                    let c = rt.counters.worker(w);
+                    c.bump(&c.io_timeouts);
+                }
+                None => rt.counters.bump(&rt.counters.io_timeouts),
+            }
+        }
+    }
+
+    /// Traces an `IoRegister` event for wait `token`.
+    pub fn trace_io_register(&self, token: u64) {
+        self.trace(EventKind::IoRegister { token });
+    }
+
+    /// Traces an `IoReady` event for wait `token`.
+    pub fn trace_io_ready(&self, token: u64) {
+        self.trace(EventKind::IoReady { token });
+    }
+
+    /// Traces an `IoDeregister` event for wait `token`.
+    pub fn trace_io_deregister(&self, token: u64) {
+        self.trace(EventKind::IoDeregister { token });
+    }
+
+    fn trace(&self, kind: EventKind) {
+        if let Some(rt) = self.rt.upgrade() {
+            if let Some(t) = &rt.tracer {
+                // The worker's own ring requires being its producer
+                // thread; everything else goes to the side buffer.
+                match worker::current_worker_index_in(&rt) {
+                    Some(w) => t.record(w, kind),
+                    None => t.record_shared(NONE_ID, kind),
+                }
+            }
+        }
+    }
+
+    /// Rolls the [`DroppedReadiness`](crate::FaultSite::DroppedReadiness)
+    /// fault site: `true` means the driver should swallow this readiness
+    /// event (neither firing the completer nor disarming interest) and
+    /// rely on level-triggered re-reporting for recovery. Always `false`
+    /// without a fault plan.
+    pub fn drop_readiness(&self) -> bool {
+        self.rt
+            .upgrade()
+            .and_then(|rt| rt.faults.clone())
+            .is_some_and(|f| f.dropped_readiness())
+    }
+
+    /// The runtime's latency mode, or `None` once it is gone. Drivers use
+    /// this to skip their event thread entirely in
+    /// [`LatencyMode::Block`] — the paper's blocking baseline.
+    pub fn mode(&self) -> Option<LatencyMode> {
+        self.rt.upgrade().map(|rt| rt.config.mode)
+    }
+
+    /// True once the runtime has begun shutting down (or is gone).
+    pub fn is_shutdown(&self) -> bool {
+        match self.rt.upgrade() {
+            Some(rt) => rt.is_shutdown(),
+            None => true,
+        }
+    }
+}

@@ -23,8 +23,18 @@
 //!   waker-based waiting — no deque bookkeeping, completion wakes the task
 //!   through the injector.
 //! * Dropping the `Completer` without completing cancels the operation:
-//!   the future resolves to `Err(Canceled)` and a resume event is still
-//!   delivered so the suspension count stays balanced.
+//!   the future resolves to `Err(Canceled)`. **While the runtime is
+//!   running**, the cancellation delivers a resume event like any
+//!   completion, so the suspension count stays balanced. A completer
+//!   dropped *after* the workers have stopped (during or after
+//!   [`Runtime::shutdown`](crate::Runtime::shutdown)) still settles the
+//!   state safely — the drop never panics and a later poll still observes
+//!   `Err(Canceled)` — but the resume event has no live worker left to
+//!   drain it, so the suspension is reported in
+//!   [`ShutdownReport::leaked_suspensions`](crate::ShutdownReport::leaked_suspensions)
+//!   rather than balanced. Drivers that hold completers (I/O reactors)
+//!   avoid this by being shut down *before* the workers — see
+//!   [`crate::driver`].
 //! * [`ExternalOp::with_deadline`] bounds the wait through the runtime
 //!   timer: the resulting [`DeadlineOp`] resolves `Err(TimedOut)` if the
 //!   completer has not fired by the deadline. The settle protocol is

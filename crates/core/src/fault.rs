@@ -35,6 +35,7 @@
 //! | `task_panic_ppm` | first poll of a spawned task | the task panics (propagates at its join, as a user panic would) |
 //! | `deque_switch_ppm` | after draining resumes | the non-empty active deque is demoted to the ready list |
 //! | `drop_unpark_ppm` | inject/delivery | the wake-up is skipped; the park timeout is the only backstop |
+//! | `dropped_readiness_ppm` | reactor event loop | a kernel readiness event is swallowed without firing the completer or disarming interest; level-triggered epoll re-reports it on the next wait |
 //! | `worker_panic_after` | worker loop | the first worker to reach the N-th loop iteration panics, poisoning the runtime |
 
 use std::collections::HashMap;
@@ -68,12 +69,15 @@ pub enum FaultSite {
     DequeSwitch,
     /// Dropped wake-up after publishing work (park-timeout backstop).
     DropUnpark,
+    /// Swallowed kernel readiness event in a reactor driver's event loop
+    /// (recovered by level-triggered re-reporting).
+    DroppedReadiness,
 }
 
 impl FaultSite {
     /// Every site, in decision-stream order (the order
     /// [`FaultPlan::schedule_digest`] folds them in).
-    pub const ALL: [FaultSite; 8] = [
+    pub const ALL: [FaultSite; 9] = [
         FaultSite::StealFail,
         FaultSite::ResumeDelay,
         FaultSite::ResumeReorder,
@@ -82,6 +86,7 @@ impl FaultSite {
         FaultSite::TaskPanic,
         FaultSite::DequeSwitch,
         FaultSite::DropUnpark,
+        FaultSite::DroppedReadiness,
     ];
 
     #[inline]
@@ -95,6 +100,7 @@ impl FaultSite {
             FaultSite::TaskPanic => 5,
             FaultSite::DequeSwitch => 6,
             FaultSite::DropUnpark => 7,
+            FaultSite::DroppedReadiness => 8,
         }
     }
 
@@ -112,6 +118,7 @@ impl FaultSite {
             0x7A5C_9A21_C000_000B,
             0xDE0E_5312_7C11_000D,
             0xD209_0213_9A12_000F,
+            0x10C4_77A1_7ED1_0011,
         ][self.index()]
     }
 }
@@ -164,6 +171,11 @@ pub struct FaultPlan {
     pub deque_switch_ppm: u32,
     /// Rate of dropped wake-ups.
     pub drop_unpark_ppm: u32,
+    /// Rate of swallowed reactor readiness events. Only visited when a
+    /// reactor driver is attached; level-triggered epoll makes every
+    /// swallow recoverable (the fd stays ready, the next `epoll_wait`
+    /// re-reports it). A rate of 1 000 000 would livelock the reactor.
+    pub dropped_readiness_ppm: u32,
     /// If set, the first worker whose scheduler loop reaches this many
     /// total iterations (counted across all workers) panics — exercising
     /// the supervision/poisoning path. Fires at most once per runtime.
@@ -191,6 +203,7 @@ impl FaultPlan {
             task_panic_ppm: 0,
             deque_switch_ppm: 0,
             drop_unpark_ppm: 0,
+            dropped_readiness_ppm: 0,
             worker_panic_after: None,
         }
     }
@@ -208,6 +221,7 @@ impl FaultPlan {
             .poll_delay(20_000, Duration::from_micros(150))
             .deque_switch(80_000)
             .drop_unpark(150_000)
+            .dropped_readiness(150_000)
     }
 
     /// Sets the forced-steal-failure rate.
@@ -260,6 +274,12 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the swallowed-readiness rate for reactor drivers.
+    pub fn dropped_readiness(mut self, ppm: u32) -> Self {
+        self.dropped_readiness_ppm = ppm;
+        self
+    }
+
     /// Arms a one-shot worker-loop panic after `n` total loop iterations.
     pub fn worker_panic_after(mut self, n: u64) -> Self {
         self.worker_panic_after = Some(n);
@@ -277,6 +297,7 @@ impl FaultPlan {
             FaultSite::TaskPanic => self.task_panic_ppm,
             FaultSite::DequeSwitch => self.deque_switch_ppm,
             FaultSite::DropUnpark => self.drop_unpark_ppm,
+            FaultSite::DroppedReadiness => self.dropped_readiness_ppm,
         }
     }
 
@@ -297,7 +318,12 @@ impl FaultPlan {
             for k in 0..visits_per_site {
                 let w = decision_word(self.seed, site, k);
                 let fired = (ppm > 0 && w % PPM_SCALE < ppm) as u64;
-                h = (h ^ w ^ (fired << 63)).wrapping_mul(0x0000_0100_0000_01B3);
+                // Spread the fired bit across the word before folding: a
+                // single-bit XOR above the odd multiplier would confine
+                // every fire to bit 63, letting an even number of fires
+                // cancel out of the digest entirely.
+                h = (h ^ w ^ fired.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .wrapping_mul(0x0000_0100_0000_01B3);
             }
         }
         h
@@ -390,6 +416,11 @@ impl FaultInjector {
 
     pub fn drop_unpark(&self) -> bool {
         self.roll(FaultSite::DropUnpark).is_some()
+    }
+
+    /// Whether a reactor driver should swallow this readiness event.
+    pub fn dropped_readiness(&self) -> bool {
+        self.roll(FaultSite::DroppedReadiness).is_some()
     }
 
     /// Counts one worker-loop iteration; `true` exactly when this
@@ -490,6 +521,18 @@ pub struct AuditReport {
     pub max_inflight: u64,
     /// Per-worker live-deque high-water marks.
     pub deque_high_water: Vec<u64>,
+    /// `IoRegister` events seen (readiness waits filed with a reactor).
+    pub io_registered: u64,
+    /// `IoReady` events seen (waits resolved by kernel readiness).
+    pub io_ready: u64,
+    /// `IoDeregister` events seen (waits withdrawn without readiness:
+    /// cancel, timeout, or the shutdown drain).
+    pub io_deregistered: u64,
+    /// Registered I/O waits with neither an `IoReady` nor an
+    /// `IoDeregister` — still parked in the registration table when the
+    /// trace was cut. Like [`unresolved`](Self::unresolved), non-zero is
+    /// normal for mid-run snapshots only.
+    pub io_unresolved: u64,
     /// Total violations found (messages beyond the first few are counted,
     /// not stored).
     pub violation_count: u64,
@@ -527,6 +570,13 @@ impl fmt::Display for AuditReport {
             self.max_inflight,
             self.deque_high_water,
         )?;
+        if self.io_registered + self.io_ready + self.io_deregistered > 0 {
+            writeln!(
+                f,
+                "  io: {} registered, {} readiness, {} deregistered, {} unresolved",
+                self.io_registered, self.io_ready, self.io_deregistered, self.io_unresolved,
+            )?;
+        }
         for v in &self.violations {
             writeln!(f, "  violation: {v}")?;
         }
@@ -548,6 +598,13 @@ struct SeqRec {
     execs: u32,
 }
 
+#[derive(Default, Clone, Copy)]
+struct IoRec {
+    registers: u32,
+    readies: u32,
+    deregisters: u32,
+}
+
 /// Replays `trace` and checks the scheduler's invariants:
 ///
 /// 1. **Pairing** — every `seq` tag is suspended at most once, made ready
@@ -561,11 +618,19 @@ struct SeqRec {
 /// 3. **Lemma 7** — every worker's live-deque high-water mark is at most
 ///    `U + 1`, where `U` is the maximum number of simultaneously in-flight
 ///    suspensions observed in the trace.
+/// 4. **I/O wait pairing** — every reactor wait token is registered
+///    exactly once and resolved at most once, by *either* an `IoReady`
+///    (kernel readiness consumed) *or* an `IoDeregister` (cancel, timeout
+///    or shutdown drain) — never both, never without a registration.
 ///
 /// Works on any [`Trace`]; quiescent shutdown traces give the strongest
 /// verdict. A trace with dropped events yields `inconclusive`.
 pub fn audit(trace: &Trace) -> AuditReport {
     let mut seqs: HashMap<u64, SeqRec> = HashMap::new();
+    let mut io: HashMap<u64, IoRec> = HashMap::new();
+    let mut io_registered = 0u64;
+    let mut io_ready = 0u64;
+    let mut io_deregistered = 0u64;
     let mut inflight: u64 = 0;
     let mut max_inflight: u64 = 0;
     let mut live: Vec<Option<u64>> = vec![None; trace.workers];
@@ -684,9 +749,74 @@ pub fn audit(trace: &Trace) -> AuditReport {
                     }
                 }
             }
+            EventKind::IoRegister { token } => {
+                io_registered += 1;
+                let rec = io.entry(token).or_default();
+                rec.registers += 1;
+                if rec.registers > 1 {
+                    violate(
+                        &mut violations,
+                        &mut violation_count,
+                        format!("io token {token:#x} registered {} times", rec.registers),
+                    );
+                }
+            }
+            EventKind::IoReady { token } => {
+                io_ready += 1;
+                let rec = io.entry(token).or_default();
+                rec.readies += 1;
+                if rec.registers == 0 {
+                    violate(
+                        &mut violations,
+                        &mut violation_count,
+                        format!("io readiness for token {token:#x} with no registration"),
+                    );
+                }
+                if rec.readies + rec.deregisters > 1 {
+                    violate(
+                        &mut violations,
+                        &mut violation_count,
+                        format!(
+                            "io token {token:#x} resolved {} times ({} ready, {} deregister)",
+                            rec.readies + rec.deregisters,
+                            rec.readies,
+                            rec.deregisters
+                        ),
+                    );
+                }
+            }
+            EventKind::IoDeregister { token } => {
+                io_deregistered += 1;
+                let rec = io.entry(token).or_default();
+                rec.deregisters += 1;
+                if rec.registers == 0 {
+                    violate(
+                        &mut violations,
+                        &mut violation_count,
+                        format!("io deregister for token {token:#x} with no registration"),
+                    );
+                }
+                if rec.readies + rec.deregisters > 1 {
+                    violate(
+                        &mut violations,
+                        &mut violation_count,
+                        format!(
+                            "io token {token:#x} resolved {} times ({} ready, {} deregister)",
+                            rec.readies + rec.deregisters,
+                            rec.readies,
+                            rec.deregisters
+                        ),
+                    );
+                }
+            }
             _ => {}
         }
     }
+
+    let io_unresolved = io
+        .values()
+        .filter(|r| r.registers > 0 && r.readies + r.deregisters == 0)
+        .count() as u64;
 
     let unresolved = seqs
         .values()
@@ -714,6 +844,10 @@ pub fn audit(trace: &Trace) -> AuditReport {
         unresolved,
         max_inflight,
         deque_high_water: high,
+        io_registered,
+        io_ready,
+        io_deregistered,
+        io_unresolved,
         violation_count,
         violations,
         inconclusive: trace.dropped > 0,
@@ -903,6 +1037,74 @@ mod tests {
         assert!(!r.passed());
         assert!(r.inconclusive);
         assert_eq!(r.violation_count, 0);
+    }
+
+    #[test]
+    fn audit_io_pairing_pass_and_fail() {
+        // Clean: one wait resolved by readiness, one by deregistration,
+        // one still in flight (unresolved, not a violation).
+        let t = trace_of(
+            vec![
+                ev(1, 0, EventKind::IoRegister { token: 1 }),
+                ev(2, u32::MAX, EventKind::IoReady { token: 1 }),
+                ev(3, 0, EventKind::IoRegister { token: 2 }),
+                ev(4, 0, EventKind::IoDeregister { token: 2 }),
+                ev(5, 0, EventKind::IoRegister { token: 3 }),
+            ],
+            1,
+        );
+        let r = audit(&t);
+        assert!(r.passed(), "{r}");
+        assert_eq!(
+            (
+                r.io_registered,
+                r.io_ready,
+                r.io_deregistered,
+                r.io_unresolved
+            ),
+            (3, 1, 1, 1)
+        );
+        assert!(format!("{r}").contains("io:"));
+
+        // Double resolution (ready then deregister) and an orphan ready.
+        let t = trace_of(
+            vec![
+                ev(1, 0, EventKind::IoRegister { token: 7 }),
+                ev(2, u32::MAX, EventKind::IoReady { token: 7 }),
+                ev(3, 0, EventKind::IoDeregister { token: 7 }),
+                ev(4, u32::MAX, EventKind::IoReady { token: 8 }),
+            ],
+            1,
+        );
+        let r = audit(&t);
+        assert!(!r.passed());
+        assert_eq!(r.violation_count, 2, "{r}");
+
+        // Double registration of one token.
+        let t = trace_of(
+            vec![
+                ev(1, 0, EventKind::IoRegister { token: 9 }),
+                ev(2, 0, EventKind::IoRegister { token: 9 }),
+            ],
+            1,
+        );
+        assert!(!audit(&t).passed());
+    }
+
+    #[test]
+    fn dropped_readiness_site_rolls_and_digests() {
+        let inj = FaultInjector::new(FaultPlan::new(5).dropped_readiness(1_000_000));
+        assert!(inj.dropped_readiness());
+        assert_eq!(inj.injected_total(), 1);
+        let off = FaultInjector::new(FaultPlan::new(5));
+        assert!(!off.dropped_readiness());
+        // The new site participates in the digest.
+        assert_ne!(
+            FaultPlan::new(5).schedule_digest(128),
+            FaultPlan::new(5)
+                .dropped_readiness(500_000)
+                .schedule_digest(128),
+        );
     }
 
     #[test]

@@ -57,6 +57,7 @@
 
 pub mod channel;
 mod config;
+pub mod driver;
 pub mod external;
 pub mod fault;
 mod join;
@@ -71,6 +72,7 @@ pub mod trace;
 mod worker;
 
 pub use config::{Config, ConfigError, LatencyMode, RuntimeBuilder, StealPolicy, TimerKind};
+pub use driver::{Driver, DriverHooks, DriverReport};
 pub use external::{external_op, Canceled, Completer, DeadlineOp, ExternalOp, OpError};
 pub use fault::{audit, AuditReport, FaultPlan, FaultSite};
 pub use join::JoinHandle;

@@ -51,6 +51,9 @@ pub(crate) struct CounterBlock {
     pub pfor_batches: AtomicU64,
     pub max_deques_per_worker: AtomicU64,
     pub unparks: AtomicU64,
+    pub io_registrations: AtomicU64,
+    pub io_readiness_events: AtomicU64,
+    pub io_timeouts: AtomicU64,
 }
 
 impl CounterBlock {
@@ -127,6 +130,9 @@ impl Counters {
             pfor_batches: self.sum(|b| &b.pfor_batches),
             max_deques_per_worker: self.max(|b| &b.max_deques_per_worker),
             unparks: self.sum(|b| &b.unparks),
+            io_registrations: self.sum(|b| &b.io_registrations),
+            io_readiness_events: self.sum(|b| &b.io_readiness_events),
+            io_timeouts: self.sum(|b| &b.io_timeouts),
         }
     }
 }
@@ -165,6 +171,13 @@ pub struct MetricsSnapshot {
     /// Worker unparks issued by the sleeper set (one per injected task or
     /// resume batch at most — never a broadcast).
     pub unparks: u64,
+    /// I/O readiness registrations filed with a reactor driver (one per
+    /// `read_ready`/`write_ready` wait that reached the kernel).
+    pub io_registrations: u64,
+    /// Readiness events a reactor driver turned into resume deliveries.
+    pub io_readiness_events: u64,
+    /// I/O waits that resolved by deadline expiry rather than readiness.
+    pub io_timeouts: u64,
 }
 
 /// Former name of [`MetricsSnapshot`]. Kept so pre-builder callers of
@@ -192,6 +205,9 @@ impl MetricsSnapshot {
         // Max is global, not differentiable; keep the later value.
         m.max_deques_per_worker = self.max_deques_per_worker;
         m.unparks = self.unparks - earlier.unparks;
+        m.io_registrations = self.io_registrations - earlier.io_registrations;
+        m.io_readiness_events = self.io_readiness_events - earlier.io_readiness_events;
+        m.io_timeouts = self.io_timeouts - earlier.io_timeouts;
         m
     }
 
@@ -216,7 +232,10 @@ impl fmt::Display for MetricsSnapshot {
         writeln!(f, "resumes:               {}", self.resumes)?;
         writeln!(f, "pfor batches:          {}", self.pfor_batches)?;
         writeln!(f, "max deques per worker: {}", self.max_deques_per_worker)?;
-        write!(f, "unparks:               {}", self.unparks)
+        writeln!(f, "unparks:               {}", self.unparks)?;
+        writeln!(f, "io registrations:      {}", self.io_registrations)?;
+        writeln!(f, "io readiness events:   {}", self.io_readiness_events)?;
+        write!(f, "io timeouts:           {}", self.io_timeouts)
     }
 }
 
@@ -267,7 +286,25 @@ mod tests {
         let s = c.snapshot().to_string();
         assert!(s.contains("steals:                1 attempted"));
         assert!(s.contains("max deques per worker: 5"));
-        assert!(s.lines().count() >= 10);
+        assert!(s.contains("io registrations:      0"));
+        assert!(s.lines().count() >= 13);
+    }
+
+    #[test]
+    fn io_counters_sum_and_delta() {
+        let c = Counters::with_workers(2);
+        c.worker(0).bump(&c.worker(0).io_registrations);
+        c.bump(&c.io_registrations);
+        c.bump(&c.io_readiness_events);
+        let a = c.snapshot();
+        assert_eq!(a.io_registrations, 2);
+        assert_eq!(a.io_readiness_events, 1);
+        assert_eq!(a.io_timeouts, 0);
+        c.bump(&c.io_timeouts);
+        let b = c.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.io_registrations, 0);
+        assert_eq!(d.io_timeouts, 1);
     }
 
     #[test]

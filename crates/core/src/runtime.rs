@@ -12,6 +12,7 @@ use lhws_deque::{DequeId, Registry};
 use parking_lot::{Condvar, Mutex};
 
 use crate::config::{Config, ConfigError, RuntimeBuilder};
+use crate::driver::{Driver, DriverHooks, DriverReport};
 use crate::fault::{FaultInjector, PanicInjected};
 use crate::join::{CatchUnwind, JoinCell, JoinHandle, PanicPayload};
 use crate::metrics::{CachePadded, Counters, MetricsSnapshot};
@@ -62,6 +63,12 @@ pub(crate) struct RtInner {
     /// Once set the runtime is poisoned: shutdown has been initiated and
     /// blocked callers resolve with an error instead of hanging.
     poisoned: OnceLock<usize>,
+    /// Attached event-source drivers (I/O reactors), shut down *before*
+    /// the workers so their cancellations still resume and get counted.
+    /// Drained on shutdown, making driver shutdown idempotent.
+    drivers: Mutex<Vec<Arc<dyn Driver>>>,
+    /// Accumulated reports from drained drivers.
+    driver_report: Mutex<DriverReport>,
 }
 
 impl RtInner {
@@ -347,6 +354,8 @@ impl Runtime {
             tracer,
             faults,
             poisoned: OnceLock::new(),
+            drivers: Mutex::new(Vec::new()),
+            driver_report: Mutex::new(DriverReport::default()),
         });
 
         let (timer, timer_threads) = Timer::start(&config, inner.clone() as Arc<dyn ResumeSink>);
@@ -499,6 +508,22 @@ impl Runtime {
         }
     }
 
+    /// A [`DriverHooks`] handle for an external event-source driver (an
+    /// I/O reactor): access to the `io_*` metrics counters, the
+    /// `IoRegister`/`IoReady`/`IoDeregister` trace events and the
+    /// `DroppedReadiness` fault site. See [`crate::driver`].
+    pub fn driver_hooks(&self) -> DriverHooks {
+        DriverHooks::new(Arc::downgrade(&self.inner))
+    }
+
+    /// Attaches `driver` to this runtime's shutdown sequence:
+    /// [`Runtime::shutdown`] (and `Drop`) calls [`Driver::shutdown`]
+    /// exactly once, *before* stopping the workers, and folds its
+    /// [`DriverReport`] into [`ShutdownReport::canceled_io_waits`].
+    pub fn attach_driver(&self, driver: Arc<dyn Driver>) {
+        self.inner.drivers.lock().push(driver);
+    }
+
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.inner.config.workers
@@ -516,9 +541,11 @@ impl Runtime {
     pub fn shutdown(mut self) -> ShutdownReport {
         self.join_now();
         let metrics = self.inner.counters.snapshot();
+        let driver_report = *self.inner.driver_report.lock();
         ShutdownReport {
             leaked_suspensions: metrics.suspensions.saturating_sub(metrics.resumes),
             canceled_ops: self.inner.timer().canceled_ops(),
+            canceled_io_waits: driver_report.canceled_waits,
             poisoned_worker: self.inner.poisoned_worker(),
             faults_injected: self.inner.faults.as_ref().map_or(0, |f| f.injected_total()),
             metrics,
@@ -528,7 +555,43 @@ impl Runtime {
 
     /// Stops and joins all threads. Idempotent — `shutdown` runs it
     /// before snapshotting and `Drop` runs it again on the drained lists.
+    ///
+    /// Ordering matters: attached drivers are shut down **first**, while
+    /// the workers are still running. A driver's shutdown drain drops the
+    /// completers of every in-flight wait, each of which settles
+    /// `Err(Canceled)` and delivers a resume event — events only live
+    /// workers can drain into the `resumes` counter. Only then is the
+    /// worker shutdown flag raised. Between the two, a bounded quiesce
+    /// wait gives the workers a chance to drain those cancellations so
+    /// they are counted rather than reported as leaked.
     fn join_now(&mut self) {
+        let drivers: Vec<Arc<dyn Driver>> = std::mem::take(&mut *self.inner.drivers.lock());
+        if !drivers.is_empty() {
+            let mut agg = DriverReport::default();
+            for d in drivers {
+                let r = d.shutdown();
+                agg.canceled_waits += r.canceled_waits;
+                agg.drained_registrations += r.drained_registrations;
+            }
+            {
+                let mut stored = self.inner.driver_report.lock();
+                stored.canceled_waits += agg.canceled_waits;
+                stored.drained_registrations += agg.drained_registrations;
+            }
+            if agg.canceled_waits > 0 && self.inner.poisoned_worker().is_none() {
+                // Bounded: balance may be unreachable if non-I/O
+                // suspensions (timers, channels) are also in flight.
+                let deadline = Instant::now() + Duration::from_millis(250);
+                loop {
+                    let m = self.inner.counters.snapshot();
+                    if m.resumes >= m.suspensions || Instant::now() >= deadline {
+                        break;
+                    }
+                    self.inner.sleepers.unpark_all();
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
         self.inner.shutdown.store(true, Ordering::Release);
         self.inner.timer().shutdown();
         self.inner.sleepers.unpark_all();
@@ -557,6 +620,10 @@ pub struct ShutdownReport {
     /// Timer registrations (latency resumes and deadline callbacks)
     /// canceled by shutdown rather than delivered.
     pub canceled_ops: u64,
+    /// In-flight I/O waits canceled by attached drivers' shutdown drains
+    /// (each settled `Err(Canceled)` before the workers stopped). Zero
+    /// for a quiescent runtime — and always zero without a driver.
+    pub canceled_io_waits: u64,
     /// The worker whose scheduler-loop panic poisoned the runtime, if any.
     pub poisoned_worker: Option<usize>,
     /// Total faults injected by the fault plan (zero when none was set).

@@ -171,6 +171,18 @@ pub(super) fn write_chrome_trace<W: Write>(trace: &Trace, w: &mut W) -> io::Resu
                 "{{\"name\": \"inject\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \
                  \"tid\": {t}, \"ts\": {ts}}}"
             ),
+            EventKind::IoRegister { token } => format!(
+                "{{\"name\": \"io_register\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \
+                 \"tid\": {t}, \"ts\": {ts}, \"args\": {{\"token\": {token}}}}}"
+            ),
+            EventKind::IoReady { token } => format!(
+                "{{\"name\": \"io_ready\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \
+                 \"tid\": {t}, \"ts\": {ts}, \"args\": {{\"token\": {token}}}}}"
+            ),
+            EventKind::IoDeregister { token } => format!(
+                "{{\"name\": \"io_deregister\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \
+                 \"tid\": {t}, \"ts\": {ts}, \"args\": {{\"token\": {token}}}}}"
+            ),
         };
         emit(&mut w, line)?;
     }

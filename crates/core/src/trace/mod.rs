@@ -155,6 +155,25 @@ pub enum EventKind {
     },
     /// A task entered the global injector from outside any worker.
     Inject,
+    /// An I/O readiness wait was filed with a reactor driver (the socket
+    /// was not ready and the task is about to suspend on it).
+    IoRegister {
+        /// Driver-unique wait token linking the later `IoReady` or
+        /// `IoDeregister`.
+        token: u64,
+    },
+    /// The reactor consumed a kernel readiness event for a wait and fired
+    /// its completer (exactly one of `IoReady`/`IoDeregister` per token).
+    IoReady {
+        /// Token of the matching `IoRegister`.
+        token: u64,
+    },
+    /// A wait was withdrawn without readiness: canceled by drop, timeout,
+    /// or the shutdown drain of the registration table.
+    IoDeregister {
+        /// Token of the matching `IoRegister`.
+        token: u64,
+    },
 }
 
 /// A timestamped event recorded by worker `worker` (or, for side-buffer

@@ -159,6 +159,12 @@ pub struct TraceStats {
     pub unparks: u64,
     /// External injections recorded.
     pub injects: u64,
+    /// I/O readiness waits registered with a reactor driver.
+    pub io_registrations: u64,
+    /// Kernel readiness events the reactor turned into completions.
+    pub io_readiness_events: u64,
+    /// I/O waits withdrawn without readiness (cancel/timeout/shutdown).
+    pub io_deregistrations: u64,
     /// Suspension registration → enable (delivery) latency: the latency
     /// the operation actually incurred.
     pub suspend_to_enable: LatencyHistogram,
@@ -228,6 +234,9 @@ impl TraceStats {
                 EventKind::Park => s.parks += 1,
                 EventKind::Unpark { .. } => s.unparks += 1,
                 EventKind::Inject => s.injects += 1,
+                EventKind::IoRegister { .. } => s.io_registrations += 1,
+                EventKind::IoReady { .. } => s.io_readiness_events += 1,
+                EventKind::IoDeregister { .. } => s.io_deregistrations += 1,
             }
         }
         s
@@ -271,6 +280,11 @@ impl fmt::Display for TraceStats {
             f,
             "deque switches    : {}  parks: {}  unparks: {}  injects: {}",
             self.deque_switches, self.parks, self.unparks, self.injects,
+        )?;
+        writeln!(
+            f,
+            "io waits          : {} registered, {} readiness, {} deregistered",
+            self.io_registrations, self.io_readiness_events, self.io_deregistrations,
         )?;
         write!(
             f,
@@ -373,6 +387,21 @@ mod tests {
         assert_eq!(s.suspend_to_enable.min_nanos(), 400);
         assert_eq!(s.enable_to_ready.min_nanos(), 100);
         assert_eq!(s.ready_to_exec.min_nanos(), 300);
+    }
+
+    #[test]
+    fn stats_io_events_counted() {
+        let events = vec![
+            ev(1, 0, EventKind::IoRegister { token: 1 }),
+            ev(2, NONE_ID, EventKind::IoReady { token: 1 }),
+            ev(3, 0, EventKind::IoRegister { token: 2 }),
+            ev(4, 0, EventKind::IoDeregister { token: 2 }),
+        ];
+        let s = TraceStats::from_events(&events, 1);
+        assert_eq!(s.io_registrations, 2);
+        assert_eq!(s.io_readiness_events, 1);
+        assert_eq!(s.io_deregistrations, 1);
+        assert!(format!("{s}").contains("io waits"));
     }
 
     #[test]

@@ -131,6 +131,18 @@ pub(crate) fn current_latency_mode() -> Option<LatencyMode> {
     current_runtime().map(|rt| rt.config.mode)
 }
 
+/// The current thread's worker index, when it is a worker of `rt`. Lets
+/// driver hooks route trace events to the worker's own SPSC ring (whose
+/// single-producer contract requires being that thread) and counter bumps
+/// to its cache-padded block.
+pub(crate) fn current_worker_index_in(rt: &Arc<RtInner>) -> Option<usize> {
+    TLS.with(|t| {
+        t.borrow()
+            .as_ref()
+            .and_then(|tls| std::ptr::eq(tls.rt.as_ptr(), Arc::as_ptr(rt)).then_some(tls.index))
+    })
+}
+
 /// Registers a latency expiration for the currently polled task against
 /// the current active deque, marking this poll as suspending. Returns
 /// false (no registration) off worker threads.

@@ -1,0 +1,41 @@
+//! # lhws-net — socket readiness as heavy edges
+//!
+//! A network I/O reactor for the latency-hiding work-stealing runtime.
+//! The scheduler's claim is that *interaction latency* can be hidden by
+//! suspending the waiting computation and working on something else; this
+//! crate makes the waits real. An epoll-based [`Reactor`] thread turns
+//! kernel readiness into the runtime's external-completion resumes, so a
+//! task awaiting a socket suspends against its deque exactly like any
+//! other heavy edge — the suspension width `U` is literally the number of
+//! live connections blocked on the kernel, and the live-deque bound of
+//! Lemma 7 applies to them unchanged.
+//!
+//! [`TcpListener`] / [`TcpStream`] retry nonblocking syscalls around
+//! [`ReadyFuture`] waits under [`LatencyMode::Hide`](lhws_core::LatencyMode::Hide),
+//! and degrade to plain blocking syscalls under
+//! [`LatencyMode::Block`](lhws_core::LatencyMode::Block) — giving the
+//! paper's two schedulers identical application code to disagree over.
+//!
+//! ```no_run
+//! use lhws_core::{Config, LatencyMode, Runtime};
+//! use lhws_net::{Reactor, TcpListener};
+//!
+//! let rt = Runtime::new(Config::default().workers(4).mode(LatencyMode::Hide)).unwrap();
+//! let reactor = Reactor::new(&rt).unwrap();
+//! let report = rt.block_on(async move {
+//!     let listener = TcpListener::bind(&reactor, "127.0.0.1:0")?;
+//!     let (mut conn, _peer) = listener.accept().await?; // suspends, never blocks
+//!     conn.write_all(b"hello\n").await?;
+//!     std::io::Result::Ok(())
+//! });
+//! report.unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod reactor;
+mod sys;
+mod tcp;
+
+pub use reactor::{Interest, Reactor, ReadyFuture, TimedReadyFuture};
+pub use tcp::{LineReader, TcpListener, TcpStream};

@@ -1,0 +1,564 @@
+//! The epoll reactor: kernel readiness in, scheduler resume events out.
+//!
+//! One dedicated thread (`lhws-net-reactor`) owns an epoll instance and a
+//! registration table mapping file descriptors to at most one waiter per
+//! direction. Registering a wait files a [`Completer`] in the table and
+//! arms (level-triggered) interest; when the kernel reports readiness the
+//! reactor removes the waiter, disarms that direction, and fires the
+//! completer **off-worker** — exactly the external-completion path the
+//! scheduler already treats as a heavy-edge resume. A task awaiting
+//! [`ReadyFuture`] therefore suspends against its deque on first poll and
+//! is routed back through its owner's inbox on readiness, so every socket
+//! wait is a real heavy edge and the live-deque bound `U + 1` counts
+//! connections blocked in the kernel.
+//!
+//! The reactor is a [`Driver`]: [`Runtime::shutdown`](lhws_core::Runtime::shutdown)
+//! stops it *before* the workers, draining the table (each in-flight wait
+//! settles `Err(Canceled)` and is tallied in
+//! [`ShutdownReport::canceled_io_waits`](lhws_core::ShutdownReport::canceled_io_waits))
+//! and joining the thread.
+//!
+//! Under [`LatencyMode::Block`] the reactor spawns no thread and arms no
+//! epoll: sockets stay in blocking mode and workers park in the kernel —
+//! the paper's blocking baseline, byte-for-byte the same application code.
+
+use std::collections::HashMap;
+use std::future::Future;
+use std::io;
+use std::os::fd::RawFd;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use lhws_core::{
+    external_op, Completer, DeadlineOp, Driver, DriverHooks, DriverReport, ExternalOp, LatencyMode,
+    OpError, Runtime,
+};
+
+use crate::sys;
+
+/// Which direction of readiness a wait is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interest {
+    /// Readable (or peer hang-up / error — anything that unblocks a read).
+    Read,
+    /// Writable (or error — anything that unblocks a write).
+    Write,
+}
+
+impl Interest {
+    fn epoll_bits(self) -> u32 {
+        match self {
+            // ERR/HUP are delivered regardless of the requested mask; the
+            // extra bits here document which mask we *wait* on.
+            Interest::Read => sys::EPOLLIN | sys::EPOLLRDHUP,
+            Interest::Write => sys::EPOLLOUT,
+        }
+    }
+}
+
+/// One registered wait: the token ties trace events together; dropping the
+/// completer settles the wait `Err(Canceled)`.
+struct Waiter {
+    token: u64,
+    completer: Completer<()>,
+}
+
+#[derive(Default)]
+struct FdWaiters {
+    read: Option<Waiter>,
+    write: Option<Waiter>,
+}
+
+impl FdWaiters {
+    fn interest_bits(&self) -> u32 {
+        let mut bits = 0;
+        if self.read.is_some() {
+            bits |= Interest::Read.epoll_bits();
+        }
+        if self.write.is_some() {
+            bits |= Interest::Write.epoll_bits();
+        }
+        bits
+    }
+}
+
+/// Epoll data cookie reserved for the shutdown eventfd.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+struct Inner {
+    hooks: DriverHooks,
+    /// `-1` in blocking mode (no epoll instance exists).
+    epfd: RawFd,
+    /// Eventfd used solely to kick the event loop out of `epoll_wait` at
+    /// shutdown. `-1` in blocking mode.
+    wake_fd: RawFd,
+    table: Mutex<HashMap<RawFd, FdWaiters>>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    shutdown: AtomicBool,
+    /// Set exactly once by the first successful [`Driver::shutdown`];
+    /// later callers return the stored report (idempotence).
+    report: Mutex<Option<DriverReport>>,
+    next_token: AtomicU64,
+    /// [`LatencyMode::Block`]: no thread, no epoll, waits complete
+    /// immediately so callers fall through to blocking syscalls.
+    blocking: bool,
+}
+
+/// Handle to the reactor; cheap to clone, shared by every socket wrapper.
+#[derive(Clone)]
+pub struct Reactor {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("blocking", &self.inner.blocking)
+            .field("registered_fds", &self.inner.table.lock().len())
+            .finish()
+    }
+}
+
+impl Reactor {
+    /// Creates a reactor for `rt` and attaches it as a driver, so
+    /// [`Runtime::shutdown`] stops it deterministically. On a
+    /// [`LatencyMode::Hide`] runtime this spawns the `lhws-net-reactor`
+    /// thread; under [`LatencyMode::Block`] no thread or epoll instance is
+    /// created and every readiness wait completes immediately (sockets
+    /// stay blocking — the baseline scheduler parks workers in the kernel).
+    pub fn new(rt: &Runtime) -> io::Result<Reactor> {
+        let hooks = rt.driver_hooks();
+        let blocking = hooks.mode() == Some(LatencyMode::Block);
+        let (epfd, wake_fd) = if blocking {
+            (-1, -1)
+        } else {
+            let epfd = sys::epoll_create()?;
+            let wake_fd = match sys::eventfd_new() {
+                Ok(fd) => fd,
+                Err(e) => {
+                    sys::close_fd(epfd);
+                    return Err(e);
+                }
+            };
+            sys::epoll_ctl_op(epfd, sys::EPOLL_CTL_ADD, wake_fd, sys::EPOLLIN, WAKE_TOKEN)?;
+            (epfd, wake_fd)
+        };
+        let reactor = Reactor {
+            inner: Arc::new(Inner {
+                hooks,
+                epfd,
+                wake_fd,
+                table: Mutex::new(HashMap::new()),
+                thread: Mutex::new(None),
+                shutdown: AtomicBool::new(false),
+                report: Mutex::new(None),
+                next_token: AtomicU64::new(1),
+                blocking,
+            }),
+        };
+        if !blocking {
+            let loop_handle = reactor.clone();
+            let handle = std::thread::Builder::new()
+                .name("lhws-net-reactor".into())
+                .spawn(move || loop_handle.event_loop())
+                .inspect_err(|_| {
+                    sys::close_fd(epfd);
+                    sys::close_fd(wake_fd);
+                })?;
+            *reactor.inner.thread.lock() = Some(handle);
+        }
+        rt.attach_driver(Arc::new(reactor.clone()));
+        Ok(reactor)
+    }
+
+    /// True when this reactor serves a [`LatencyMode::Block`] runtime:
+    /// sockets should stay in blocking mode and readiness waits are no-ops.
+    pub fn is_blocking(&self) -> bool {
+        self.inner.blocking
+    }
+
+    /// Returns a future resolving when `fd` is ready for `interest`.
+    ///
+    /// On a latency-hiding runtime the first `Pending` poll suspends the
+    /// task against its deque ([`lhws_core::external_op`] semantics); the
+    /// reactor thread fires the completion on kernel readiness. Dropping
+    /// the future before readiness deregisters the wait. In blocking mode
+    /// the future completes immediately so callers retry the (blocking)
+    /// syscall.
+    pub fn ready(&self, fd: RawFd, interest: Interest) -> ReadyFuture {
+        let token = self.inner.next_token.fetch_add(1, Ordering::Relaxed);
+        let (completer, op) = external_op::<()>();
+        let err = if self.inner.blocking {
+            completer.complete(());
+            None
+        } else {
+            self.register(fd, interest, token, completer).err()
+        };
+        ReadyFuture {
+            reactor: self.clone(),
+            fd,
+            interest,
+            token,
+            op: Some(op),
+            err,
+            done: false,
+        }
+    }
+
+    /// Files `completer` in the table and arms level-triggered interest.
+    /// Rejected once shutdown has begun: the completer is dropped, so the
+    /// caller's future observes `Err(Canceled)`.
+    fn register(
+        &self,
+        fd: RawFd,
+        interest: Interest,
+        token: u64,
+        completer: Completer<()>,
+    ) -> io::Result<()> {
+        let mut table = self.inner.table.lock();
+        // The flag is checked under the table lock and shutdown closes the
+        // epoll fd only after draining the table under this same lock, so
+        // a register that sees the flag clear always sees a live epfd.
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            drop(completer);
+            return Err(io::Error::other("reactor is shut down"));
+        }
+        let entry = table.entry(fd).or_default();
+        let is_new = entry.interest_bits() == 0;
+        let slot = match interest {
+            Interest::Read => &mut entry.read,
+            Interest::Write => &mut entry.write,
+        };
+        if slot.is_some() {
+            // One waiter per direction per fd: a second reader/writer on
+            // the same socket is an application bug, not a race to paper
+            // over silently.
+            return Err(io::Error::other(
+                "a readiness wait is already registered for this fd and direction",
+            ));
+        }
+        *slot = Some(Waiter { token, completer });
+        let bits = entry.interest_bits();
+        let op = if is_new {
+            sys::EPOLL_CTL_ADD
+        } else {
+            sys::EPOLL_CTL_MOD
+        };
+        if let Err(e) = sys::epoll_ctl_op(self.inner.epfd, op, fd, bits, fd as u32 as u64) {
+            // Roll back the slot so the failed wait leaves no trace state.
+            let entry = table.get_mut(&fd).expect("just inserted");
+            match interest {
+                Interest::Read => entry.read = None,
+                Interest::Write => entry.write = None,
+            }
+            if entry.interest_bits() == 0 {
+                table.remove(&fd);
+            }
+            return Err(e);
+        }
+        // Count + trace inside the lock, after the insert: the register
+        // event is recorded before any readiness/deregister for the token.
+        self.inner.hooks.count_io_registration();
+        self.inner.hooks.trace_io_register(token);
+        Ok(())
+    }
+
+    /// Removes the wait identified by `(fd, interest, token)` if it is
+    /// still registered, disarming interest and tracing `IoDeregister`.
+    /// A no-op when readiness (or shutdown) already claimed the waiter.
+    fn cancel(&self, fd: RawFd, interest: Interest, token: u64) {
+        if self.inner.blocking {
+            return;
+        }
+        let waiter = {
+            let mut table = self.inner.table.lock();
+            let Some(entry) = table.get_mut(&fd) else {
+                return;
+            };
+            let slot = match interest {
+                Interest::Read => &mut entry.read,
+                Interest::Write => &mut entry.write,
+            };
+            if !matches!(slot, Some(w) if w.token == token) {
+                return;
+            }
+            let waiter = slot.take().expect("checked above");
+            let bits = entry.interest_bits();
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                // Shutdown owns the epoll fd lifecycle; just unfile.
+            } else if bits == 0 {
+                table.remove(&fd);
+                let _ = sys::epoll_ctl_op(self.inner.epfd, sys::EPOLL_CTL_DEL, fd, 0, 0);
+            } else {
+                let _ = sys::epoll_ctl_op(
+                    self.inner.epfd,
+                    sys::EPOLL_CTL_MOD,
+                    fd,
+                    bits,
+                    fd as u32 as u64,
+                );
+            }
+            self.inner.hooks.trace_io_deregister(token);
+            waiter
+        };
+        // Dropping the completer settles the wait Err(Canceled) outside
+        // the table lock; if the future was suspended the cancellation
+        // still delivers its one resume event, so counters balance.
+        drop(waiter);
+    }
+
+    /// The reactor thread: wait for readiness, hand each fired waiter its
+    /// completion, re-wait. Exits when the shutdown flag is set (a wake is
+    /// posted on the eventfd to interrupt `epoll_wait`).
+    fn event_loop(&self) {
+        let mut events = [sys::EpollEvent { events: 0, data: 0 }; 64];
+        let mut fired: Vec<Waiter> = Vec::new();
+        // An Err from epoll_wait (never EINTR; that is mapped to Ok(0))
+        // means the epoll fd itself failed — bail out.
+        while let Ok(n) = sys::epoll_wait_events(self.inner.epfd, &mut events, -1) {
+            for ev in &events[..n] {
+                // Copy the packed fields by value before use.
+                let (mask, data) = (ev.events, ev.data);
+                if data == WAKE_TOKEN {
+                    sys::eventfd_drain(self.inner.wake_fd);
+                    continue;
+                }
+                let fd = data as u32 as RawFd;
+                let read_fired =
+                    mask & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLERR | sys::EPOLLHUP) != 0;
+                let write_fired = mask & (sys::EPOLLOUT | sys::EPOLLERR | sys::EPOLLHUP) != 0;
+                {
+                    let mut table = self.inner.table.lock();
+                    let Some(entry) = table.get_mut(&fd) else {
+                        continue; // canceled between epoll_wait and here
+                    };
+                    for (hit, slot) in [
+                        (read_fired, &mut entry.read),
+                        (write_fired, &mut entry.write),
+                    ] {
+                        if hit && slot.is_some() {
+                            if self.inner.hooks.drop_readiness() {
+                                // Fault injection: swallow this readiness
+                                // *without* disarming interest. The mask is
+                                // level-triggered, so the kernel re-reports
+                                // the condition on the next epoll_wait and
+                                // the wait recovers on a later roll.
+                                continue;
+                            }
+                            fired.push(slot.take().expect("checked is_some"));
+                        }
+                    }
+                    let bits = entry.interest_bits();
+                    if fired.is_empty() {
+                        // Nothing claimed (all drops): leave interest armed.
+                    } else if bits == 0 {
+                        table.remove(&fd);
+                        let _ = sys::epoll_ctl_op(self.inner.epfd, sys::EPOLL_CTL_DEL, fd, 0, 0);
+                    } else {
+                        let _ = sys::epoll_ctl_op(
+                            self.inner.epfd,
+                            sys::EPOLL_CTL_MOD,
+                            fd,
+                            bits,
+                            fd as u32 as u64,
+                        );
+                    }
+                }
+                // Fire off-worker, outside the table lock: each complete()
+                // routes a resume event to the suspended task's owner.
+                for waiter in fired.drain(..) {
+                    self.inner.hooks.trace_io_ready(waiter.token);
+                    self.inner.hooks.count_io_readiness();
+                    waiter.completer.complete(());
+                }
+            }
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+    }
+}
+
+impl Driver for Reactor {
+    fn name(&self) -> &'static str {
+        "lhws-net-reactor"
+    }
+
+    fn shutdown(&self) -> DriverReport {
+        let mut stored = self.inner.report.lock();
+        if let Some(r) = *stored {
+            return r;
+        }
+        let mut report = DriverReport::default();
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        if !self.inner.blocking {
+            sys::eventfd_write(self.inner.wake_fd);
+            if let Some(handle) = self.inner.thread.lock().take() {
+                let _ = handle.join();
+            }
+            // Drain under the table lock, closing the fds before releasing
+            // it: a concurrent register() checks the shutdown flag under
+            // this same lock, so it can never epoll_ctl a closed (possibly
+            // reused) descriptor.
+            let canceled: Vec<Waiter> = {
+                let mut table = self.inner.table.lock();
+                let mut canceled = Vec::new();
+                for (_fd, entry) in table.drain() {
+                    report.drained_registrations += 1;
+                    for waiter in [entry.read, entry.write].into_iter().flatten() {
+                        self.inner.hooks.trace_io_deregister(waiter.token);
+                        report.canceled_waits += 1;
+                        canceled.push(waiter);
+                    }
+                }
+                sys::close_fd(self.inner.epfd);
+                sys::close_fd(self.inner.wake_fd);
+                canceled
+            };
+            // Settle outside the lock: each dropped completer delivers an
+            // Err(Canceled) resume that the still-running workers drain.
+            drop(canceled);
+        }
+        *stored = Some(report);
+        report
+    }
+}
+
+/// Future returned by [`Reactor::ready`]: resolves `Ok(())` when the fd is
+/// ready, `Err` if the wait was rejected or canceled (reactor shutdown).
+///
+/// Dropping it before completion deregisters the wait. Chain
+/// [`ReadyFuture::with_timeout`] to bound the wait by the runtime timer.
+#[derive(Debug)]
+pub struct ReadyFuture {
+    reactor: Reactor,
+    fd: RawFd,
+    interest: Interest,
+    token: u64,
+    op: Option<ExternalOp<()>>,
+    err: Option<io::Error>,
+    done: bool,
+}
+
+impl ReadyFuture {
+    /// Bounds the wait: resolves `Err(TimedOut)` if readiness has not
+    /// arrived within `timeout`, deregistering the wait through the same
+    /// idempotent settle protocol deadlines use everywhere else (the
+    /// timer and a racing readiness event settle exactly once).
+    pub fn with_timeout(mut self, timeout: Duration) -> TimedReadyFuture {
+        let op = self.op.take().expect("with_timeout on finished future");
+        self.done = true; // disarm Drop: TimedReadyFuture owns the wait now
+        TimedReadyFuture {
+            reactor: self.reactor.clone(),
+            fd: self.fd,
+            interest: self.interest,
+            token: self.token,
+            op: Some(op.with_timeout(timeout)),
+            err: self.err.take(),
+            done: false,
+        }
+    }
+}
+
+impl Future for ReadyFuture {
+    type Output = io::Result<()>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        assert!(!this.done, "ReadyFuture polled after completion");
+        if let Some(e) = this.err.take() {
+            this.done = true;
+            return Poll::Ready(Err(e));
+        }
+        let op = this.op.as_mut().expect("op present until done");
+        match Pin::new(op).poll(cx) {
+            Poll::Ready(Ok(())) => {
+                this.done = true;
+                Poll::Ready(Ok(()))
+            }
+            Poll::Ready(Err(_canceled)) => {
+                this.done = true;
+                Poll::Ready(Err(io::Error::other(
+                    "readiness wait canceled: reactor shut down",
+                )))
+            }
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+impl Drop for ReadyFuture {
+    fn drop(&mut self) {
+        if !self.done {
+            self.reactor.cancel(self.fd, self.interest, self.token);
+        }
+    }
+}
+
+/// A [`ReadyFuture`] bounded by a deadline (see
+/// [`ReadyFuture::with_timeout`]). Resolves `Err(TimedOut)` on expiry,
+/// counting an `io_timeout` and deregistering the wait.
+#[derive(Debug)]
+pub struct TimedReadyFuture {
+    reactor: Reactor,
+    fd: RawFd,
+    interest: Interest,
+    token: u64,
+    op: Option<DeadlineOp<()>>,
+    err: Option<io::Error>,
+    done: bool,
+}
+
+impl Future for TimedReadyFuture {
+    type Output = io::Result<()>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        assert!(!this.done, "TimedReadyFuture polled after completion");
+        if let Some(e) = this.err.take() {
+            this.done = true;
+            return Poll::Ready(Err(e));
+        }
+        let op = this.op.as_mut().expect("op present until done");
+        match Pin::new(op).poll(cx) {
+            Poll::Ready(Ok(())) => {
+                this.done = true;
+                Poll::Ready(Ok(()))
+            }
+            Poll::Ready(Err(e)) => {
+                this.done = true;
+                // Whether the deadline won (TimedOut) or the runtime went
+                // away (Canceled), the waiter may still be filed: unfile it
+                // so interest is disarmed and the trace records exactly one
+                // resolution for the token.
+                this.reactor.cancel(this.fd, this.interest, this.token);
+                match e {
+                    OpError::TimedOut => {
+                        this.reactor.inner.hooks.count_io_timeout();
+                        Poll::Ready(Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "readiness wait timed out",
+                        )))
+                    }
+                    OpError::Canceled => Poll::Ready(Err(io::Error::other(
+                        "readiness wait canceled: reactor shut down",
+                    ))),
+                }
+            }
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+impl Drop for TimedReadyFuture {
+    fn drop(&mut self) {
+        if !self.done {
+            self.reactor.cancel(self.fd, self.interest, self.token);
+        }
+    }
+}

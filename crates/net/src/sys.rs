@@ -1,0 +1,157 @@
+//! Minimal `epoll`/`eventfd` bindings, hand-written because the workspace
+//! builds offline without the `libc` crate. Linux-only (the only platform
+//! this repository targets), x86-64 and aarch64 ABI compatible.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_uint, c_void};
+
+/// `EPOLL_CLOEXEC` / `EFD_CLOEXEC` (same value: `O_CLOEXEC`).
+const CLOEXEC: c_int = 0o2000000;
+/// `EFD_NONBLOCK` (`O_NONBLOCK`).
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// `EPOLL_CTL_ADD`.
+pub const EPOLL_CTL_ADD: c_int = 1;
+/// `EPOLL_CTL_DEL`.
+pub const EPOLL_CTL_DEL: c_int = 2;
+/// `EPOLL_CTL_MOD`.
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+/// `EPOLLIN`: the fd is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// `EPOLLOUT`: the fd is writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// `EPOLLERR`: error condition (always reported, never masked).
+pub const EPOLLERR: u32 = 0x008;
+/// `EPOLLHUP`: hang-up (always reported, never masked).
+pub const EPOLLHUP: u32 = 0x010;
+/// `EPOLLRDHUP`: peer closed its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// One `struct epoll_event`. On x86-64 the kernel ABI packs this struct
+/// (12 bytes, no padding before `data`); `repr(packed)` reproduces that.
+/// Fields must be **copied out by value** — taking a reference into a
+/// packed struct is undefined behavior on alignment-sensitive paths.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bit mask (`EPOLLIN` | …).
+    pub events: u32,
+    /// Caller-chosen cookie returned verbatim with the event.
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// Creates a close-on-exec epoll instance.
+pub fn epoll_create() -> io::Result<RawFd> {
+    let fd = unsafe { epoll_create1(CLOEXEC) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(fd)
+}
+
+/// Adds, modifies, or deletes `fd`'s interest mask on `epfd`. `data` is
+/// the cookie `epoll_wait` hands back with the fd's events.
+pub fn epoll_ctl_op(epfd: RawFd, op: c_int, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data };
+    let rc = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Blocks until events arrive (or `timeout_ms`, `-1` = forever). Returns
+/// the number of filled entries; `EINTR` surfaces as `Ok(0)` so the event
+/// loop simply re-waits.
+pub fn epoll_wait_events(
+    epfd: RawFd,
+    events: &mut [EpollEvent],
+    timeout_ms: c_int,
+) -> io::Result<usize> {
+    let rc = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}
+
+/// Creates the reactor's wake-up eventfd (close-on-exec, nonblocking so
+/// drains never stall the event loop).
+pub fn eventfd_new() -> io::Result<RawFd> {
+    let fd = unsafe { eventfd(0, CLOEXEC | EFD_NONBLOCK) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(fd)
+}
+
+/// Posts one wake-up to an eventfd (adds 1 to its counter).
+pub fn eventfd_write(fd: RawFd) {
+    let one: u64 = 1;
+    let _ = unsafe { write(fd, &one as *const u64 as *const c_void, 8) };
+}
+
+/// Drains an eventfd's counter (nonblocking; EAGAIN means already empty).
+pub fn eventfd_drain(fd: RawFd) {
+    let mut buf: u64 = 0;
+    let _ = unsafe { read(fd, &mut buf as *mut u64 as *mut c_void, 8) };
+}
+
+/// Closes a file descriptor, ignoring errors (shutdown path).
+pub fn close_fd(fd: RawFd) {
+    let _ = unsafe { close(fd) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_event_abi_size() {
+        // The x86-64 kernel ABI packs epoll_event to 12 bytes; other
+        // 64-bit ABIs align it to 16.
+        if cfg!(target_arch = "x86_64") {
+            assert_eq!(std::mem::size_of::<EpollEvent>(), 12);
+        } else {
+            assert_eq!(std::mem::size_of::<EpollEvent>(), 16);
+        }
+    }
+
+    #[test]
+    fn eventfd_roundtrip_wakes_epoll() {
+        let ep = epoll_create().unwrap();
+        let ev = eventfd_new().unwrap();
+        epoll_ctl_op(ep, EPOLL_CTL_ADD, ev, EPOLLIN, 42).unwrap();
+        // Nothing posted yet: a zero-timeout wait sees no events.
+        let mut buf = [EpollEvent { events: 0, data: 0 }; 4];
+        assert_eq!(epoll_wait_events(ep, &mut buf, 0).unwrap(), 0);
+        eventfd_write(ev);
+        let n = epoll_wait_events(ep, &mut buf, 1000).unwrap();
+        assert_eq!(n, 1);
+        // Copy packed fields by value before asserting.
+        let (events, data) = (buf[0].events, buf[0].data);
+        assert_ne!(events & EPOLLIN, 0);
+        assert_eq!(data, 42);
+        eventfd_drain(ev);
+        assert_eq!(epoll_wait_events(ep, &mut buf, 0).unwrap(), 0);
+        close_fd(ev);
+        close_fd(ep);
+    }
+}

@@ -1,0 +1,239 @@
+//! TCP socket wrappers that suspend through the scheduler on `WouldBlock`.
+//!
+//! Under [`LatencyMode::Hide`](lhws_core::LatencyMode::Hide) the sockets
+//! are nonblocking: every `WouldBlock` turns into a
+//! [`Reactor::ready`](crate::Reactor::ready) wait, i.e. a real heavy edge
+//! — the task suspends against its deque and its worker moves on to other
+//! work. Under [`LatencyMode::Block`](lhws_core::LatencyMode::Block) the
+//! same code runs with blocking sockets (readiness futures complete
+//! immediately, the retried syscall parks the worker in the kernel) —
+//! the paper's blocking baseline from identical application source.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, ToSocketAddrs};
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+use crate::reactor::{Interest, Reactor, ReadyFuture};
+
+/// In blocking mode a dead peer would otherwise park a worker forever;
+/// a generous read timeout turns that into an error instead.
+const BLOCK_MODE_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A TCP listener whose `accept` suspends (rather than blocks) until a
+/// connection is pending.
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+    reactor: Reactor,
+}
+
+impl TcpListener {
+    /// Binds to `addr`. Nonblocking under latency hiding, blocking under
+    /// the baseline.
+    pub fn bind<A: ToSocketAddrs>(reactor: &Reactor, addr: A) -> io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        if !reactor.is_blocking() {
+            inner.set_nonblocking(true)?;
+        }
+        Ok(TcpListener {
+            inner,
+            reactor: reactor.clone(),
+        })
+    }
+
+    /// The bound local address (use to recover the port after binding 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Accepts one connection, suspending while none is pending.
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        loop {
+            match self.inner.accept() {
+                Ok((stream, peer)) => {
+                    return TcpStream::from_std(stream, &self.reactor).map(|s| (s, peer));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.reactor
+                        .ready(self.inner.as_raw_fd(), Interest::Read)
+                        .await?;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// A TCP stream whose reads and writes suspend (rather than block) on
+/// `WouldBlock`.
+#[derive(Debug)]
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+    reactor: Reactor,
+}
+
+impl TcpStream {
+    /// Connects to `addr`.
+    ///
+    /// The connect itself is performed blocking (this crate targets
+    /// loopback/LAN workloads where connection setup is instantaneous);
+    /// the resulting stream is then switched to the reactor's mode.
+    pub fn connect<A: ToSocketAddrs>(reactor: &Reactor, addr: A) -> io::Result<TcpStream> {
+        let inner = std::net::TcpStream::connect(addr)?;
+        TcpStream::from_std(inner, reactor)
+    }
+
+    /// Adopts a `std` stream: nonblocking under latency hiding; blocking
+    /// (with a read-timeout backstop) under the baseline.
+    pub fn from_std(inner: std::net::TcpStream, reactor: &Reactor) -> io::Result<TcpStream> {
+        if reactor.is_blocking() {
+            inner.set_read_timeout(Some(BLOCK_MODE_READ_TIMEOUT))?;
+        } else {
+            inner.set_nonblocking(true)?;
+        }
+        Ok(TcpStream {
+            inner,
+            reactor: reactor.clone(),
+        })
+    }
+
+    /// The stream's raw descriptor (for registering custom waits).
+    pub fn as_raw_fd(&self) -> RawFd {
+        self.inner.as_raw_fd()
+    }
+
+    /// The local address of this stream.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// The remote peer's address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// Clones the stream (shared descriptor), e.g. to split reading and
+    /// writing across tasks.
+    pub fn try_clone(&self) -> io::Result<TcpStream> {
+        Ok(TcpStream {
+            inner: self.inner.try_clone()?,
+            reactor: self.reactor.clone(),
+        })
+    }
+
+    /// Shuts down the read, write, or both halves (see
+    /// [`std::net::TcpStream::shutdown`]).
+    pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        self.inner.shutdown(how)
+    }
+
+    /// A future resolving when the stream is readable. This is the heavy
+    /// edge itself — exposed so callers can bound it:
+    /// `stream.read_ready().with_timeout(d).await`.
+    pub fn read_ready(&self) -> ReadyFuture {
+        self.reactor.ready(self.inner.as_raw_fd(), Interest::Read)
+    }
+
+    /// A future resolving when the stream is writable.
+    pub fn write_ready(&self) -> ReadyFuture {
+        self.reactor.ready(self.inner.as_raw_fd(), Interest::Write)
+    }
+
+    /// Reads into `buf`, suspending until at least one byte (or EOF, which
+    /// returns `Ok(0)`) is available.
+    pub async fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match (&self.inner).read(buf) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.read_ready().await?;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Writes all of `buf`, suspending whenever the send buffer is full.
+    pub async fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut written = 0;
+        while written < buf.len() {
+            match (&self.inner).write(&buf[written..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "peer closed while writing",
+                    ));
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.write_ready().await?;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Buffered line reader over a [`TcpStream`], for newline-delimited
+/// request protocols.
+#[derive(Debug)]
+pub struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// Bytes `buf[..filled]` hold buffered, not-yet-consumed input.
+    filled: usize,
+}
+
+impl LineReader {
+    /// Wraps `stream` with an empty buffer.
+    pub fn new(stream: TcpStream) -> LineReader {
+        LineReader {
+            stream,
+            buf: vec![0; 4096],
+            filled: 0,
+        }
+    }
+
+    /// The underlying stream, e.g. for writing a reply.
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// Returns the inner stream, discarding any buffered input.
+    pub fn into_inner(self) -> TcpStream {
+        self.stream
+    }
+
+    /// Reads one `\n`-terminated line (terminator stripped), or `None` on
+    /// clean EOF. EOF mid-line is an error (truncated request).
+    pub async fn read_line(&mut self) -> io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.buf[..self.filled].iter().position(|&b| b == b'\n') {
+                let line = String::from_utf8_lossy(&self.buf[..pos]).into_owned();
+                self.buf.copy_within(pos + 1..self.filled, 0);
+                self.filled -= pos + 1;
+                return Ok(Some(line));
+            }
+            if self.filled == self.buf.len() {
+                self.buf.resize(self.buf.len() * 2, 0);
+            }
+            let filled = self.filled;
+            let n = self.stream.read(&mut self.buf[filled..]).await?;
+            if n == 0 {
+                if self.filled > 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-line",
+                    ));
+                }
+                return Ok(None);
+            }
+            self.filled += n;
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Integration tests: the reactor driving real loopback sockets through
+//! the scheduler's suspension machinery.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use lhws_core::{audit, fork2, Config, FaultPlan, LatencyMode, Runtime};
+use lhws_net::{Reactor, TcpListener, TcpStream};
+
+fn hide_rt(workers: usize) -> Runtime {
+    Runtime::new(Config::default().workers(workers).mode(LatencyMode::Hide)).unwrap()
+}
+
+/// One echo round trip per connection, several connections in flight: the
+/// readiness waits suspend and resume through the scheduler, the io
+/// counters balance, and shutdown is clean.
+#[test]
+fn loopback_echo_round_trips() {
+    let rt = hide_rt(2);
+    let reactor = Reactor::new(&rt).unwrap();
+
+    let conns = 8u64;
+    let server_reactor = reactor.clone();
+    rt.block_on(async move {
+        let listener = TcpListener::bind(&server_reactor, "127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let serve = async {
+            for _ in 0..conns {
+                let (mut conn, _) = listener.accept().await.unwrap();
+                let mut buf = [0u8; 16];
+                let n = conn.read(&mut buf).await.unwrap();
+                conn.write_all(&buf[..n]).await.unwrap();
+            }
+        };
+        let client_reactor = server_reactor.clone();
+        let drive = async move {
+            for i in 0..conns {
+                let mut s = TcpStream::connect(&client_reactor, addr).unwrap();
+                let msg = format!("ping {i}");
+                s.write_all(msg.as_bytes()).await.unwrap();
+                let mut buf = [0u8; 16];
+                let n = s.read(&mut buf).await.unwrap();
+                assert_eq!(&buf[..n], msg.as_bytes());
+            }
+        };
+        fork2(serve, drive).await;
+    });
+
+    let m = rt.metrics();
+    // Every readiness event answers a registration; anything left
+    // registered is canceled (none here: all waits resolved).
+    assert!(m.io_registrations >= m.io_readiness_events);
+    assert!(m.io_readiness_events > 0, "no waits ever hit the kernel");
+    assert_eq!(m.io_timeouts, 0);
+    let report = rt.shutdown();
+    assert_eq!(report.canceled_io_waits, 0);
+    assert_eq!(report.leaked_suspensions, 0, "unclean: {report:?}");
+}
+
+/// A traced run passes `Trace::audit`, including the Io pairing checks.
+#[test]
+fn traced_run_audits_clean() {
+    let rt = Runtime::new(
+        Config::default()
+            .workers(2)
+            .mode(LatencyMode::Hide)
+            .trace_capacity(4096),
+    )
+    .unwrap();
+    let reactor = Reactor::new(&rt).unwrap();
+
+    let r2 = reactor.clone();
+    rt.block_on(async move {
+        let listener = TcpListener::bind(&r2, "127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let serve = async {
+            for _ in 0..4 {
+                let (mut conn, _) = listener.accept().await.unwrap();
+                let mut buf = [0u8; 8];
+                let n = conn.read(&mut buf).await.unwrap();
+                conn.write_all(&buf[..n]).await.unwrap();
+            }
+        };
+        let r3 = r2.clone();
+        let drive = async move {
+            for _ in 0..4 {
+                let mut s = TcpStream::connect(&r3, addr).unwrap();
+                s.write_all(b"x").await.unwrap();
+                let mut buf = [0u8; 8];
+                s.read(&mut buf).await.unwrap();
+            }
+        };
+        fork2(serve, drive).await;
+    });
+
+    let trace = rt.trace_snapshot().expect("tracing enabled");
+    let stats = trace.stats();
+    assert!(stats.io_registrations > 0);
+    let report = audit(&trace);
+    assert!(report.passed(), "audit failed:\n{report}");
+    rt.shutdown();
+}
+
+/// `read_ready().with_timeout(..)` on a silent peer times out through the
+/// runtime timer, bumps `io_timeouts`, and deregisters the wait.
+#[test]
+fn read_ready_timeout_fires() {
+    let rt = hide_rt(2);
+    let reactor = Reactor::new(&rt).unwrap();
+
+    let r2 = reactor.clone();
+    rt.block_on(async move {
+        let listener = TcpListener::bind(&r2, "127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Connect but never send: the server-side read can only time out.
+        let client = TcpStream::connect(&r2, addr).unwrap();
+        let (conn, _) = listener.accept().await.unwrap();
+        let err = conn
+            .read_ready()
+            .with_timeout(Duration::from_millis(20))
+            .await
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        drop(client);
+    });
+
+    let m = rt.metrics();
+    assert_eq!(m.io_timeouts, 1);
+    let report = rt.shutdown();
+    assert_eq!(report.canceled_io_waits, 0);
+    assert_eq!(report.leaked_suspensions, 0, "unclean: {report:?}");
+}
+
+/// Readiness beats a generous deadline: the wait resolves `Ok` and no
+/// timeout is counted.
+#[test]
+fn readiness_beats_deadline() {
+    let rt = hide_rt(2);
+    let reactor = Reactor::new(&rt).unwrap();
+
+    let r2 = reactor.clone();
+    rt.block_on(async move {
+        let listener = TcpListener::bind(&r2, "127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(&r2, addr).unwrap();
+        let (conn, _) = listener.accept().await.unwrap();
+        client.write_all(b"now").await.unwrap();
+        conn.read_ready()
+            .with_timeout(Duration::from_secs(10))
+            .await
+            .unwrap();
+    });
+
+    let m = rt.metrics();
+    assert_eq!(m.io_timeouts, 0);
+    assert_eq!(rt.shutdown().leaked_suspensions, 0);
+}
+
+/// Dropping a `ReadyFuture` before readiness deregisters the wait; the
+/// cancellation resume keeps the suspension/resume ledger balanced.
+#[test]
+fn dropped_wait_deregisters() {
+    let rt = hide_rt(2);
+    let reactor = Reactor::new(&rt).unwrap();
+
+    let r2 = reactor.clone();
+    rt.block_on(async move {
+        let listener = TcpListener::bind(&r2, "127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(&r2, addr).unwrap();
+        let (conn, _) = listener.accept().await.unwrap();
+        // Race the never-ready read against an immediate task: fork2 joins
+        // both, so poll the ready future via a timeout we never reach.
+        let quick = async { 42u64 };
+        let slow = async move {
+            let err = conn
+                .read_ready()
+                .with_timeout(Duration::from_millis(10))
+                .await
+                .unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+            7u64
+        };
+        let (a, b) = fork2(quick, slow).await;
+        assert_eq!(a + b, 49);
+        drop(client);
+    });
+
+    let report = rt.shutdown();
+    assert_eq!(report.leaked_suspensions, 0, "unclean: {report:?}");
+}
+
+/// Shutting the runtime down with waits still registered cancels them:
+/// the report counts them and nothing leaks or hangs.
+#[test]
+fn shutdown_cancels_inflight_waits() {
+    let rt = hide_rt(2);
+    let reactor = Reactor::new(&rt).unwrap();
+
+    let canceled_seen = Arc::new(AtomicU64::new(0));
+    let r2 = reactor.clone();
+    let seen = canceled_seen.clone();
+    // Park two reads that will never become ready, then shut down while
+    // they are registered.
+    let h = rt.spawn(async move {
+        let listener = TcpListener::bind(&r2, "127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(&r2, addr).unwrap();
+        let (conn, _) = listener.accept().await.unwrap();
+        let conn2 = conn.try_clone().unwrap();
+        let seen2 = seen.clone();
+        let wait = async move {
+            if conn.read_ready().await.is_err() {
+                seen.fetch_add(1, Ordering::SeqCst);
+            }
+        };
+        let wait2 = async move {
+            if conn2.write_ready().await.is_ok() {
+                // Loopback send buffers are empty: writable immediately.
+                seen2.fetch_add(100, Ordering::SeqCst);
+            }
+        };
+        fork2(wait, wait2).await;
+    });
+    // Give the spawned task time to park its read registration.
+    std::thread::sleep(Duration::from_millis(100));
+    drop(h);
+    let report = rt.shutdown();
+    assert_eq!(
+        report.canceled_io_waits, 1,
+        "exactly the read wait is in flight at shutdown: {report:?}"
+    );
+    assert_eq!(report.leaked_suspensions, 0, "unclean: {report:?}");
+    assert_eq!(canceled_seen.load(Ordering::SeqCst), 101);
+}
+
+/// Under `LatencyMode::Block` the reactor spawns no thread and the same
+/// application code runs on blocking sockets.
+#[test]
+fn block_mode_runs_same_code_without_reactor_thread() {
+    let rt = Runtime::new(Config::default().workers(2).mode(LatencyMode::Block)).unwrap();
+    let reactor = Reactor::new(&rt).unwrap();
+    assert!(reactor.is_blocking());
+
+    // The client is a plain OS thread: in blocking mode a worker that
+    // parks in the kernel cannot expose its forked children to thieves
+    // (they sit in the pending buffer until its poll returns), so an
+    // in-runtime client task could deadlock against a blocked accept —
+    // exactly the baseline pathology the reactor exists to avoid.
+    let r2 = reactor.clone();
+    let listener = TcpListener::bind(&r2, "127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = std::thread::spawn(move || {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        use std::io::{Read, Write};
+        s.write_all(b"blk").unwrap();
+        let mut buf = [0u8; 8];
+        let n = s.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"blk");
+    });
+    rt.block_on(async move {
+        let (mut conn, _) = listener.accept().await.unwrap();
+        let mut buf = [0u8; 8];
+        let n = conn.read(&mut buf).await.unwrap();
+        conn.write_all(&buf[..n]).await.unwrap();
+    });
+    client.join().unwrap();
+
+    let m = rt.metrics();
+    assert_eq!(m.io_registrations, 0, "blocking mode never reaches epoll");
+    let report = rt.shutdown();
+    assert_eq!(report.canceled_io_waits, 0);
+    assert_eq!(report.leaked_suspensions, 0);
+}
+
+/// `DroppedReadiness` fault injection swallows events but level-triggered
+/// re-arming recovers every wait: the run completes and audits clean.
+#[test]
+fn dropped_readiness_recovers_via_level_trigger() {
+    let rt = Runtime::new(
+        Config::default()
+            .workers(2)
+            .mode(LatencyMode::Hide)
+            .trace_capacity(8192)
+            .fault_plan(FaultPlan::new(0xfeed_beef).dropped_readiness(400_000)),
+    )
+    .unwrap();
+    let reactor = Reactor::new(&rt).unwrap();
+
+    let r2 = reactor.clone();
+    rt.block_on(async move {
+        let listener = TcpListener::bind(&r2, "127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let serve = async {
+            for _ in 0..16 {
+                let (mut conn, _) = listener.accept().await.unwrap();
+                let mut buf = [0u8; 8];
+                let n = conn.read(&mut buf).await.unwrap();
+                conn.write_all(&buf[..n]).await.unwrap();
+            }
+        };
+        let r3 = r2.clone();
+        let drive = async move {
+            for _ in 0..16 {
+                let mut s = TcpStream::connect(&r3, addr).unwrap();
+                s.write_all(b"f").await.unwrap();
+                let mut buf = [0u8; 8];
+                s.read(&mut buf).await.unwrap();
+            }
+        };
+        fork2(serve, drive).await;
+    });
+
+    let trace = rt.trace_snapshot().unwrap();
+    let audit_report = audit(&trace);
+    assert!(audit_report.passed(), "audit failed:\n{audit_report}");
+    let report = rt.shutdown();
+    assert!(
+        report.faults_injected > 0,
+        "rate 40% over dozens of readiness events must fire"
+    );
+    assert_eq!(report.leaked_suspensions, 0);
+}

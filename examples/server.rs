@@ -1,21 +1,27 @@
-//! The "server" — the paper's Figure 10, run for real.
+//! The paper's server (Figure 10) on real sockets: a TCP request/reply
+//! server whose network waits are heavy edges through the epoll reactor.
 //!
 //! ```text
-//! cargo run --release --example server [-- requests delta_ms f_work]
+//! cargo run --release --example server -- [--port P] [--workers N]
+//!     [--mode hide|block] [--conns C] [--fib-cutoff K] [--trace]
 //! ```
 //!
-//! The server takes inputs one at a time from a (simulated) user:
-//! `getInput()` incurs latency. For each input it forks `f(input)` in
-//! parallel with the recursive server, and the results are reduced with
-//! `g` as the recursion unwinds. Only one `getInput` is ever outstanding,
-//! so the suspension width is 1 — the paper's minimal-`U` example — and
-//! the worker pool stays busy computing earlier `f(input)` work while the
-//! next input is awaited.
+//! Protocol (newline-delimited): a client sends `W <n>`; the server
+//! computes `fib(n)` with the CPU work split across the pool via `fork2`
+//! and replies `R <value>`. Each accepted connection is served by its own
+//! spawned task until the peer closes, so the suspension width `U` is the
+//! number of connections currently blocked on the kernel — every one of
+//! them a live deque the scheduler keeps under Lemma 7's `U + 1` bound.
+//!
+//! The server accepts exactly `--conns` connections, joins every
+//! per-connection task, shuts the runtime down, and exits nonzero if
+//! anything was left unbalanced (leaked suspensions, canceled I/O waits,
+//! or — with `--trace` — an audit violation).
 
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::process::ExitCode;
 
-use lhws::runtime::{fork2, Config, LatencyMode, LatencyProfile, RemoteService, Runtime};
+use lhws::net::{LineReader, Reactor, TcpListener};
+use lhws::runtime::{audit, fork2, spawn, Config, LatencyMode, Runtime};
 
 fn fib(n: u64) -> u64 {
     if n < 2 {
@@ -25,61 +31,158 @@ fn fib(n: u64) -> u64 {
     }
 }
 
-/// server(f, g) from Figure 10: read an input; if "Done" return 0, else
-/// fork f(input) alongside the recursive server and combine with g.
-fn server(
-    user: Arc<RemoteService>,
-    remaining: u64,
-    f_cost: u64,
-) -> std::pin::Pin<Box<dyn std::future::Future<Output = u64> + Send>> {
-    Box::pin(async move {
-        // input = getInput() — may suspend.
-        let input = user.request(remaining, |k| k).await;
-        if remaining == 0 {
-            return 0; // the user typed "Done"
+/// `fib(n)` with the top of the recursion forked, so each request's CPU
+/// work is stealable parallel work rather than one serial blob.
+async fn par_fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = fork2(async move { fib(n - 1) }, async move { fib(n - 2) }).await;
+    a + b
+}
+
+struct Args {
+    port: u16,
+    workers: usize,
+    mode: LatencyMode,
+    conns: usize,
+    trace: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        port: 0,
+        workers: 4,
+        mode: LatencyMode::Hide,
+        conns: 8,
+        trace: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--port" => args.port = val("--port")?.parse().map_err(|e| format!("--port: {e}"))?,
+            "--workers" => {
+                args.workers = val("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--mode" => {
+                args.mode = match val("--mode")?.as_str() {
+                    "hide" => LatencyMode::Hide,
+                    "block" => LatencyMode::Block,
+                    other => return Err(format!("--mode: unknown mode {other:?}")),
+                };
+            }
+            "--conns" => {
+                args.conns = val("--conns")?
+                    .parse()
+                    .map_err(|e| format!("--conns: {e}"))?;
+            }
+            "--trace" => args.trace = true,
+            other => return Err(format!("unknown flag {other:?}")),
         }
-        let (res1, res2) = fork2(
-            // f(input): process the request (models real work).
-            async move { fib(f_cost).wrapping_add(input) },
-            // server(f, g): wait for the next request in parallel.
-            server(user.clone(), remaining - 1, f_cost),
-        )
-        .await;
-        // g(res1, res2)
-        res1.wrapping_add(res2)
-    })
+    }
+    Ok(args)
 }
 
-fn run(mode: LatencyMode, requests: u64, delta: Duration, f_cost: u64) -> (Duration, u64) {
-    let rt = Runtime::new(Config::default().workers(2).mode(mode)).unwrap();
-    let user = Arc::new(RemoteService::new("user", LatencyProfile::Fixed(delta)));
-    let start = Instant::now();
-    let total = rt.block_on(server(user, requests, f_cost));
-    (start.elapsed(), total)
+/// Serves one connection: read `W <n>` lines, reply `R <fib(n)>`, until
+/// the peer closes. Returns the number of requests served.
+async fn serve_conn(stream: lhws::net::TcpStream) -> std::io::Result<u64> {
+    let mut reader = LineReader::new(stream);
+    let mut served = 0u64;
+    while let Some(line) = reader.read_line().await? {
+        let n: u64 = line
+            .strip_prefix("W ")
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| std::io::Error::other(format!("bad request line {line:?}")))?;
+        let v = par_fib(n).await;
+        let reply = format!("R {v}\n");
+        reader.stream_mut().write_all(reply.as_bytes()).await?;
+        served += 1;
+    }
+    Ok(served)
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let requests: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(20);
-    let delta_ms: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(25);
-    let f_cost: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(24);
-    let delta = Duration::from_millis(delta_ms);
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
-    println!("server: {requests} requests, getInput latency {delta_ms}ms, f=fib({f_cost})");
-    println!("suspension width U = 1 (inputs arrive one at a time)\n");
+    let mut cfg = Config::default().workers(args.workers).mode(args.mode);
+    if args.trace {
+        cfg = cfg.trace_capacity(1 << 16);
+    }
+    let rt = match Runtime::new(cfg) {
+        Ok(rt) => rt,
+        Err(e) => {
+            eprintln!("server: runtime: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reactor = match Reactor::new(&rt) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("server: reactor: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
-    let (hide, v1) = run(LatencyMode::Hide, requests, delta, f_cost);
-    println!("latency-hiding work stealing: {hide:?}");
+    let conns = args.conns;
+    let served = rt.block_on(async move {
+        let listener = TcpListener::bind(&reactor, ("127.0.0.1", args.port))?;
+        let addr = listener.local_addr()?;
+        // The load generator greps for this line to learn the port.
+        println!("listening on {addr}");
+        let mut handles = Vec::with_capacity(conns);
+        for _ in 0..conns {
+            let (stream, _peer) = listener.accept().await?;
+            handles.push(spawn(serve_conn(stream)));
+        }
+        let mut total = 0u64;
+        for h in handles {
+            total += h.await?;
+        }
+        std::io::Result::Ok(total)
+    });
+    let served = match served {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
-    let (block, v2) = run(LatencyMode::Block, requests, delta, f_cost);
-    println!("blocking work stealing:       {block:?}");
-    assert_eq!(v1, v2, "same answers under both schedulers");
-
-    // The input latencies are sequential and sit on the critical path, so
-    // no scheduler can beat requests × delta; what LHWS buys is doing the
-    // f(input) work *during* the waits instead of after them.
+    let report = rt.shutdown();
     println!(
-        "\ncritical-path latency (unavoidable): {:?}",
-        delta * requests as u32
+        "served {served} requests over {conns} connections; \
+         {} io registrations, {} readiness events",
+        report.metrics.io_registrations, report.metrics.io_readiness_events
     );
+    let mut ok = true;
+    if report.leaked_suspensions != 0 || report.canceled_io_waits != 0 {
+        eprintln!(
+            "server: unclean shutdown: {} leaked suspensions, {} canceled io waits",
+            report.leaked_suspensions, report.canceled_io_waits
+        );
+        ok = false;
+    }
+    if args.trace {
+        let trace = report.trace.as_ref().expect("tracing was enabled");
+        let audit_report = audit(trace);
+        println!("{audit_report}");
+        if !audit_report.passed() {
+            eprintln!("server: trace audit failed");
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -15,6 +15,9 @@
 //! * [`runtime`] — the real thing: a multithreaded latency-hiding
 //!   work-stealing executor for suspendable tasks, plus the blocking
 //!   work-stealing baseline the paper compares against.
+//! * [`net`] — an epoll reactor and TCP wrappers that turn kernel socket
+//!   readiness into the runtime's suspension/resume machinery, so real
+//!   network waits are heavy edges (see `examples/server.rs`).
 //!
 //! ## Quickstart
 //!
@@ -44,6 +47,7 @@
 pub use lhws_core as runtime;
 pub use lhws_dag as dag;
 pub use lhws_deque as deque;
+pub use lhws_net as net;
 pub use lhws_sim as sim;
 
 /// Crate version string, for tooling output headers.
