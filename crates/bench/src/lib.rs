@@ -5,11 +5,15 @@
 //! helpers here provide the map-reduce workload used by Figure 11, simple
 //! flag parsing (no CLI dependency), and plain-text table output.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lhws_core::{
     join_all, par_map_reduce, simulate_latency, Config, LatencyMode, Runtime, TimerKind,
 };
+use lhws_deque::{DequeKind, Registry, Steal, WorkerHandle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Sequential naive Fibonacci — the paper's per-leaf computation
 /// (`fib(30)` in the original evaluation).
@@ -278,6 +282,223 @@ pub fn write_bench_resume_json(
     for (i, (p, x)) in pairs.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"workers\": {p}, \"speedup\": {x:.2}}}{}\n",
+            if i + 1 < pairs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+/// One measured configuration of the steal-path benchmark: `thieves`
+/// threads each draw victims from a registry in which `dead_pct`% of the
+/// allocated slots are dead (released and drained), using either the
+/// live-set index (`sampling == "live"`) or the paper's allocated-prefix
+/// slot array (`sampling == "slots"`).
+#[derive(Debug, Clone)]
+pub struct StealMeasurement {
+    /// Victim sampling strategy: `"live"` (live-set index) or `"slots"`
+    /// (uniform over the allocated slot prefix, dead slots included).
+    pub sampling: &'static str,
+    /// Thief-thread count.
+    pub thieves: usize,
+    /// Percentage of allocated slots that are dead.
+    pub dead_pct: u32,
+    /// Total victim draws across all thieves.
+    pub attempts: u64,
+    /// Draws that stole an item.
+    pub hits: u64,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl StealMeasurement {
+    /// Successful steals per second — the benchmark's headline number.
+    pub fn steal_throughput(&self) -> f64 {
+        self.hits as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Fraction of draws that found work.
+    pub fn hit_rate(&self) -> f64 {
+        self.hits as f64 / (self.attempts as f64).max(1.0)
+    }
+}
+
+/// Shard count for the steal-benchmark registry — stands in for the
+/// worker count of a medium-sized runtime.
+const STEAL_SHARDS: usize = 8;
+
+/// Builds a registry with `deques` allocated slots of which `dead_pct`%
+/// are dead — released and empty, exactly what a thief finds after a
+/// suspension burst freed them — and the rest live with `items_per_live`
+/// stealable items each. The dead slots are spread evenly through the
+/// allocated prefix (Bresenham), so baseline draws hit them uniformly.
+/// The worker handles are returned too: dropping one would sever its
+/// stealer.
+pub fn steal_registry(
+    deques: usize,
+    dead_pct: u32,
+    items_per_live: usize,
+) -> (Arc<Registry<u64>>, Vec<WorkerHandle<u64>>) {
+    let reg = Registry::with_capacity_and_shards(deques, STEAL_SHARDS);
+    let mut handles = Vec::with_capacity(deques);
+    let mut ids = Vec::with_capacity(deques);
+    for i in 0..deques {
+        let (w, s) = WorkerHandle::new(DequeKind::ChaseLev);
+        ids.push(reg.register(i % STEAL_SHARDS, s).expect("sized to fit"));
+        handles.push(w);
+    }
+    let d = dead_pct as usize;
+    for (i, (w, &id)) in handles.iter().zip(&ids).enumerate() {
+        if (i + 1) * d / 100 > i * d / 100 {
+            reg.release(id);
+        } else {
+            for item in 0..items_per_live {
+                w.push_bottom(item as u64);
+            }
+        }
+    }
+    (Arc::new(reg), handles)
+}
+
+/// Runs `thieves` threads, each making `attempts_per_thief` victim draws
+/// against an 8192-slot registry, and counts successful steals. Live
+/// deques are preloaded with more items than the run can take, so they
+/// never run dry mid-measurement: every miss is a sampling miss (dead
+/// slot or lost race), not an exhausted victim.
+pub fn measure_steal(
+    sampling_live: bool,
+    thieves: usize,
+    dead_pct: u32,
+    attempts_per_thief: u64,
+) -> StealMeasurement {
+    const DEQUES: usize = 8192;
+    let attempts = attempts_per_thief * thieves as u64;
+    let live = DEQUES - DEQUES * dead_pct as usize / 100;
+    let items_per_live = attempts as usize / live.max(1) + 64;
+    let (reg, handles) = steal_registry(DEQUES, dead_pct, items_per_live);
+
+    let t = Instant::now();
+    let hits: u64 = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..thieves)
+            .map(|tid| {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0x57EA_1000 + tid as u64);
+                    let mut hits = 0u64;
+                    // Consecutive-miss count, capped at the worker's probe
+                    // burst length.
+                    let mut misses = 0u32;
+                    for _ in 0..attempts_per_thief {
+                        let drawn = if sampling_live {
+                            reg.random_live_id(rng.gen())
+                        } else {
+                            reg.random_id(rng.gen())
+                        };
+                        let mut hit = false;
+                        if let Some(id) = drawn {
+                            // Same bounded-retry discipline as the worker
+                            // loop's `steal_from`.
+                            for _ in 0..4 {
+                                match reg.steal(id) {
+                                    Steal::Success(_) => {
+                                        hits += 1;
+                                        hit = true;
+                                        break;
+                                    }
+                                    Steal::Empty => break,
+                                    Steal::Retry => std::hint::spin_loop(),
+                                }
+                            }
+                        }
+                        // The worker's probe loop backs off exponentially
+                        // after each failed probe (`1 << probe` spins); a
+                        // draw that lands on a dead slot costs the thief
+                        // that stall, not just the probe itself.
+                        if hit {
+                            misses = 0;
+                        } else {
+                            for _ in 0..(1u32 << misses) {
+                                std::hint::spin_loop();
+                            }
+                            misses = (misses + 1).min(3);
+                        }
+                    }
+                    hits
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|h| h.join().expect("thief thread panicked"))
+            .sum()
+    });
+    let elapsed = t.elapsed();
+    drop(handles);
+    StealMeasurement {
+        sampling: if sampling_live { "live" } else { "slots" },
+        thieves,
+        dead_pct,
+        attempts,
+        hits,
+        elapsed,
+    }
+}
+
+/// Writes steal-path measurements as JSON (hand-rolled — the workspace
+/// builds offline, without serde). Includes the live/slots throughput
+/// ratio per (thieves, dead_pct) point; the acceptance number is ≥1.5x
+/// at 4 thieves with ≥50% dead slots.
+pub fn write_bench_steal_json(
+    path: &std::path::Path,
+    mode: &str,
+    measurements: &[StealMeasurement],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"steal_path\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0)
+    ));
+    out.push_str("  \"measurements\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"sampling\": \"{}\", \"thieves\": {}, \"dead_pct\": {}, \
+             \"attempts\": {}, \"hits\": {}, \"hit_rate\": {:.4}, \
+             \"elapsed_ns\": {}, \"steals_per_sec\": {:.1}}}{}\n",
+            m.sampling,
+            m.thieves,
+            m.dead_pct,
+            m.attempts,
+            m.hits,
+            m.hit_rate(),
+            m.elapsed.as_nanos(),
+            m.steal_throughput(),
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedup_live_over_slots\": [\n");
+    let mut pairs: Vec<(usize, u32, f64)> = Vec::new();
+    for l in measurements.iter().filter(|m| m.sampling == "live") {
+        if let Some(s) = measurements
+            .iter()
+            .find(|m| m.sampling == "slots" && m.thieves == l.thieves && m.dead_pct == l.dead_pct)
+        {
+            pairs.push((
+                l.thieves,
+                l.dead_pct,
+                l.steal_throughput() / s.steal_throughput().max(1e-9),
+            ));
+        }
+    }
+    for (i, (p, d, x)) in pairs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"thieves\": {p}, \"dead_pct\": {d}, \"speedup\": {x:.2}}}{}\n",
             if i + 1 < pairs.len() { "," } else { "" },
         ));
     }

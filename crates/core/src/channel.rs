@@ -23,7 +23,7 @@ use std::task::{Context, Poll};
 
 use parking_lot::Mutex;
 
-use crate::external::{external_op, Canceled, Completer, DeadlineOp, ExternalOp};
+use crate::external::{external_op, Canceled, Completer, DeadlineExt, DeadlineOp, ExternalOp};
 use crate::worker::{self, SuspendWait};
 
 // ---------------------------------------------------------------------
@@ -56,18 +56,13 @@ pub struct OneshotReceiver<T: Send + 'static> {
     op: ExternalOp<T>,
 }
 
-impl<T: Send + 'static> OneshotReceiver<T> {
-    /// Bounds the receive by a wall-clock deadline: the returned future
-    /// resolves `Err(OpError::TimedOut)` if no send arrives in time. See
-    /// [`ExternalOp::with_deadline`].
-    pub fn with_deadline(self, deadline: std::time::Instant) -> DeadlineOp<T> {
-        self.op.with_deadline(deadline)
-    }
+impl<T: Send + 'static> DeadlineExt for OneshotReceiver<T> {
+    type Deadlined = DeadlineOp<T>;
 
-    /// Convenience for [`OneshotReceiver::with_deadline`] with a relative
-    /// timeout.
-    pub fn with_timeout(self, timeout: std::time::Duration) -> DeadlineOp<T> {
-        self.op.with_timeout(timeout)
+    /// Bounds the receive by a wall-clock deadline: the returned future
+    /// resolves `Err(OpError::TimedOut)` if no send arrives in time.
+    fn with_deadline(self, deadline: std::time::Instant) -> DeadlineOp<T> {
+        self.op.with_deadline(deadline)
     }
 }
 

@@ -71,6 +71,16 @@ pub struct Config {
     /// algorithm needs at most `P · (U + 1)` deques; the default of 65 536
     /// is comfortable for any realistic suspension width.
     pub registry_capacity: usize,
+    /// Number of live-set index shards in the deque registry. `0` (the
+    /// default) means one shard per worker, which keeps each worker's
+    /// register/release traffic on its own shard.
+    pub registry_shards: usize,
+    /// Whether thieves sample victims from the registry's live-set index
+    /// (`true`, the default) or from the whole allocated slot prefix (the
+    /// paper's plain `randomDeque()`, kept as an ablation baseline whose
+    /// probes can land on dead slots — see the `steals_dead_target`
+    /// metric).
+    pub live_index: bool,
     /// How long an idle worker parks between scavenging rounds, in
     /// microseconds. Bounds wake-up staleness for events that race with
     /// parking.
@@ -118,6 +128,8 @@ impl Default for Config {
             steal_policy: StealPolicy::default(),
             deque_kind: DequeKind::default(),
             registry_capacity: 1 << 16,
+            registry_shards: 0,
+            live_index: true,
             park_micros: 100,
             pfor_grain: 4,
             seed: 0x1A7E_11C1,
@@ -159,6 +171,19 @@ impl Config {
     /// Sets the registry capacity.
     pub fn registry_capacity(mut self, c: usize) -> Self {
         self.registry_capacity = c.max(self.workers);
+        self
+    }
+
+    /// Sets the live-set shard count (`0` = one shard per worker).
+    pub fn registry_shards(mut self, n: usize) -> Self {
+        self.registry_shards = n;
+        self
+    }
+
+    /// Selects the thief sampling path: live-set index (`true`) or the
+    /// whole-slot-prefix baseline (`false`).
+    pub fn live_index(mut self, on: bool) -> Self {
+        self.live_index = on;
         self
     }
 
@@ -263,6 +288,9 @@ pub enum ConfigError {
     /// struct `0` means "one shard per worker", but the builder separates
     /// the auto default from an explicit zero and rejects the latter.
     ZeroTimerShards,
+    /// `registry_shards` was explicitly set to `0` through the builder
+    /// (on the plain [`Config`] struct `0` means "one shard per worker").
+    ZeroRegistryShards,
     /// `timer_tick == 0`: the wheel cannot advance in zero-length ticks.
     ZeroTimerTick,
     /// `resume_batch_limit == 0`: deliveries could never carry an event.
@@ -297,6 +325,12 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "timer_shards must be >= 1 (omit it for one shard per worker)"
+                )
+            }
+            ConfigError::ZeroRegistryShards => {
+                write!(
+                    f,
+                    "registry_shards must be >= 1 (omit it for one shard per worker)"
                 )
             }
             ConfigError::ZeroTimerTick => write!(f, "timer_tick must be non-zero"),
@@ -341,6 +375,8 @@ pub struct RuntimeBuilder {
     /// Distinguishes "never set" (auto: one shard per worker) from an
     /// explicit value, so an explicit `0` can be rejected.
     timer_shards: Option<usize>,
+    /// Same auto-vs-explicit split for the registry's live-set shards.
+    registry_shards: Option<usize>,
 }
 
 impl RuntimeBuilder {
@@ -377,6 +413,20 @@ impl RuntimeBuilder {
     /// worker or build time rejects it.
     pub fn registry_capacity(mut self, c: usize) -> Self {
         self.cfg.registry_capacity = c;
+        self
+    }
+
+    /// Sets the live-set shard count. Omit for the default of one shard
+    /// per worker; an explicit `0` is rejected at build time.
+    pub fn registry_shards(mut self, n: usize) -> Self {
+        self.registry_shards = Some(n);
+        self
+    }
+
+    /// Selects the thief sampling path: live-set index (`true`, the
+    /// default) or the whole-slot-prefix baseline (`false`).
+    pub fn live_index(mut self, on: bool) -> Self {
+        self.cfg.live_index = on;
         self
     }
 
@@ -449,8 +499,14 @@ impl RuntimeBuilder {
                 return Err(ConfigError::ZeroTimerShards);
             }
         }
+        if let Some(n) = self.registry_shards {
+            if n == 0 {
+                return Err(ConfigError::ZeroRegistryShards);
+            }
+        }
         let mut cfg = self.cfg;
         cfg.timer_shards = self.timer_shards.unwrap_or(0);
+        cfg.registry_shards = self.registry_shards.unwrap_or(0);
         cfg.validate()?;
         Ok(cfg)
     }
@@ -499,6 +555,26 @@ mod tests {
         assert_eq!(c.timer_tick, Duration::from_micros(1));
         assert_eq!(c.timer_shards, 3);
         assert_eq!(c.resume_batch_limit, 1);
+    }
+
+    #[test]
+    fn registry_knobs() {
+        let c = Config::default();
+        assert_eq!(c.registry_shards, 0);
+        assert!(c.live_index);
+        let c = c.registry_shards(4).live_index(false);
+        assert_eq!(c.registry_shards, 4);
+        assert!(!c.live_index);
+
+        // Builder: explicit 0 shards rejected, omitted means auto.
+        assert_eq!(
+            RuntimeBuilder::new().registry_shards(0).validate().err(),
+            Some(ConfigError::ZeroRegistryShards)
+        );
+        let cfg = RuntimeBuilder::new().registry_shards(2).validate().unwrap();
+        assert_eq!(cfg.registry_shards, 2);
+        let cfg = RuntimeBuilder::new().validate().unwrap();
+        assert_eq!(cfg.registry_shards, 0, "auto default");
     }
 
     #[test]

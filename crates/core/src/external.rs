@@ -35,7 +35,7 @@
 //!   rather than balanced. Drivers that hold completers (I/O reactors)
 //!   avoid this by being shut down *before* the workers — see
 //!   [`crate::driver`].
-//! * [`ExternalOp::with_deadline`] bounds the wait through the runtime
+//! * [`DeadlineExt::with_deadline`] bounds the wait through the runtime
 //!   timer: the resulting [`DeadlineOp`] resolves `Err(TimedOut)` if the
 //!   completer has not fired by the deadline. The settle protocol is
 //!   **idempotent** — the deadline and a racing completer both try to
@@ -84,6 +84,32 @@ impl std::fmt::Display for OpError {
 }
 
 impl std::error::Error for OpError {}
+
+/// Extension trait unifying the deadline surface: every suspending
+/// operation that can be bounded by the runtime timer — [`ExternalOp`],
+/// [`OneshotReceiver`](crate::channel::OneshotReceiver), and the net crate's
+/// readiness futures — implements it once, with one typed error path
+/// ([`OpError`]) underneath.
+///
+/// `with_timeout` is provided in terms of `with_deadline`, so an
+/// implementation defines the absolute form only and both spellings agree
+/// by construction.
+pub trait DeadlineExt: Sized {
+    /// The deadline-bounded form of this operation.
+    type Deadlined;
+
+    /// Bounds the operation with an absolute deadline through the runtime
+    /// timer: the result resolves with a timeout error if the operation
+    /// has not completed by `deadline`. The settle protocol is idempotent —
+    /// the deadline and a racing completion both try to settle, exactly
+    /// one wins, and the loser is a no-op.
+    fn with_deadline(self, deadline: Instant) -> Self::Deadlined;
+
+    /// [`DeadlineExt::with_deadline`] with a relative timeout.
+    fn with_timeout(self, timeout: Duration) -> Self::Deadlined {
+        self.with_deadline(Instant::now() + timeout)
+    }
+}
 
 enum OpState<T> {
     /// Created; not yet polled, not yet completed.
@@ -182,23 +208,19 @@ impl<T: Send + 'static> std::fmt::Debug for ExternalOp<T> {
     }
 }
 
-impl<T: Send + 'static> ExternalOp<T> {
-    /// Bounds this operation with an absolute deadline through the runtime
-    /// timer: the returned [`DeadlineOp`] resolves `Err(TimedOut)` if the
+impl<T: Send + 'static> DeadlineExt for ExternalOp<T> {
+    type Deadlined = DeadlineOp<T>;
+
+    /// The returned [`DeadlineOp`] resolves `Err(TimedOut)` if the
     /// completer has not fired by `deadline`. See [`DeadlineOp`] for the
     /// race and counter-balance semantics.
-    pub fn with_deadline(self, deadline: Instant) -> DeadlineOp<T> {
+    fn with_deadline(self, deadline: Instant) -> DeadlineOp<T> {
         DeadlineOp {
             shared: self.shared,
             deadline,
             arm_attempted: false,
             timer_armed: false,
         }
-    }
-
-    /// [`ExternalOp::with_deadline`] with a relative timeout.
-    pub fn with_timeout(self, timeout: Duration) -> DeadlineOp<T> {
-        self.with_deadline(Instant::now() + timeout)
     }
 }
 
@@ -231,7 +253,7 @@ impl<T: Send + 'static> Future for ExternalOp<T> {
 }
 
 /// An [`ExternalOp`] bounded by a deadline (see
-/// [`ExternalOp::with_deadline`]).
+/// [`DeadlineExt::with_deadline`]).
 ///
 /// On a latency-hiding runtime the first poll arms a one-shot deadline on
 /// the runtime timer; whichever of {completer, deadline, runtime shutdown}

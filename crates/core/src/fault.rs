@@ -36,6 +36,7 @@
 //! | `deque_switch_ppm` | after draining resumes | the non-empty active deque is demoted to the ready list |
 //! | `drop_unpark_ppm` | inject/delivery | the wake-up is skipped; the park timeout is the only backstop |
 //! | `dropped_readiness_ppm` | reactor event loop | a kernel readiness event is swallowed without firing the completer or disarming interest; level-triggered epoll re-reports it on the next wait |
+//! | `stale_live_index_ppm` | thief victim draw | the thief samples the whole allocated slot prefix instead of the live-set index, as if its view of the index were stale — manufacturing dead-target probes the bounded-retry loop must absorb |
 //! | `worker_panic_after` | worker loop | the first worker to reach the N-th loop iteration panics, poisoning the runtime |
 
 use std::collections::HashMap;
@@ -72,12 +73,16 @@ pub enum FaultSite {
     /// Swallowed kernel readiness event in a reactor driver's event loop
     /// (recovered by level-triggered re-reporting).
     DroppedReadiness,
+    /// Stale live-set view at the thief's victim draw: the thief samples
+    /// over the whole allocated slot prefix (dead slots included) instead
+    /// of the live index, proving the retry path absorbs dead targets.
+    StaleLiveIndex,
 }
 
 impl FaultSite {
     /// Every site, in decision-stream order (the order
     /// [`FaultPlan::schedule_digest`] folds them in).
-    pub const ALL: [FaultSite; 9] = [
+    pub const ALL: [FaultSite; 10] = [
         FaultSite::StealFail,
         FaultSite::ResumeDelay,
         FaultSite::ResumeReorder,
@@ -87,6 +92,7 @@ impl FaultSite {
         FaultSite::DequeSwitch,
         FaultSite::DropUnpark,
         FaultSite::DroppedReadiness,
+        FaultSite::StaleLiveIndex,
     ];
 
     #[inline]
@@ -101,6 +107,7 @@ impl FaultSite {
             FaultSite::DequeSwitch => 6,
             FaultSite::DropUnpark => 7,
             FaultSite::DroppedReadiness => 8,
+            FaultSite::StaleLiveIndex => 9,
         }
     }
 
@@ -119,6 +126,7 @@ impl FaultSite {
             0xDE0E_5312_7C11_000D,
             0xD209_0213_9A12_000F,
             0x10C4_77A1_7ED1_0011,
+            0x57A1_E11D_E0C5_0013,
         ][self.index()]
     }
 }
@@ -176,6 +184,9 @@ pub struct FaultPlan {
     /// swallow recoverable (the fd stays ready, the next `epoll_wait`
     /// re-reports it). A rate of 1 000 000 would livelock the reactor.
     pub dropped_readiness_ppm: u32,
+    /// Rate of stale-live-index victim draws: the thief falls back to the
+    /// slot-array baseline sampler (dead slots included) for that probe.
+    pub stale_live_index_ppm: u32,
     /// If set, the first worker whose scheduler loop reaches this many
     /// total iterations (counted across all workers) panics — exercising
     /// the supervision/poisoning path. Fires at most once per runtime.
@@ -204,6 +215,7 @@ impl FaultPlan {
             deque_switch_ppm: 0,
             drop_unpark_ppm: 0,
             dropped_readiness_ppm: 0,
+            stale_live_index_ppm: 0,
             worker_panic_after: None,
         }
     }
@@ -222,6 +234,7 @@ impl FaultPlan {
             .deque_switch(80_000)
             .drop_unpark(150_000)
             .dropped_readiness(150_000)
+            .stale_live_index(200_000)
     }
 
     /// Sets the forced-steal-failure rate.
@@ -280,6 +293,12 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the stale-live-index rate for thief victim draws.
+    pub fn stale_live_index(mut self, ppm: u32) -> Self {
+        self.stale_live_index_ppm = ppm;
+        self
+    }
+
     /// Arms a one-shot worker-loop panic after `n` total loop iterations.
     pub fn worker_panic_after(mut self, n: u64) -> Self {
         self.worker_panic_after = Some(n);
@@ -298,6 +317,7 @@ impl FaultPlan {
             FaultSite::DequeSwitch => self.deque_switch_ppm,
             FaultSite::DropUnpark => self.drop_unpark_ppm,
             FaultSite::DroppedReadiness => self.dropped_readiness_ppm,
+            FaultSite::StaleLiveIndex => self.stale_live_index_ppm,
         }
     }
 
@@ -421,6 +441,12 @@ impl FaultInjector {
     /// Whether a reactor driver should swallow this readiness event.
     pub fn dropped_readiness(&self) -> bool {
         self.roll(FaultSite::DroppedReadiness).is_some()
+    }
+
+    /// Whether this thief victim draw should pretend its live-set view is
+    /// stale and sample the whole allocated slot prefix instead.
+    pub fn stale_live_index(&self) -> bool {
+        self.roll(FaultSite::StaleLiveIndex).is_some()
     }
 
     /// Counts one worker-loop iteration; `true` exactly when this
@@ -1103,6 +1129,22 @@ mod tests {
             FaultPlan::new(5).schedule_digest(128),
             FaultPlan::new(5)
                 .dropped_readiness(500_000)
+                .schedule_digest(128),
+        );
+    }
+
+    #[test]
+    fn stale_live_index_site_rolls_and_digests() {
+        let inj = FaultInjector::new(FaultPlan::new(5).stale_live_index(1_000_000));
+        assert!(inj.stale_live_index());
+        assert_eq!(inj.injected_total(), 1);
+        let off = FaultInjector::new(FaultPlan::new(5));
+        assert!(!off.stale_live_index());
+        // The new site participates in the digest.
+        assert_ne!(
+            FaultPlan::new(5).schedule_digest(128),
+            FaultPlan::new(5)
+                .stale_live_index(500_000)
                 .schedule_digest(128),
         );
     }

@@ -73,7 +73,9 @@ mod worker;
 
 pub use config::{Config, ConfigError, LatencyMode, RuntimeBuilder, StealPolicy, TimerKind};
 pub use driver::{Driver, DriverHooks, DriverReport};
-pub use external::{external_op, Canceled, Completer, DeadlineOp, ExternalOp, OpError};
+pub use external::{
+    external_op, Canceled, Completer, DeadlineExt, DeadlineOp, ExternalOp, OpError,
+};
 pub use fault::{audit, AuditReport, FaultPlan, FaultSite};
 pub use join::JoinHandle;
 pub use latency::{latency_until, simulate_latency, LatencyFuture, LatencyProfile, RemoteService};

@@ -44,6 +44,7 @@ pub(crate) struct CounterBlock {
     pub tasks_spawned: AtomicU64,
     pub steals_attempted: AtomicU64,
     pub steals_succeeded: AtomicU64,
+    pub steals_dead_target: AtomicU64,
     pub deque_switches: AtomicU64,
     pub deques_allocated: AtomicU64,
     pub suspensions: AtomicU64,
@@ -123,6 +124,7 @@ impl Counters {
             tasks_spawned: self.sum(|b| &b.tasks_spawned),
             steals_attempted: self.sum(|b| &b.steals_attempted),
             steals_succeeded: self.sum(|b| &b.steals_succeeded),
+            steals_dead_target: self.sum(|b| &b.steals_dead_target),
             deque_switches: self.sum(|b| &b.deque_switches),
             deques_allocated: self.sum(|b| &b.deques_allocated),
             suspensions: self.sum(|b| &b.suspensions),
@@ -133,6 +135,11 @@ impl Counters {
             io_registrations: self.sum(|b| &b.io_registrations),
             io_readiness_events: self.sum(|b| &b.io_readiness_events),
             io_timeouts: self.sum(|b| &b.io_timeouts),
+            // Registry-derived gauges; the runtime fills these in from the
+            // deque registry when it snapshots (Counters cannot see it).
+            registry_compactions: 0,
+            live_deques: 0,
+            live_deques_high_water: 0,
         }
     }
 }
@@ -155,6 +162,10 @@ pub struct MetricsSnapshot {
     pub steals_attempted: u64,
     /// Successful steals.
     pub steals_succeeded: u64,
+    /// Steal attempts that sampled a dead (freed, not reused) deque — the
+    /// slot-array baseline's probe waste. The live-set index drives this
+    /// to ~0 (see `Config::live_index`).
+    pub steals_dead_target: u64,
     /// Deque switches (idle worker resumed one of its ready deques).
     pub deque_switches: u64,
     /// Deques ever allocated in the global registry.
@@ -178,6 +189,14 @@ pub struct MetricsSnapshot {
     pub io_readiness_events: u64,
     /// I/O waits that resolved by deadline expiry rather than readiness.
     pub io_timeouts: u64,
+    /// Live-set registry shard compactions (dense id lists shrunk after
+    /// mass releases).
+    pub registry_compactions: u64,
+    /// Deques currently in the registry's live set (gauge, racy snapshot).
+    pub live_deques: u64,
+    /// High-water mark of the registry-wide live set; Lemma 7 bounds it by
+    /// `P * (U + 1)`.
+    pub live_deques_high_water: u64,
 }
 
 /// Former name of [`MetricsSnapshot`]. Kept so pre-builder callers of
@@ -197,6 +216,7 @@ impl MetricsSnapshot {
         m.tasks_spawned = self.tasks_spawned - earlier.tasks_spawned;
         m.steals_attempted = self.steals_attempted - earlier.steals_attempted;
         m.steals_succeeded = self.steals_succeeded - earlier.steals_succeeded;
+        m.steals_dead_target = self.steals_dead_target - earlier.steals_dead_target;
         m.deque_switches = self.deque_switches - earlier.deque_switches;
         m.deques_allocated = self.deques_allocated - earlier.deques_allocated;
         m.suspensions = self.suspensions - earlier.suspensions;
@@ -208,6 +228,11 @@ impl MetricsSnapshot {
         m.io_registrations = self.io_registrations - earlier.io_registrations;
         m.io_readiness_events = self.io_readiness_events - earlier.io_readiness_events;
         m.io_timeouts = self.io_timeouts - earlier.io_timeouts;
+        m.registry_compactions = self.registry_compactions - earlier.registry_compactions;
+        // Gauges and high-water marks are not differentiable; keep the
+        // later values.
+        m.live_deques = self.live_deques;
+        m.live_deques_high_water = self.live_deques_high_water;
         m
     }
 
@@ -223,8 +248,8 @@ impl fmt::Display for MetricsSnapshot {
         writeln!(f, "tasks spawned:         {}", self.tasks_spawned)?;
         writeln!(
             f,
-            "steals:                {} attempted, {} succeeded",
-            self.steals_attempted, self.steals_succeeded
+            "steals:                {} attempted, {} succeeded, {} dead targets",
+            self.steals_attempted, self.steals_succeeded, self.steals_dead_target
         )?;
         writeln!(f, "deque switches:        {}", self.deque_switches)?;
         writeln!(f, "deques allocated:      {}", self.deques_allocated)?;
@@ -235,7 +260,13 @@ impl fmt::Display for MetricsSnapshot {
         writeln!(f, "unparks:               {}", self.unparks)?;
         writeln!(f, "io registrations:      {}", self.io_registrations)?;
         writeln!(f, "io readiness events:   {}", self.io_readiness_events)?;
-        write!(f, "io timeouts:           {}", self.io_timeouts)
+        writeln!(f, "io timeouts:           {}", self.io_timeouts)?;
+        writeln!(f, "registry compactions:  {}", self.registry_compactions)?;
+        write!(
+            f,
+            "live deques:           {} (high water {})",
+            self.live_deques, self.live_deques_high_water
+        )
     }
 }
 
@@ -287,7 +318,9 @@ mod tests {
         assert!(s.contains("steals:                1 attempted"));
         assert!(s.contains("max deques per worker: 5"));
         assert!(s.contains("io registrations:      0"));
-        assert!(s.lines().count() >= 13);
+        assert!(s.contains("registry compactions:  0"));
+        assert!(s.contains("live deques:           0 (high water 0)"));
+        assert!(s.lines().count() >= 15);
     }
 
     #[test]

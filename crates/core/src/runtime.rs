@@ -133,6 +133,17 @@ impl RtInner {
         self.injector.lock().pop_front()
     }
 
+    /// Counter snapshot with the registry-derived gauges filled in.
+    /// `Counters` cannot see the registry, so the live-set size, its high
+    /// water, and the compaction count are stitched in here.
+    pub(crate) fn registry_metrics(&self) -> MetricsSnapshot {
+        let mut m = self.counters.snapshot();
+        m.registry_compactions = self.registry.compactions();
+        m.live_deques = self.registry.live_len() as u64;
+        m.live_deques_high_water = self.registry.live_high_water() as u64;
+        m
+    }
+
     /// True if the injector holds work (workers re-check this between
     /// `Sleepers::prepare_park` and parking).
     pub fn injector_nonempty(&self) -> bool {
@@ -343,7 +354,14 @@ impl Runtime {
             .map(|plan| Arc::new(FaultInjector::new(plan)));
         let inner = Arc::new(RtInner {
             config,
-            registry: Registry::with_capacity(config.registry_capacity),
+            registry: Registry::with_capacity_and_shards(
+                config.registry_capacity,
+                if config.registry_shards == 0 {
+                    p
+                } else {
+                    config.registry_shards
+                },
+            ),
             injector: Mutex::new(VecDeque::new()),
             inboxes: (0..p).map(|_| CachePadded::default()).collect(),
             sleepers: Sleepers::new(p),
@@ -479,9 +497,11 @@ impl Runtime {
         }
     }
 
-    /// A point-in-time snapshot of the runtime's metrics counters.
+    /// A point-in-time snapshot of the runtime's metrics counters, with
+    /// the registry-derived gauges (live set size, high water,
+    /// compactions) filled in.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.inner.counters.snapshot()
+        self.inner.registry_metrics()
     }
 
     /// Drains the event tracer into a [`Trace`] snapshot, or `None` when
@@ -540,7 +560,7 @@ impl Runtime {
     /// suspension has its full lifecycle recorded.
     pub fn shutdown(mut self) -> ShutdownReport {
         self.join_now();
-        let metrics = self.inner.counters.snapshot();
+        let metrics = self.inner.registry_metrics();
         let driver_report = *self.inner.driver_report.lock();
         ShutdownReport {
             leaked_suspensions: metrics.suspensions.saturating_sub(metrics.resumes),

@@ -34,6 +34,7 @@ fn outcome_str(o: StealOutcome) -> &'static str {
         StealOutcome::Success => "success",
         StealOutcome::Empty => "empty",
         StealOutcome::LostRace => "lost_race",
+        StealOutcome::Dead => "dead",
     }
 }
 
@@ -158,6 +159,10 @@ pub(super) fn write_chrome_trace<W: Write>(trace: &Trace, w: &mut W) -> io::Resu
             EventKind::DequeRelease { live } => format!(
                 "{{\"name\": \"deque_release\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \
                  \"tid\": {t}, \"ts\": {ts}, \"args\": {{\"live\": {live}}}}}"
+            ),
+            EventKind::RegistryCompact { deque } => format!(
+                "{{\"name\": \"registry_compact\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \
+                 \"tid\": {t}, \"ts\": {ts}, \"args\": {{\"deque\": {deque}}}}}"
             ),
             EventKind::Park => format!(
                 "{{\"name\": \"park\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \

@@ -66,6 +66,11 @@ pub enum StealOutcome {
     /// The pop-top raced with another thief/the owner and the bounded
     /// retry budget ran out.
     LostRace,
+    /// The victim deque was dead: freed into its owner's recycling pool
+    /// and not yet reused. Only the slot-array baseline sampler
+    /// (`Registry::random_id`) produces these in steady state; the
+    /// live-set index drives them to ~0.
+    Dead,
 }
 
 /// What kind of latency-incurring operation a suspension came from.
@@ -145,6 +150,13 @@ pub enum EventKind {
     DequeRelease {
         /// Live deques owned by this worker after the release.
         live: u32,
+    },
+    /// Releasing a deque compacted a live-set registry shard (its dense
+    /// id list shrank after mass releases).
+    RegistryCompact {
+        /// Global registry id of the deque whose release triggered the
+        /// compaction.
+        deque: u32,
     },
     /// The worker found no work anywhere and parked.
     Park,

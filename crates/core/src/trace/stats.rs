@@ -143,6 +143,9 @@ pub struct TraceStats {
     pub steal_empty: u64,
     /// Attempts abandoned after losing pop-top races.
     pub steal_lost_race: u64,
+    /// Attempts that sampled a dead (freed, not reused) deque — the
+    /// slot-array baseline's probe waste; ~0 under the live-set index.
+    pub steal_dead: u64,
     /// Suspensions registered.
     pub suspensions: u64,
     /// Resume events delivered (sum of batch lengths).
@@ -153,6 +156,8 @@ pub struct TraceStats {
     pub max_resume_batch: u64,
     /// Deque switches (idle worker resumed a ready deque).
     pub deque_switches: u64,
+    /// Live-set registry shard compactions.
+    pub registry_compactions: u64,
     /// Parks recorded.
     pub parks: u64,
     /// Unparks recorded.
@@ -198,6 +203,7 @@ impl TraceStats {
                         StealOutcome::Success => s.steal_successes += 1,
                         StealOutcome::Empty => s.steal_empty += 1,
                         StealOutcome::LostRace => s.steal_lost_race += 1,
+                        StealOutcome::Dead => s.steal_dead += 1,
                     }
                 }
                 EventKind::Suspend { seq, .. } => {
@@ -231,6 +237,7 @@ impl TraceStats {
                     }
                 }
                 EventKind::DequeRelease { .. } => {}
+                EventKind::RegistryCompact { .. } => s.registry_compactions += 1,
                 EventKind::Park => s.parks += 1,
                 EventKind::Unpark { .. } => s.unparks += 1,
                 EventKind::Inject => s.injects += 1,
@@ -261,12 +268,13 @@ impl fmt::Display for TraceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "steals            : {}/{} succeeded ({:.1}%), {} empty, {} lost races",
+            "steals            : {}/{} succeeded ({:.1}%), {} empty, {} lost races, {} dead",
             self.steal_successes,
             self.steal_attempts,
             self.steal_success_rate() * 100.0,
             self.steal_empty,
             self.steal_lost_race,
+            self.steal_dead,
         )?;
         writeln!(
             f,
@@ -278,8 +286,8 @@ impl fmt::Display for TraceStats {
         writeln!(f, "ready→executed    : {}", self.ready_to_exec)?;
         writeln!(
             f,
-            "deque switches    : {}  parks: {}  unparks: {}  injects: {}",
-            self.deque_switches, self.parks, self.unparks, self.injects,
+            "deque switches    : {}  parks: {}  unparks: {}  injects: {}  compactions: {}",
+            self.deque_switches, self.parks, self.unparks, self.injects, self.registry_compactions,
         )?;
         writeln!(
             f,

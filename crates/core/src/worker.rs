@@ -54,6 +54,14 @@ const NO_DEQUE: usize = usize::MAX;
 /// unbounded loop could livelock against a fast owner.
 const STEAL_RETRIES: usize = 4;
 
+/// How many victim draws one idle step makes before giving the step back
+/// (re-checking resumes, then parking). With the live-set index a draw
+/// hits a stealable target in O(1) expected probes, so a short burst
+/// either finds work or strongly suggests there is none; the exponential
+/// backoff between failed probes keeps a pack of idle thieves from
+/// hammering the registry shards.
+const STEAL_PROBES: usize = 4;
+
 /// Thread-local context installed on worker threads.
 struct WorkerTls {
     rt: Weak<RtInner>,
@@ -428,12 +436,29 @@ impl Worker {
                 let q = self.new_deque();
                 self.activate(q);
             } else {
-                self.ctr().bump(&self.ctr().steals_attempted);
-                if let Some(task) = self.try_steal() {
-                    self.ctr().bump(&self.ctr().steals_succeeded);
-                    self.assigned = Some(task);
-                    let q = self.new_deque();
-                    self.activate(q);
+                // Thief mode: a bounded burst of probes. Every probe is one
+                // full steal attempt (one `steals_attempted` bump paired
+                // with exactly one `Steal` trace event).
+                for probe in 0..STEAL_PROBES {
+                    self.ctr().bump(&self.ctr().steals_attempted);
+                    if let Some(task) = self.try_steal() {
+                        self.ctr().bump(&self.ctr().steals_succeeded);
+                        self.assigned = Some(task);
+                        let q = self.new_deque();
+                        self.activate(q);
+                        break;
+                    }
+                    // Between failed probes: bail out to the outer step if
+                    // anything newsworthy arrived, else back off briefly.
+                    if self.rt.is_shutdown()
+                        || self.rt.injector_nonempty()
+                        || self.rt.inbox_nonempty(self.index)
+                    {
+                        break;
+                    }
+                    for _ in 0..(1usize << probe) {
+                        std::hint::spin_loop();
+                    }
                 }
             }
         }
@@ -679,7 +704,11 @@ impl Worker {
     fn new_deque(&mut self) -> usize {
         let q = match self.empty.pop() {
             Some(q) => {
+                // Figure 5: recycle, never deallocate. Re-entering the
+                // registry's live set makes the slot visible to thieves
+                // sampling over live deques again.
                 self.owned[q].freed = false;
+                self.rt.registry.reuse(self.owned[q].global);
                 q
             }
             None => {
@@ -715,11 +744,17 @@ impl Worker {
         debug_assert_eq!(self.owned[q].suspend_ctr, 0);
         debug_assert!(self.owned[q].resumed.is_empty());
         self.owned[q].freed = true;
+        let compacted = self.rt.registry.release(self.owned[q].global);
         self.empty.push(q);
         self.live_deques -= 1;
         self.trace(EventKind::DequeRelease {
             live: self.live_deques as u32,
         });
+        if compacted {
+            self.trace(EventKind::RegistryCompact {
+                deque: self.owned[q].global.index() as u32,
+            });
+        }
     }
 
     fn activate(&mut self, q: usize) {
@@ -789,20 +824,40 @@ impl Worker {
             }
         }
         let (victim_deque, victim_worker, got, outcome) = match self.rt.config.steal_policy {
-            StealPolicy::RandomDeque => match self.rt.registry.random_id(self.rng.gen()) {
-                None => (NONE_ID, NONE_ID, None, StealOutcome::Empty),
-                Some(id) => {
-                    let (task, outcome) = self.steal_from(id);
-                    // The owner lookup is trace-only metadata; skip it when
-                    // no one is recording.
-                    let owner = if self.tracer.is_some() {
-                        self.rt.registry.owner_of(id).map_or(NONE_ID, |w| w as u32)
-                    } else {
-                        NONE_ID
-                    };
-                    (id.index() as u32, owner, task, outcome)
+            StealPolicy::RandomDeque => {
+                // Stale-live-index fault: pretend the live index lagged and
+                // fall back to the slot-array draw, which can land on a
+                // freed slot — exercising the dead-target accounting below.
+                let use_live = self.rt.config.live_index
+                    && !self.faults.as_ref().is_some_and(|f| f.stale_live_index());
+                let drawn = if use_live {
+                    self.rt.registry.random_live_id(self.rng.gen())
+                } else {
+                    self.rt.registry.random_id(self.rng.gen())
+                };
+                match drawn {
+                    None => (NONE_ID, NONE_ID, None, StealOutcome::Empty),
+                    Some(id) => {
+                        let (task, mut outcome) = self.steal_from(id);
+                        if task.is_none() && !self.rt.registry.is_live(id) {
+                            // The draw landed on a freed slot. The paper's
+                            // `randomDeque()` simply eats such failures;
+                            // counting them is what lets the live-set index
+                            // be shown to remove them.
+                            self.ctr().bump(&self.ctr().steals_dead_target);
+                            outcome = StealOutcome::Dead;
+                        }
+                        // The owner lookup is trace-only metadata; skip it
+                        // when no one is recording.
+                        let owner = if self.tracer.is_some() {
+                            self.rt.registry.owner_of(id).map_or(NONE_ID, |w| w as u32)
+                        } else {
+                            NONE_ID
+                        };
+                        (id.index() as u32, owner, task, outcome)
+                    }
                 }
-            },
+            }
             StealPolicy::WorkerThenDeque => {
                 let p = self.rt.config.workers;
                 if p == 1 {

@@ -12,7 +12,9 @@
 use std::time::{Duration, Instant};
 
 use lhws_core::channel::{mpsc, oneshot};
-use lhws_core::{external_op, join_all, simulate_latency, FaultPlan, Runtime, RuntimeError};
+use lhws_core::{
+    external_op, join_all, simulate_latency, DeadlineExt, FaultPlan, Runtime, RuntimeError,
+};
 
 const TRACE_CAPACITY: usize = 1 << 17;
 

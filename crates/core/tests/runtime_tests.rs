@@ -375,6 +375,45 @@ fn metrics_accumulate_sensibly() {
 }
 
 #[test]
+fn live_index_eliminates_dead_steal_targets() {
+    // Phase 1 inflates the registry's allocated prefix with a burst of
+    // concurrent suspensions (each suspension parks a deque; the worker
+    // moves on to a fresh one). Phase 2 holds one long latency while every
+    // other deque sits freed, so idle thieves probe a registry that is
+    // mostly dead slots — the paper's `randomDeque()` eats those misses.
+    fn churn_then_idle(rt: &Runtime) -> u64 {
+        rt.block_on(async {
+            let hs: Vec<_> = (0..200)
+                .map(|_| spawn(async { simulate_latency(Duration::from_millis(10)).await }))
+                .collect();
+            for h in hs {
+                h.await;
+            }
+            simulate_latency(Duration::from_millis(80)).await;
+        });
+        rt.metrics().steals_dead_target
+    }
+    let baseline = Runtime::new(Config::default().workers(4).live_index(false)).unwrap();
+    let dead_baseline = churn_then_idle(&baseline);
+    let live = Runtime::new(Config::default().workers(4)).unwrap();
+    let dead_live = churn_then_idle(&live);
+    assert!(
+        dead_baseline > 0,
+        "slot-array sampling must hit freed slots during the idle phase"
+    );
+    assert!(
+        dead_live * 10 <= dead_baseline,
+        "live-set sampling should all but eliminate dead targets: \
+         live={dead_live} baseline={dead_baseline}"
+    );
+    // The registry-backed gauges flow through the snapshot. (The absolute
+    // high water is workload-shaped — a fast owner absorbs most
+    // suspensions onto one deque — so only pin that it is plumbed.)
+    let m = live.metrics();
+    assert!(m.live_deques_high_water >= 1, "gauge must be plumbed");
+}
+
+#[test]
 fn sequential_latencies_in_one_task() {
     let rt = rt(2);
     let start = Instant::now();

@@ -38,4 +38,7 @@ mod sys;
 mod tcp;
 
 pub use reactor::{Interest, Reactor, ReadyFuture, TimedReadyFuture};
+// Re-exported so readiness futures can be deadline-bounded without a
+// direct lhws-core dependency.
+pub use lhws_core::DeadlineExt;
 pub use tcp::{LineReader, TcpListener, TcpStream};

@@ -30,13 +30,13 @@ use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll};
-use std::time::Duration;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use lhws_core::{
-    external_op, Completer, DeadlineOp, Driver, DriverHooks, DriverReport, ExternalOp, LatencyMode,
-    OpError, Runtime,
+    external_op, Completer, DeadlineExt, DeadlineOp, Driver, DriverHooks, DriverReport, ExternalOp,
+    LatencyMode, OpError, Runtime,
 };
 
 use crate::sys;
@@ -433,7 +433,7 @@ impl Driver for Reactor {
 /// ready, `Err` if the wait was rejected or canceled (reactor shutdown).
 ///
 /// Dropping it before completion deregisters the wait. Chain
-/// [`ReadyFuture::with_timeout`] to bound the wait by the runtime timer.
+/// [`DeadlineExt::with_timeout`] to bound the wait by the runtime timer.
 #[derive(Debug)]
 pub struct ReadyFuture {
     reactor: Reactor,
@@ -445,20 +445,22 @@ pub struct ReadyFuture {
     done: bool,
 }
 
-impl ReadyFuture {
+impl DeadlineExt for ReadyFuture {
+    type Deadlined = TimedReadyFuture;
+
     /// Bounds the wait: resolves `Err(TimedOut)` if readiness has not
-    /// arrived within `timeout`, deregistering the wait through the same
+    /// arrived by `deadline`, deregistering the wait through the same
     /// idempotent settle protocol deadlines use everywhere else (the
     /// timer and a racing readiness event settle exactly once).
-    pub fn with_timeout(mut self, timeout: Duration) -> TimedReadyFuture {
-        let op = self.op.take().expect("with_timeout on finished future");
+    fn with_deadline(mut self, deadline: Instant) -> TimedReadyFuture {
+        let op = self.op.take().expect("with_deadline on finished future");
         self.done = true; // disarm Drop: TimedReadyFuture owns the wait now
         TimedReadyFuture {
             reactor: self.reactor.clone(),
             fd: self.fd,
             interest: self.interest,
             token: self.token,
-            op: Some(op.with_timeout(timeout)),
+            op: Some(op.with_deadline(deadline)),
             err: self.err.take(),
             done: false,
         }
@@ -501,7 +503,7 @@ impl Drop for ReadyFuture {
 }
 
 /// A [`ReadyFuture`] bounded by a deadline (see
-/// [`ReadyFuture::with_timeout`]). Resolves `Err(TimedOut)` on expiry,
+/// [`DeadlineExt::with_timeout`] on [`ReadyFuture`]). Resolves `Err(TimedOut)` on expiry,
 /// counting an `io_timeout` and deregistering the wait.
 #[derive(Debug)]
 pub struct TimedReadyFuture {

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use lhws_core::{audit, fork2, Config, FaultPlan, LatencyMode, Runtime};
-use lhws_net::{Reactor, TcpListener, TcpStream};
+use lhws_net::{DeadlineExt, Reactor, TcpListener, TcpStream};
 
 fn hide_rt(workers: usize) -> Runtime {
     Runtime::new(Config::default().workers(workers).mode(LatencyMode::Hide)).unwrap()

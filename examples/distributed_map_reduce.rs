@@ -17,7 +17,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use lhws::runtime::{par_map_reduce, Config, LatencyMode, LatencyProfile, RemoteService, Runtime};
+use lhws::{par_map_reduce, Config, LatencyMode, LatencyProfile, RemoteService, Runtime};
 
 fn fib(n: u64) -> u64 {
     if n < 2 {

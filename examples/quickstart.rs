@@ -12,7 +12,7 @@
 
 use std::time::{Duration, Instant};
 
-use lhws::runtime::{fork2, simulate_latency, LatencyMode, Runtime};
+use lhws::{fork2, simulate_latency, LatencyMode, Runtime};
 
 fn main() {
     // A 2-worker latency-hiding runtime, with scheduler tracing on.
@@ -56,7 +56,7 @@ fn main() {
     let total = rt.block_on(async {
         let handles: Vec<_> = (0..64)
             .map(|i| {
-                lhws::runtime::spawn(async move {
+                lhws::spawn(async move {
                     simulate_latency(Duration::from_millis(100)).await;
                     i
                 })
@@ -95,7 +95,7 @@ fn main() {
     rt_block.block_on(async {
         let handles: Vec<_> = (0..8) // only 8: blocking 64 would take 3.2 s
             .map(|i| {
-                lhws::runtime::spawn(async move {
+                lhws::spawn(async move {
                     simulate_latency(Duration::from_millis(100)).await;
                     i
                 })

@@ -21,7 +21,7 @@
 use std::process::ExitCode;
 
 use lhws::net::{LineReader, Reactor, TcpListener};
-use lhws::runtime::{audit, fork2, spawn, Config, LatencyMode, Runtime};
+use lhws::{audit, fork2, spawn, Config, LatencyMode, Runtime};
 
 fn fib(n: u64) -> u64 {
     if n < 2 {

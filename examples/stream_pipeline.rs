@@ -15,8 +15,8 @@
 
 use std::time::{Duration, Instant};
 
-use lhws::runtime::channel::mpsc;
-use lhws::runtime::{fork2, spawn, Config, Runtime};
+use lhws::channel::mpsc;
+use lhws::{fork2, spawn, Config, Runtime};
 
 fn fib(n: u64) -> u64 {
     if n < 2 {

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use lhws::runtime::{fork2, Config, LatencyMode, LatencyProfile, RemoteService, Runtime};
+use lhws::{fork2, Config, LatencyMode, LatencyProfile, RemoteService, Runtime};
 
 struct Web {
     pages: u64,

@@ -4,17 +4,20 @@
 //! Work Stealing: Scheduling Interacting Parallel Computations with Work
 //! Stealing" (SPAA 2016)*.
 //!
-//! This facade crate re-exports the four subsystems:
+//! This facade is the blessed API surface: runtime construction
+//! ([`Runtime`], [`RuntimeBuilder`], [`Config`]), structured parallelism
+//! ([`spawn`], [`fork2`], [`par_map_reduce`], [`join_all`]), latency
+//! operations ([`simulate_latency`], [`external_op`], [`DeadlineExt`]),
+//! [`channel`]s, and the observability entry points ([`trace`], [`fault`],
+//! [`Metrics`]). Import from `lhws::` (or [`prelude`]) rather than from the
+//! implementation crates — the facade is what stays stable.
+//!
+//! Subsystems with their own vocabularies keep a module each:
 //!
 //! * [`dag`] — the weighted computation-dag model: builders, work/span/
 //!   suspension-width metrics, offline schedulers, workload generators.
-//! * [`deque`] — the work-stealing deque substrate: a from-scratch Chase–Lev
-//!   deque, a mutex oracle, and the global deque registry.
 //! * [`sim`] — a deterministic round-based simulator executing the paper's
 //!   Figure 3 pseudocode on weighted dags with any number of virtual workers.
-//! * [`runtime`] — the real thing: a multithreaded latency-hiding
-//!   work-stealing executor for suspendable tasks, plus the blocking
-//!   work-stealing baseline the paper compares against.
 //! * [`net`] — an epoll reactor and TCP wrappers that turn kernel socket
 //!   readiness into the runtime's suspension/resume machinery, so real
 //!   network waits are heavy edges (see `examples/server.rs`).
@@ -22,7 +25,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use lhws::runtime::{Runtime, fork2, simulate_latency};
+//! use lhws::prelude::*;
 //! use std::time::Duration;
 //!
 //! let rt = Runtime::builder().workers(4).build().unwrap();
@@ -44,11 +47,96 @@
 
 #![warn(missing_docs)]
 
-pub use lhws_core as runtime;
+// ---------------------------------------------------------------------
+// The blessed flat surface.
+// ---------------------------------------------------------------------
+
+pub use lhws_core::{
+    // Observability.
+    audit,
+    // Latency-incurring operations and deadlines.
+    external_op,
+    // Structured parallelism.
+    fork2,
+    join_all,
+    latency_until,
+    par_map_reduce,
+    simulate_latency,
+    spawn,
+    yield_now,
+    AuditReport,
+    Canceled,
+    Completer,
+    // Runtime construction and lifecycle.
+    Config,
+    ConfigError,
+    DeadlineExt,
+    DeadlineOp,
+    ExternalOp,
+    FaultPlan,
+    FaultSite,
+    JoinHandle,
+    LatencyFuture,
+    LatencyMode,
+    LatencyProfile,
+    Metrics,
+    MetricsSnapshot,
+    OpError,
+    RemoteService,
+    Runtime,
+    RuntimeBuilder,
+    RuntimeError,
+    ShutdownReport,
+    StealPolicy,
+    TimerKind,
+    Trace,
+    TraceStats,
+    YieldNow,
+};
+
+// Deque substrate knobs that surface through `Config`.
+pub use lhws_deque::DequeKind;
+
+// Module entry points with their own vocabularies.
+pub use lhws_core::channel;
+pub use lhws_core::driver;
+pub use lhws_core::external;
+pub use lhws_core::fault;
+pub use lhws_core::trace;
+
 pub use lhws_dag as dag;
-pub use lhws_deque as deque;
 pub use lhws_net as net;
 pub use lhws_sim as sim;
+
+/// One-line import for applications: `use lhws::prelude::*;`.
+///
+/// Pulls in the runtime handle and builder types, the structured-parallelism
+/// combinators, latency operations, the [`DeadlineExt`] bounding trait, and
+/// the channel constructors.
+pub mod prelude {
+    pub use crate::channel::{mpsc, oneshot};
+    pub use crate::{
+        external_op, fork2, join_all, par_map_reduce, simulate_latency, spawn, yield_now, Config,
+        DeadlineExt, JoinHandle, LatencyMode, LatencyProfile, RemoteService, Runtime,
+        RuntimeBuilder, StealPolicy,
+    };
+}
+
+// ---------------------------------------------------------------------
+// Legacy aliases (kept one release; migrate to the flat surface above).
+// ---------------------------------------------------------------------
+
+#[deprecated(
+    since = "0.1.0",
+    note = "import from the `lhws::` root (e.g. `lhws::Runtime`) or `lhws::prelude` instead"
+)]
+pub use lhws_core as runtime;
+
+#[deprecated(
+    since = "0.1.0",
+    note = "the deque substrate is internal; the blessed knob is `lhws::DequeKind`"
+)]
+pub use lhws_deque as deque;
 
 /// Crate version string, for tooling output headers.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
