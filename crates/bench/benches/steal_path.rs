@@ -14,6 +14,13 @@
 //! matrix and the live/slots speedup per point (the headline acceptance
 //! number: ≥1.5x at P=4 with ≥50% dead slots).
 //!
+//! A second pass writes `BENCH_steal_policy.json`: the steal-policy
+//! matrix (uniform vs affinity victim selection × single-steal vs
+//! steal-half batching) over thieves ∈ {1, 4, 8} and victim depth ∈
+//! {1, 64, 4096}. Its acceptance number is steal-half ≥1.3x over
+//! single-steal on the deep-victim shape at P=4, with the single-steal
+//! baseline itself unperturbed.
+//!
 //! Run modes: `cargo bench --bench steal_path` (full), `-- --test`
 //! (single-iteration smoke, small JSON pass, speedup floor relaxed to
 //! parity), `-- --quick`.
@@ -25,10 +32,21 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use criterion::Criterion;
-use lhws_bench::{measure_steal, write_bench_steal_json, StealMeasurement};
+use lhws_bench::{
+    measure_steal, measure_steal_policy, write_bench_steal_json, write_bench_steal_policy_json,
+    StealMeasurement, StealPolicyMeasurement,
+};
 
 const THIEVES: [usize; 3] = [1, 4, 8];
 const DEAD_PCTS: [u32; 3] = [0, 50, 90];
+
+/// Victim depths for the policy matrix: a shallow deque where batching
+/// can only strip the owner, a moderate one, and the deep-victim shape
+/// the steal-half acceptance number is measured on.
+const DEPTHS: [usize; 3] = [1, 64, 4096];
+
+/// Steal-half caps: 1 is the PR 5 single-steal baseline path.
+const BATCH_LIMITS: [usize; 2] = [1, 8];
 
 fn bench_steal_path(c: &mut Criterion) {
     let mut g = c.benchmark_group("steal_path");
@@ -104,9 +122,104 @@ fn emit_json(smoke: bool) {
     );
 }
 
+fn policy_throughput(
+    ms: &[StealPolicyMeasurement],
+    policy: &str,
+    limit: usize,
+    thieves: usize,
+    depth: usize,
+) -> f64 {
+    ms.iter()
+        .find(|m| {
+            m.policy == policy && m.batch_limit == limit && m.thieves == thieves && m.depth == depth
+        })
+        // The best-round (min-time) estimate: robust to scheduler
+        // interference on oversubscribed CI hosts.
+        .map(|m| m.peak_throughput())
+        .unwrap_or(0.0)
+}
+
+fn emit_policy_json(smoke: bool) {
+    let target_tasks: u64 = if smoke { 16_384 } else { 262_144 };
+    let mut ms = Vec::new();
+    for affinity in [false, true] {
+        for &limit in &BATCH_LIMITS {
+            for &p in &THIEVES {
+                for &depth in &DEPTHS {
+                    ms.push(measure_steal_policy(
+                        affinity,
+                        limit,
+                        p,
+                        depth,
+                        target_tasks,
+                    ));
+                }
+            }
+        }
+    }
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_steal_policy.json");
+    let mode = if smoke { "smoke" } else { "full" };
+    write_bench_steal_policy_json(&path, mode, &ms).expect("write BENCH_steal_policy.json");
+
+    for m in &ms {
+        println!(
+            "steal_policy {}_b{}_p{}_d{}: {:.0} tasks/s peak, {:.0} mean ({:.2} tasks/draw)",
+            m.policy,
+            m.batch_limit,
+            m.thieves,
+            m.depth,
+            m.peak_throughput(),
+            m.task_throughput(),
+            m.tasks_per_draw()
+        );
+    }
+    for policy in ["uniform", "affinity"] {
+        for &p in &THIEVES {
+            for &depth in &DEPTHS {
+                let single = policy_throughput(&ms, policy, 1, p, depth);
+                let batch = policy_throughput(&ms, policy, BATCH_LIMITS[1], p, depth);
+                println!(
+                    "steal_policy speedup batch/single {policy} p{p} depth{depth}: {:.2}x",
+                    batch / single.max(1e-9)
+                );
+            }
+        }
+    }
+    println!("steal_path wrote {}", path.display());
+
+    // Acceptance gates. Full mode: steal-half must beat single steals
+    // ≥1.3x on the deep-victim shape at P=4 (the satellite's headline
+    // number). Smoke (CI) keeps a relaxed floor: short runs are too
+    // noisy for the full bar, but a broken batch path (lost tasks,
+    // pathological retry storms) still trips it.
+    let single = policy_throughput(&ms, "uniform", 1, 4, 4096);
+    let batch = policy_throughput(&ms, "uniform", BATCH_LIMITS[1], 4, 4096);
+    let x = batch / single.max(1e-9);
+    let floor = if smoke { 0.5 } else { 1.3 };
+    assert!(
+        x >= floor,
+        "steal-half speedup {x:.2}x at p4/depth4096 below the {floor:.1}x floor"
+    );
+    // Baseline-parity gate: uniform/limit-1 drives the exact single-steal
+    // entry point the PR 5 runtime default uses, and affinity/limit-1
+    // differs only in victim selection (cached victim first). Affinity is
+    // legitimately faster on the deep shape — caching skips the draw — so
+    // the window is wide; it exists to catch an order-of-magnitude
+    // regression on the default path, not to rank the two policies.
+    let aff_single = policy_throughput(&ms, "affinity", 1, 4, 4096);
+    let parity = single / aff_single.max(1e-9);
+    let (lo, hi) = if smoke { (0.1, 10.0) } else { (0.2, 5.0) };
+    assert!(
+        (lo..=hi).contains(&parity),
+        "uniform single-steal {parity:.2}x off the affinity single-steal \
+         baseline at p4/depth4096 — the default path regressed"
+    );
+}
+
 fn main() {
     let mut c = Criterion::default().configure_from_args();
     bench_steal_path(&mut c);
     let smoke = std::env::args().any(|a| a == "--test" || a == "--quick");
     emit_json(smoke);
+    emit_policy_json(smoke);
 }

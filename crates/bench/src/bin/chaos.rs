@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use lhws_bench::Args;
 use lhws_core::channel::mpsc;
-use lhws_core::{join_all, simulate_latency, FaultPlan, Runtime};
+use lhws_core::{join_all, simulate_latency, FaultPlan, Runtime, StealPolicy};
 use lhws_net::{Reactor, TcpListener, TcpStream};
 
 const TRACE_CAPACITY: usize = 1 << 18;
@@ -27,13 +27,18 @@ const TRACE_CAPACITY: usize = 1 << 18;
 /// a particular run happened to consume.
 const DIGEST_VISITS: u64 = 100_000;
 
-fn chaos_rt(seed: u64, workers: usize) -> Runtime {
-    Runtime::builder()
+fn chaos_rt(seed: u64, workers: usize, adaptive: bool) -> Runtime {
+    let mut b = Runtime::builder()
         .workers(workers)
         .trace_capacity(TRACE_CAPACITY)
-        .fault_plan(FaultPlan::chaos(seed))
-        .build()
-        .expect("chaos plan is valid")
+        .fault_plan(FaultPlan::chaos(seed));
+    if adaptive {
+        // The adaptive round: steal-half batching plus the affinity
+        // cache, so the chaos preset's `AffinityStale` site actually
+        // gets visited (it only rolls when a victim is cached).
+        b = b.steal_policy(StealPolicy::Adaptive).steal_batch_limit(8);
+    }
+    b.build().expect("chaos plan is valid")
 }
 
 /// Fan-out of latency-suspending tasks (the paper's scatter/gather shape).
@@ -166,8 +171,13 @@ fn main() -> ExitCode {
     );
 
     let mut failures = 0u32;
-    for round in 0..rounds {
-        let rt = chaos_rt(seed, workers);
+    // The final round swaps the default scheduler for Adaptive with
+    // steal-half batching: same fault plan, same invariants, but the
+    // steal path now exercises batch claims, the affinity cache, and
+    // the `AffinityStale` poison site.
+    for round in 0..=rounds {
+        let adaptive = round == rounds;
+        let rt = chaos_rt(seed, workers, adaptive);
         let results = [
             ("scatter", scatter(&rt, n)),
             ("pingpong", pingpong(&rt, n / 2)),
@@ -198,9 +208,11 @@ fn main() -> ExitCode {
             failures += 1;
         }
         println!(
-            "round {round}: faults_injected={} suspensions={} audit={}",
+            "round {round}{}: faults_injected={} suspensions={} batch_tasks={} audit={}",
+            if adaptive { " (adaptive)" } else { "" },
             report.faults_injected,
             report.metrics.suspensions,
+            report.metrics.steal_batch_tasks,
             if audit.passed() { "pass" } else { "FAIL" }
         );
     }

@@ -29,9 +29,24 @@ pub enum LatencyMode {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StealPolicy {
     /// The analyzed algorithm: a uniformly random deque from the global
-    /// registry (possibly freed or empty — a failed attempt).
+    /// registry (possibly freed or empty — a failed attempt). The
+    /// paper-validated default.
     #[default]
-    RandomDeque,
+    Uniform,
+    /// Locality-aware victim selection: retry the last successful victim
+    /// while it stays live, then prefer a deque from that victim's
+    /// live-set shard, and only then fall back to the uniform draw
+    /// (Suksompong/Leiserson/Schardl, arXiv:1804.04773: localized
+    /// stealing retains near-optimal bounds).
+    Affinity,
+    /// [`Affinity`](Self::Affinity) victim selection plus metrics-driven
+    /// tuning: the per-worker probe budget ramps up when the observed
+    /// hit rate drops (contention) and the steal-half batch size ramps
+    /// up — within [`Config::steal_batch_limit`] — while victims are deep
+    /// enough to fill full batches (Gast/Khatiri/Trystram,
+    /// arXiv:1805.00857: batching changes the makespan bound when steals
+    /// have latency).
+    Adaptive,
     /// The paper's §6 optimization: pick a random *worker*, then a random
     /// deque from the deques that worker currently advertises as
     /// stealable. Requires a little synchronization between workers but
@@ -65,6 +80,12 @@ pub struct Config {
     pub mode: LatencyMode,
     /// Steal policy.
     pub steal_policy: StealPolicy,
+    /// Hard cap on how many tasks one steal may transfer (steal-half
+    /// claims `ceil(live/2)` up to this limit). The default of `1` is the
+    /// paper's analyzed single-task steal for every policy; raising it
+    /// enables batching for all policies, with [`StealPolicy::Adaptive`]
+    /// additionally sizing batches dynamically within the cap.
+    pub steal_batch_limit: usize,
     /// Deque implementation.
     pub deque_kind: DequeKind,
     /// Capacity of the global deque registry (`gDeques`). By Lemma 7 the
@@ -126,6 +147,7 @@ impl Default for Config {
                 .unwrap_or(4),
             mode: LatencyMode::default(),
             steal_policy: StealPolicy::default(),
+            steal_batch_limit: 1,
             deque_kind: DequeKind::default(),
             registry_capacity: 1 << 16,
             registry_shards: 0,
@@ -159,6 +181,13 @@ impl Config {
     /// Sets the steal policy.
     pub fn steal_policy(mut self, p: StealPolicy) -> Self {
         self.steal_policy = p;
+        self
+    }
+
+    /// Sets the per-steal task transfer cap (clamped to ≥ 1; `1` is the
+    /// paper's single-task steal).
+    pub fn steal_batch_limit(mut self, n: usize) -> Self {
+        self.steal_batch_limit = n.max(1);
         self
     }
 
@@ -261,6 +290,9 @@ impl Config {
         if self.pfor_grain == 0 {
             return Err(ConfigError::ZeroPforGrain);
         }
+        if self.steal_batch_limit == 0 {
+            return Err(ConfigError::ZeroStealBatchLimit);
+        }
         if self.park_micros == 0 {
             return Err(ConfigError::ZeroParkInterval);
         }
@@ -297,6 +329,8 @@ pub enum ConfigError {
     ZeroResumeBatchLimit,
     /// `pfor_grain == 0`: batch splitting would never terminate.
     ZeroPforGrain,
+    /// `steal_batch_limit == 0`: a steal could never transfer a task.
+    ZeroStealBatchLimit,
     /// `park_micros == 0`: idle workers would spin without ever parking.
     ZeroParkInterval,
     /// `registry_capacity < workers`: each worker needs at least its one
@@ -338,6 +372,9 @@ impl fmt::Display for ConfigError {
                 write!(f, "resume_batch_limit must be >= 1")
             }
             ConfigError::ZeroPforGrain => write!(f, "pfor_grain must be >= 1"),
+            ConfigError::ZeroStealBatchLimit => {
+                write!(f, "steal_batch_limit must be >= 1")
+            }
             ConfigError::ZeroParkInterval => write!(f, "park_micros must be >= 1"),
             ConfigError::RegistryTooSmall { capacity, workers } => write!(
                 f,
@@ -400,6 +437,14 @@ impl RuntimeBuilder {
     /// Sets the steal policy.
     pub fn steal_policy(mut self, p: StealPolicy) -> Self {
         self.cfg.steal_policy = p;
+        self
+    }
+
+    /// Sets the per-steal task transfer cap (steal-half batching). `0` is
+    /// rejected at build time; `1` (the default) is the paper's
+    /// single-task steal.
+    pub fn steal_batch_limit(mut self, n: usize) -> Self {
+        self.cfg.steal_batch_limit = n;
         self
     }
 
@@ -527,16 +572,44 @@ mod tests {
         let c = Config::default();
         assert!(c.workers >= 1);
         assert_eq!(c.mode, LatencyMode::Hide);
-        assert_eq!(c.steal_policy, StealPolicy::RandomDeque);
+        assert_eq!(c.steal_policy, StealPolicy::Uniform);
+        assert_eq!(c.steal_batch_limit, 1, "single-task steal by default");
         assert!(c.registry_capacity >= c.workers);
     }
 
     #[test]
     fn setters_clamp() {
-        let c = Config::default().workers(0).pfor_grain(0).park_micros(0);
+        let c = Config::default()
+            .workers(0)
+            .pfor_grain(0)
+            .park_micros(0)
+            .steal_batch_limit(0);
         assert_eq!(c.workers, 1);
         assert_eq!(c.pfor_grain, 1);
         assert_eq!(c.park_micros, 1);
+        assert_eq!(c.steal_batch_limit, 1);
+    }
+
+    #[test]
+    fn steal_knobs() {
+        let c = Config::default()
+            .steal_policy(StealPolicy::Adaptive)
+            .steal_batch_limit(16);
+        assert_eq!(c.steal_policy, StealPolicy::Adaptive);
+        assert_eq!(c.steal_batch_limit, 16);
+
+        // Builder: explicit 0 rejected, valid values pass through.
+        assert_eq!(
+            RuntimeBuilder::new().steal_batch_limit(0).validate().err(),
+            Some(ConfigError::ZeroStealBatchLimit)
+        );
+        let cfg = RuntimeBuilder::new()
+            .steal_policy(StealPolicy::Affinity)
+            .steal_batch_limit(8)
+            .validate()
+            .unwrap();
+        assert_eq!(cfg.steal_policy, StealPolicy::Affinity);
+        assert_eq!(cfg.steal_batch_limit, 8);
     }
 
     #[test]

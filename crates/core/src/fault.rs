@@ -37,6 +37,7 @@
 //! | `drop_unpark_ppm` | inject/delivery | the wake-up is skipped; the park timeout is the only backstop |
 //! | `dropped_readiness_ppm` | reactor event loop | a kernel readiness event is swallowed without firing the completer or disarming interest; level-triggered epoll re-reports it on the next wait |
 //! | `stale_live_index_ppm` | thief victim draw | the thief samples the whole allocated slot prefix instead of the live-set index, as if its view of the index were stale — manufacturing dead-target probes the bounded-retry loop must absorb |
+//! | `affinity_stale_ppm` | affinity victim draw | the thief's cached last-successful victim is poisoned before the draw, forcing the [`StealPolicy::Affinity`](crate::StealPolicy::Affinity) fallback path as if the victim had just retired |
 //! | `worker_panic_after` | worker loop | the first worker to reach the N-th loop iteration panics, poisoning the runtime |
 
 use std::collections::HashMap;
@@ -77,12 +78,16 @@ pub enum FaultSite {
     /// over the whole allocated slot prefix (dead slots included) instead
     /// of the live index, proving the retry path absorbs dead targets.
     StaleLiveIndex,
+    /// Poisoned affinity cache at the thief's victim draw: the cached
+    /// last-successful victim is dropped before it is consulted, forcing
+    /// the affinity fallback path as if the victim had just retired.
+    AffinityStale,
 }
 
 impl FaultSite {
     /// Every site, in decision-stream order (the order
     /// [`FaultPlan::schedule_digest`] folds them in).
-    pub const ALL: [FaultSite; 10] = [
+    pub const ALL: [FaultSite; 11] = [
         FaultSite::StealFail,
         FaultSite::ResumeDelay,
         FaultSite::ResumeReorder,
@@ -93,6 +98,7 @@ impl FaultSite {
         FaultSite::DropUnpark,
         FaultSite::DroppedReadiness,
         FaultSite::StaleLiveIndex,
+        FaultSite::AffinityStale,
     ];
 
     #[inline]
@@ -108,6 +114,7 @@ impl FaultSite {
             FaultSite::DropUnpark => 7,
             FaultSite::DroppedReadiness => 8,
             FaultSite::StaleLiveIndex => 9,
+            FaultSite::AffinityStale => 10,
         }
     }
 
@@ -127,6 +134,7 @@ impl FaultSite {
             0xD209_0213_9A12_000F,
             0x10C4_77A1_7ED1_0011,
             0x57A1_E11D_E0C5_0013,
+            0xAFF1_2175_7A1E_0015,
         ][self.index()]
     }
 }
@@ -187,6 +195,13 @@ pub struct FaultPlan {
     /// Rate of stale-live-index victim draws: the thief falls back to the
     /// slot-array baseline sampler (dead slots included) for that probe.
     pub stale_live_index_ppm: u32,
+    /// Rate of poisoned affinity caches: the thief's remembered
+    /// last-successful victim is dropped before the affinity draw,
+    /// forcing the fallback path. Only visited under
+    /// [`StealPolicy::Affinity`](crate::StealPolicy::Affinity) or
+    /// [`StealPolicy::Adaptive`](crate::StealPolicy::Adaptive) with a
+    /// cached victim.
+    pub affinity_stale_ppm: u32,
     /// If set, the first worker whose scheduler loop reaches this many
     /// total iterations (counted across all workers) panics — exercising
     /// the supervision/poisoning path. Fires at most once per runtime.
@@ -216,6 +231,7 @@ impl FaultPlan {
             drop_unpark_ppm: 0,
             dropped_readiness_ppm: 0,
             stale_live_index_ppm: 0,
+            affinity_stale_ppm: 0,
             worker_panic_after: None,
         }
     }
@@ -235,6 +251,7 @@ impl FaultPlan {
             .drop_unpark(150_000)
             .dropped_readiness(150_000)
             .stale_live_index(200_000)
+            .affinity_stale(200_000)
     }
 
     /// Sets the forced-steal-failure rate.
@@ -299,6 +316,12 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the poisoned-affinity-cache rate for affinity victim draws.
+    pub fn affinity_stale(mut self, ppm: u32) -> Self {
+        self.affinity_stale_ppm = ppm;
+        self
+    }
+
     /// Arms a one-shot worker-loop panic after `n` total loop iterations.
     pub fn worker_panic_after(mut self, n: u64) -> Self {
         self.worker_panic_after = Some(n);
@@ -318,6 +341,7 @@ impl FaultPlan {
             FaultSite::DropUnpark => self.drop_unpark_ppm,
             FaultSite::DroppedReadiness => self.dropped_readiness_ppm,
             FaultSite::StaleLiveIndex => self.stale_live_index_ppm,
+            FaultSite::AffinityStale => self.affinity_stale_ppm,
         }
     }
 
@@ -447,6 +471,12 @@ impl FaultInjector {
     /// stale and sample the whole allocated slot prefix instead.
     pub fn stale_live_index(&self) -> bool {
         self.roll(FaultSite::StaleLiveIndex).is_some()
+    }
+
+    /// Whether this affinity victim draw should poison the thief's cached
+    /// last-successful victim, forcing the fallback path.
+    pub fn affinity_stale(&self) -> bool {
+        self.roll(FaultSite::AffinityStale).is_some()
     }
 
     /// Counts one worker-loop iteration; `true` exactly when this
@@ -1145,6 +1175,22 @@ mod tests {
             FaultPlan::new(5).schedule_digest(128),
             FaultPlan::new(5)
                 .stale_live_index(500_000)
+                .schedule_digest(128),
+        );
+    }
+
+    #[test]
+    fn affinity_stale_site_rolls_and_digests() {
+        let inj = FaultInjector::new(FaultPlan::new(5).affinity_stale(1_000_000));
+        assert!(inj.affinity_stale());
+        assert_eq!(inj.injected_total(), 1);
+        let off = FaultInjector::new(FaultPlan::new(5));
+        assert!(!off.affinity_stale());
+        // The new site participates in the digest.
+        assert_ne!(
+            FaultPlan::new(5).schedule_digest(128),
+            FaultPlan::new(5)
+                .affinity_stale(500_000)
                 .schedule_digest(128),
         );
     }

@@ -66,6 +66,7 @@ mod metrics;
 mod pfor;
 mod runtime;
 mod sleep;
+mod steal;
 mod task;
 mod timer;
 pub mod trace;

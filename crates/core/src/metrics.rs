@@ -45,6 +45,10 @@ pub(crate) struct CounterBlock {
     pub steals_attempted: AtomicU64,
     pub steals_succeeded: AtomicU64,
     pub steals_dead_target: AtomicU64,
+    pub steal_retries: AtomicU64,
+    pub steal_batch_tasks: AtomicU64,
+    pub steal_affinity_hits: AtomicU64,
+    pub steal_fallbacks: AtomicU64,
     pub deque_switches: AtomicU64,
     pub deques_allocated: AtomicU64,
     pub suspensions: AtomicU64,
@@ -61,6 +65,12 @@ impl CounterBlock {
     #[inline]
     pub fn bump(&self, c: &AtomicU64) {
         c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bulk bump (batch steals add whole-batch counts at once).
+    #[inline]
+    pub fn add(&self, c: &AtomicU64, n: u64) {
+        c.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Monotonic max update.
@@ -125,6 +135,10 @@ impl Counters {
             steals_attempted: self.sum(|b| &b.steals_attempted),
             steals_succeeded: self.sum(|b| &b.steals_succeeded),
             steals_dead_target: self.sum(|b| &b.steals_dead_target),
+            steal_retries: self.sum(|b| &b.steal_retries),
+            steal_batch_tasks: self.sum(|b| &b.steal_batch_tasks),
+            steal_affinity_hits: self.sum(|b| &b.steal_affinity_hits),
+            steal_fallbacks: self.sum(|b| &b.steal_fallbacks),
             deque_switches: self.sum(|b| &b.deque_switches),
             deques_allocated: self.sum(|b| &b.deques_allocated),
             suspensions: self.sum(|b| &b.suspensions),
@@ -166,6 +180,22 @@ pub struct MetricsSnapshot {
     /// slot-array baseline's probe waste. The live-set index drives this
     /// to ~0 (see `Config::live_index`).
     pub steals_dead_target: u64,
+    /// Benign pop-top races ([`Steal::Retry`](lhws_deque::Steal)) absorbed
+    /// inside steal attempts. Counted per inner retry iteration — before
+    /// the backoff spin — so adaptive policies steering on hit rates see
+    /// exact contention, not retries folded silently into one attempt.
+    pub steal_retries: u64,
+    /// Tasks transferred by batched (steal-half) steals, counting every
+    /// task in each batch. `0` under the default single-task steal.
+    pub steal_batch_tasks: u64,
+    /// Successful steals whose victim came from the affinity cache or the
+    /// preferred-shard draw rather than the uniform fallback (Affinity and
+    /// Adaptive policies only).
+    pub steal_affinity_hits: u64,
+    /// Affinity/Adaptive probes that fell back to the uniform live-index
+    /// draw because no cached victim or shard-local candidate was
+    /// available.
+    pub steal_fallbacks: u64,
     /// Deque switches (idle worker resumed one of its ready deques).
     pub deque_switches: u64,
     /// Deques ever allocated in the global registry.
@@ -217,6 +247,10 @@ impl MetricsSnapshot {
         m.steals_attempted = self.steals_attempted - earlier.steals_attempted;
         m.steals_succeeded = self.steals_succeeded - earlier.steals_succeeded;
         m.steals_dead_target = self.steals_dead_target - earlier.steals_dead_target;
+        m.steal_retries = self.steal_retries - earlier.steal_retries;
+        m.steal_batch_tasks = self.steal_batch_tasks - earlier.steal_batch_tasks;
+        m.steal_affinity_hits = self.steal_affinity_hits - earlier.steal_affinity_hits;
+        m.steal_fallbacks = self.steal_fallbacks - earlier.steal_fallbacks;
         m.deque_switches = self.deque_switches - earlier.deque_switches;
         m.deques_allocated = self.deques_allocated - earlier.deques_allocated;
         m.suspensions = self.suspensions - earlier.suspensions;
@@ -250,6 +284,13 @@ impl fmt::Display for MetricsSnapshot {
             f,
             "steals:                {} attempted, {} succeeded, {} dead targets",
             self.steals_attempted, self.steals_succeeded, self.steals_dead_target
+        )?;
+        writeln!(f, "steal retries:         {}", self.steal_retries)?;
+        writeln!(f, "steal batch tasks:     {}", self.steal_batch_tasks)?;
+        writeln!(
+            f,
+            "steal affinity:        {} hits, {} fallbacks",
+            self.steal_affinity_hits, self.steal_fallbacks
         )?;
         writeln!(f, "deque switches:        {}", self.deque_switches)?;
         writeln!(f, "deques allocated:      {}", self.deques_allocated)?;
@@ -316,6 +357,9 @@ mod tests {
         c.observe_deques(5);
         let s = c.snapshot().to_string();
         assert!(s.contains("steals:                1 attempted"));
+        assert!(s.contains("steal retries:         0"));
+        assert!(s.contains("steal batch tasks:     0"));
+        assert!(s.contains("steal affinity:        0 hits, 0 fallbacks"));
         assert!(s.contains("max deques per worker: 5"));
         assert!(s.contains("io registrations:      0"));
         assert!(s.contains("registry compactions:  0"));
@@ -338,6 +382,24 @@ mod tests {
         let d = b.delta(&a);
         assert_eq!(d.io_registrations, 0);
         assert_eq!(d.io_timeouts, 1);
+    }
+
+    #[test]
+    fn steal_policy_counters_sum_and_delta() {
+        let c = Counters::with_workers(2);
+        c.worker(0).add(&c.worker(0).steal_batch_tasks, 7);
+        c.worker(1).bump(&c.worker(1).steal_affinity_hits);
+        c.bump(&c.steal_fallbacks);
+        c.bump(&c.steal_retries);
+        let a = c.snapshot();
+        assert_eq!(a.steal_batch_tasks, 7);
+        assert_eq!(a.steal_affinity_hits, 1);
+        assert_eq!(a.steal_fallbacks, 1);
+        assert_eq!(a.steal_retries, 1);
+        c.add(&c.steal_batch_tasks, 3);
+        let d = c.snapshot().delta(&a);
+        assert_eq!(d.steal_batch_tasks, 3);
+        assert_eq!(d.steal_affinity_hits, 0);
     }
 
     #[test]

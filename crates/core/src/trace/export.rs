@@ -107,6 +107,10 @@ pub(super) fn write_chrome_trace<W: Write>(trace: &Trace, w: &mut W) -> io::Resu
                     outcome_str(outcome)
                 )
             }
+            EventKind::StealBatch { victim, n } => format!(
+                "{{\"name\": \"steal_batch\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \
+                 \"tid\": {t}, \"ts\": {ts}, \"args\": {{\"victim\": {victim}, \"n\": {n}}}}}"
+            ),
             EventKind::Suspend { deque, kind, seq } => {
                 suspended.insert(seq, (ev.ts, ev.worker, kind));
                 format!(

@@ -102,6 +102,17 @@ pub enum EventKind {
         /// How the attempt ended.
         outcome: StealOutcome,
     },
+    /// A steal attempt claimed a multi-task batch (steal-half with
+    /// [`crate::Config::steal_batch_limit`] > 1). Emitted **in addition
+    /// to** the per-attempt [`EventKind::Steal`] event, so `Steal`
+    /// events still count attempts exactly; only batches of two or more
+    /// tasks are recorded (a single-task claim is just a steal).
+    StealBatch {
+        /// Global registry id of the victim deque.
+        victim: u32,
+        /// Number of tasks claimed in the batch (≥ 2).
+        n: u32,
+    },
     /// A task registered a suspension against its active deque.
     Suspend {
         /// Owner-local index of the deque the task suspended on.

@@ -146,6 +146,12 @@ pub struct TraceStats {
     /// Attempts that sampled a dead (freed, not reused) deque — the
     /// slot-array baseline's probe waste; ~0 under the live-set index.
     pub steal_dead: u64,
+    /// Multi-task steal batches recorded (steal-half claims of ≥ 2).
+    pub steal_batches: u64,
+    /// Tasks claimed across all multi-task batches.
+    pub steal_batch_tasks: u64,
+    /// Largest single steal batch.
+    pub max_steal_batch: u64,
     /// Suspensions registered.
     pub suspensions: u64,
     /// Resume events delivered (sum of batch lengths).
@@ -205,6 +211,11 @@ impl TraceStats {
                         StealOutcome::LostRace => s.steal_lost_race += 1,
                         StealOutcome::Dead => s.steal_dead += 1,
                     }
+                }
+                EventKind::StealBatch { n, .. } => {
+                    s.steal_batches += 1;
+                    s.steal_batch_tasks += n as u64;
+                    s.max_steal_batch = s.max_steal_batch.max(n as u64);
                 }
                 EventKind::Suspend { seq, .. } => {
                     s.suspensions += 1;
@@ -275,6 +286,11 @@ impl fmt::Display for TraceStats {
             self.steal_empty,
             self.steal_lost_race,
             self.steal_dead,
+        )?;
+        writeln!(
+            f,
+            "steal batches     : {} batches, {} tasks (max batch {})",
+            self.steal_batches, self.steal_batch_tasks, self.max_steal_batch,
         )?;
         writeln!(
             f,
@@ -356,6 +372,19 @@ mod tests {
         assert_eq!(s.steal_empty, 2);
         assert_eq!(s.steal_lost_race, 1);
         assert!((s.steal_success_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_steal_batches_counted() {
+        let events = vec![
+            ev(1, 0, EventKind::StealBatch { victim: 3, n: 4 }),
+            ev(2, 1, EventKind::StealBatch { victim: 3, n: 2 }),
+        ];
+        let s = TraceStats::from_events(&events, 2);
+        assert_eq!(s.steal_batches, 2);
+        assert_eq!(s.steal_batch_tasks, 6);
+        assert_eq!(s.max_steal_batch, 4);
+        assert!(format!("{s}").contains("steal batches"));
     }
 
     #[test]

@@ -40,6 +40,7 @@ use crate::config::{LatencyMode, StealPolicy};
 use crate::fault::FaultInjector;
 use crate::metrics::CounterBlock;
 use crate::runtime::RtInner;
+use crate::steal::PolicyState;
 use crate::task::{Task, TaskRef};
 use crate::timer::{ResumeEvent, TimerEntry};
 use crate::trace::{EventKind, StealOutcome, SuspendKind, Tracer, NONE_ID};
@@ -53,14 +54,6 @@ const NO_DEQUE: usize = usize::MAX;
 /// than a fresh random victim draw while the race window is tiny; an
 /// unbounded loop could livelock against a fast owner.
 const STEAL_RETRIES: usize = 4;
-
-/// How many victim draws one idle step makes before giving the step back
-/// (re-checking resumes, then parking). With the live-set index a draw
-/// hits a stealable target in O(1) expected probes, so a short burst
-/// either finds work or strongly suggests there is none; the exponential
-/// backoff between failed probes keeps a pack of idle thieves from
-/// hammering the registry shards.
-const STEAL_PROBES: usize = 4;
 
 /// Thread-local context installed on worker threads.
 struct WorkerTls {
@@ -345,6 +338,13 @@ pub(crate) struct Worker {
     /// Cached from `rt.faults` — same zero-cost-when-`None` pattern as
     /// the tracer. See [`crate::fault`].
     faults: Option<Arc<FaultInjector>>,
+    /// Thief-local steal-policy state (probe budget, batch cap, victim
+    /// affinity). See [`crate::steal`].
+    policy: PolicyState,
+    /// Reused landing buffer for steal-half batches: the first task
+    /// becomes the assigned task, the rest is pushed into the fresh
+    /// deque by [`Worker::land_batch_overflow`].
+    steal_scratch: Vec<TaskRef>,
 }
 
 impl Worker {
@@ -355,6 +355,7 @@ impl Worker {
             .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
         let tracer = rt.tracer.clone();
         let faults = rt.faults.clone();
+        let policy = PolicyState::new(rt.config.steal_policy, rt.config.steal_batch_limit);
         Worker {
             rt,
             index,
@@ -371,6 +372,8 @@ impl Worker {
             adv_scratch: Vec::new(),
             tracer,
             faults,
+            policy,
+            steal_scratch: Vec::new(),
         }
     }
 
@@ -436,16 +439,24 @@ impl Worker {
                 let q = self.new_deque();
                 self.activate(q);
             } else {
-                // Thief mode: a bounded burst of probes. Every probe is one
-                // full steal attempt (one `steals_attempted` bump paired
-                // with exactly one `Steal` trace event).
-                for probe in 0..STEAL_PROBES {
+                // Thief mode: a bounded burst of probes, sized by the steal
+                // policy (a fixed baseline, or ramped under contention by
+                // Adaptive). Every probe is one full steal attempt (one
+                // `steals_attempted` bump paired with exactly one `Steal`
+                // trace event); the exponential backoff between failed
+                // probes keeps a pack of idle thieves from hammering the
+                // registry shards.
+                let probes = self.policy.probe_budget();
+                for probe in 0..probes {
                     self.ctr().bump(&self.ctr().steals_attempted);
-                    if let Some(task) = self.try_steal() {
+                    let got = self.try_steal();
+                    self.policy.record_attempt(got.is_some());
+                    if let Some(task) = got {
                         self.ctr().bump(&self.ctr().steals_succeeded);
                         self.assigned = Some(task);
                         let q = self.new_deque();
                         self.activate(q);
+                        self.land_batch_overflow(q);
                         break;
                     }
                     // Between failed probes: bail out to the outer step if
@@ -456,7 +467,7 @@ impl Worker {
                     {
                         break;
                     }
-                    for _ in 0..(1usize << probe) {
+                    for _ in 0..(1usize << probe.min(6)) {
                         std::hint::spin_loop();
                     }
                 }
@@ -794,16 +805,83 @@ impl Worker {
     /// One pop-top on victim deque `id`. A [`Steal::Retry`] from the deque
     /// (a benign race) re-tries the same victim up to [`STEAL_RETRIES`]
     /// times before the attempt counts as failed — previously a Retry was
-    /// swallowed as a failure outright, wasting the victim draw.
+    /// swallowed as a failure outright, wasting the victim draw. Each
+    /// inner retry is counted (`steal_retries`) *before* the backoff
+    /// spin, so the counter is exact even mid-spin.
     fn steal_from(&self, id: DequeId) -> (Option<TaskRef>, StealOutcome) {
         for _ in 0..STEAL_RETRIES {
             match self.rt.registry.steal(id) {
                 Steal::Success(task) => return (Some(task), StealOutcome::Success),
                 Steal::Empty => return (None, StealOutcome::Empty),
-                Steal::Retry => std::hint::spin_loop(),
+                Steal::Retry => {
+                    self.ctr().bump(&self.ctr().steal_retries);
+                    std::hint::spin_loop();
+                }
             }
         }
         (None, StealOutcome::LostRace)
+    }
+
+    /// One steal against victim `id`, single or steal-half depending on
+    /// the policy's current batch cap. On a multi-task claim the first
+    /// task is returned as the assigned task and the remainder stays in
+    /// `steal_scratch` for [`Worker::land_batch_overflow`].
+    fn steal_victim(&mut self, id: DequeId) -> (Option<TaskRef>, StealOutcome) {
+        let cap = self.policy.batch_cap();
+        if cap <= 1 {
+            let r = self.steal_from(id);
+            if r.0.is_some() {
+                // Feed Adaptive's depth loop from the single path too, or
+                // its cap could never leave 1.
+                self.policy.record_batch(1, 1);
+            }
+            return r;
+        }
+        debug_assert!(self.steal_scratch.is_empty());
+        for _ in 0..STEAL_RETRIES {
+            match self
+                .rt
+                .registry
+                .steal_batch(id, cap, &mut self.steal_scratch)
+            {
+                Steal::Success(n) => {
+                    debug_assert_eq!(n, self.steal_scratch.len());
+                    self.policy.record_batch(n, cap);
+                    if n >= 2 {
+                        let c = self.ctr();
+                        c.add(&c.steal_batch_tasks, n as u64);
+                        self.trace(EventKind::StealBatch {
+                            victim: id.index() as u32,
+                            n: n as u32,
+                        });
+                    }
+                    let first = self.steal_scratch.remove(0);
+                    return (Some(first), StealOutcome::Success);
+                }
+                Steal::Empty => return (None, StealOutcome::Empty),
+                Steal::Retry => {
+                    self.ctr().bump(&self.ctr().steal_retries);
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        (None, StealOutcome::LostRace)
+    }
+
+    /// Lands the overflow of a multi-task steal (everything past the
+    /// assigned first task) in fresh deque `q`, pushed in reverse so the
+    /// owner's LIFO pops replay the batch in its original top-to-bottom
+    /// order. No-op after single-item steals.
+    fn land_batch_overflow(&mut self, q: usize) {
+        if self.steal_scratch.is_empty() {
+            return;
+        }
+        let mut rest = std::mem::take(&mut self.steal_scratch);
+        for t in rest.drain(..).rev() {
+            self.owned[q].handle.push_bottom(t);
+        }
+        self.steal_scratch = rest;
+        self.advertise();
     }
 
     /// One steal attempt (exactly one `Steal` trace event — including
@@ -823,45 +901,13 @@ impl Worker {
                 return None;
             }
         }
-        let (victim_deque, victim_worker, got, outcome) = match self.rt.config.steal_policy {
-            StealPolicy::RandomDeque => {
-                // Stale-live-index fault: pretend the live index lagged and
-                // fall back to the slot-array draw, which can land on a
-                // freed slot — exercising the dead-target accounting below.
-                let use_live = self.rt.config.live_index
-                    && !self.faults.as_ref().is_some_and(|f| f.stale_live_index());
-                let drawn = if use_live {
-                    self.rt.registry.random_live_id(self.rng.gen())
-                } else {
-                    self.rt.registry.random_id(self.rng.gen())
-                };
-                match drawn {
-                    None => (NONE_ID, NONE_ID, None, StealOutcome::Empty),
-                    Some(id) => {
-                        let (task, mut outcome) = self.steal_from(id);
-                        if task.is_none() && !self.rt.registry.is_live(id) {
-                            // The draw landed on a freed slot. The paper's
-                            // `randomDeque()` simply eats such failures;
-                            // counting them is what lets the live-set index
-                            // be shown to remove them.
-                            self.ctr().bump(&self.ctr().steals_dead_target);
-                            outcome = StealOutcome::Dead;
-                        }
-                        // The owner lookup is trace-only metadata; skip it
-                        // when no one is recording.
-                        let owner = if self.tracer.is_some() {
-                            self.rt.registry.owner_of(id).map_or(NONE_ID, |w| w as u32)
-                        } else {
-                            NONE_ID
-                        };
-                        (id.index() as u32, owner, task, outcome)
-                    }
-                }
-            }
+        let (victim, victim_worker, got, outcome) = match self.rt.config.steal_policy {
+            StealPolicy::Uniform => self.steal_uniform(),
+            StealPolicy::Affinity | StealPolicy::Adaptive => self.steal_affinity(),
             StealPolicy::WorkerThenDeque => {
                 let p = self.rt.config.workers;
                 if p == 1 {
-                    (NONE_ID, NONE_ID, None, StealOutcome::Empty)
+                    (None, NONE_ID, None, StealOutcome::Empty)
                 } else {
                     let mut victim = self.rng.gen_range(0..p - 1);
                     if victim >= self.index {
@@ -869,21 +915,120 @@ impl Worker {
                     }
                     let ids: Vec<DequeId> = self.rt.shared_steal[victim].lock().clone();
                     if ids.is_empty() {
-                        (NONE_ID, victim as u32, None, StealOutcome::Empty)
+                        (None, victim as u32, None, StealOutcome::Empty)
                     } else {
                         let id = ids[self.rng.gen_range(0..ids.len())];
-                        let (task, outcome) = self.steal_from(id);
-                        (id.index() as u32, victim as u32, task, outcome)
+                        let (task, outcome) = self.steal_victim(id);
+                        (Some(id), victim as u32, task, outcome)
                     }
                 }
             }
         };
         self.trace(EventKind::Steal {
-            victim_deque,
+            victim_deque: victim.map_or(NONE_ID, |id| id.index() as u32),
             victim_worker,
             outcome,
         });
         got
+    }
+
+    /// Uniform victim draw: the paper's memoryless `randomDeque()` over
+    /// the live set (or the slot-array baseline when the live index is
+    /// off or faulted stale).
+    fn steal_uniform(&mut self) -> (Option<DequeId>, u32, Option<TaskRef>, StealOutcome) {
+        // Stale-live-index fault: pretend the live index lagged and
+        // fall back to the slot-array draw, which can land on a
+        // freed slot — exercising the dead-target accounting below.
+        let use_live = self.rt.config.live_index
+            && !self.faults.as_ref().is_some_and(|f| f.stale_live_index());
+        let drawn = if use_live {
+            self.rt.registry.random_live_id(self.rng.gen())
+        } else {
+            self.rt.registry.random_id(self.rng.gen())
+        };
+        match drawn {
+            None => (None, NONE_ID, None, StealOutcome::Empty),
+            Some(id) => self.steal_checked(id),
+        }
+    }
+
+    /// One steal against `id` with dead-target accounting and the
+    /// trace-only owner lookup.
+    fn steal_checked(
+        &mut self,
+        id: DequeId,
+    ) -> (Option<DequeId>, u32, Option<TaskRef>, StealOutcome) {
+        let (task, mut outcome) = self.steal_victim(id);
+        if task.is_none() && !self.rt.registry.is_live(id) {
+            // The draw landed on a freed slot. The paper's
+            // `randomDeque()` simply eats such failures; counting them is
+            // what lets the live-set index be shown to remove them.
+            self.ctr().bump(&self.ctr().steals_dead_target);
+            outcome = StealOutcome::Dead;
+        }
+        // The owner lookup is trace-only metadata; skip it when no one is
+        // recording.
+        let owner = if self.tracer.is_some() {
+            self.rt.registry.owner_of(id).map_or(NONE_ID, |w| w as u32)
+        } else {
+            NONE_ID
+        };
+        (Some(id), owner, task, outcome)
+    }
+
+    /// Affinity victim draw: retry the last successful victim while it
+    /// stays live, then prefer a draw from its owner's registry shard,
+    /// then fall back to the uniform draw (counted in `steal_fallbacks`).
+    fn steal_affinity(&mut self) -> (Option<DequeId>, u32, Option<TaskRef>, StealOutcome) {
+        // Chaos hook: poison the cached victim before consulting it, as
+        // if it had just retired under us.
+        if self.policy.cached_victim().is_some()
+            && self.faults.as_ref().is_some_and(|f| f.affinity_stale())
+        {
+            self.policy.poison();
+        }
+        if let Some(id) = self.policy.cached_victim() {
+            if self.rt.registry.is_live(id) {
+                let r = self.steal_checked(id);
+                if r.2.is_some() {
+                    self.ctr().bump(&self.ctr().steal_affinity_hits);
+                    let owner = self.rt.registry.owner_of(id);
+                    self.policy.record_hit(id, owner);
+                    return r;
+                }
+            }
+            // Missed or retired: forget the id, keep the shard preference.
+            self.policy.clear_victim();
+        }
+        if let Some(owner) = self.policy.preferred_owner() {
+            let drawn = self
+                .rt
+                .registry
+                .random_live_id_in_shard(owner, self.rng.gen());
+            if let Some(id) = drawn {
+                let r = self.steal_checked(id);
+                if r.2.is_some() {
+                    self.ctr().bump(&self.ctr().steal_affinity_hits);
+                    let owner = self.rt.registry.owner_of(id);
+                    self.policy.record_hit(id, owner);
+                    return r;
+                }
+            }
+            // The preferred shard has gone cold; drop the preference so
+            // the next attempt goes straight to the uniform draw.
+            self.policy.poison();
+        }
+        // No affinity signal left: uniform live-index draw, reseeding the
+        // cache on success.
+        self.ctr().bump(&self.ctr().steal_fallbacks);
+        let r = self.steal_uniform();
+        if r.2.is_some() {
+            if let Some(id) = r.0 {
+                let owner = self.rt.registry.owner_of(id);
+                self.policy.record_hit(id, owner);
+            }
+        }
+        r
     }
 
     /// Publishes this worker's stealable deques (active + ready) for the

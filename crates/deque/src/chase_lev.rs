@@ -288,6 +288,78 @@ impl<T: Send> ChaseLevStealer<T> {
         }
     }
 
+    /// Attempts to steal up to half of the deque in one attempt
+    /// ("steal-half"), appending the stolen items to `out` in their
+    /// original top-to-bottom order (oldest first).
+    ///
+    /// The batch size is `ceil(live / 2)` at the initial size-up read,
+    /// capped at `limit` (clamped to at least 1). Returns
+    /// `Steal::Success(n)` with the number of items appended,
+    /// `Steal::Empty` if the deque was observed empty, or `Steal::Retry`
+    /// if a race was lost before *any* item was claimed. With `limit == 1`
+    /// this performs exactly the single-item [`steal`](Self::steal)
+    /// protocol.
+    ///
+    /// # Why items are claimed one CAS at a time
+    ///
+    /// A single wide CAS of `top` from `t` to `t + n` would be unsound
+    /// against the unchanged Chase–Lev owner: `pop_bottom` takes interior
+    /// indices without touching `top` (only the final element is
+    /// CAS-raced), so a wide CAS could claim an index the owner already
+    /// popped, handing the same item to two threads. Instead each claim
+    /// repeats the single-steal validation — re-read `bottom` behind a
+    /// seq-cst fence, speculative read, CAS `top` forward by one — and the
+    /// batch stops at the first failed validation. The monotonicity of
+    /// `top` plus the fence pairing then gives the same exactly-once
+    /// guarantee as the single steal, per claimed index.
+    pub fn steal_batch_into(&self, limit: usize, out: &mut Vec<T>) -> Steal<usize> {
+        let limit = limit.max(1);
+        let inner = &*self.inner;
+        let mut t = inner.top.load(Ordering::Acquire);
+        // Order the top read before the bottom read, as in `steal`.
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+
+        let live = b - t;
+        if live <= 0 {
+            return Steal::Empty;
+        }
+        let want = (live as usize).div_ceil(2).min(limit);
+        let mut got = 0usize;
+        while got < want {
+            if got > 0 {
+                // Re-validate against a fresh bottom: the owner may have
+                // popped the region down to `t` since the size-up read,
+                // and claiming a popped index would double-take it.
+                fence(Ordering::SeqCst);
+                let b = inner.bottom.load(Ordering::Acquire);
+                if b - t <= 0 {
+                    break;
+                }
+            }
+            let buf = inner.buffer.load(Ordering::Acquire);
+            let item = unsafe { (*buf).read(t) };
+            if inner
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                // Lost the claim race (owner or another thief); the batch
+                // ends at whatever was claimed so far.
+                std::mem::forget(item);
+                break;
+            }
+            out.push(item);
+            t += 1;
+            got += 1;
+        }
+        if got == 0 {
+            Steal::Retry
+        } else {
+            Steal::Success(got)
+        }
+    }
+
     /// Racy emptiness snapshot.
     pub fn is_empty(&self) -> bool {
         let t = self.inner.top.load(Ordering::Acquire);
@@ -543,6 +615,64 @@ mod tests {
             ROUNDS,
             "every element claimed exactly once"
         );
+    }
+
+    #[test]
+    fn steal_batch_takes_half_in_order() {
+        let (w, s) = deque::<u32>();
+        for i in 0..8 {
+            w.push_bottom(i);
+        }
+        let mut out = Vec::new();
+        // ceil(8/2) = 4, below the cap.
+        assert_eq!(s.steal_batch_into(64, &mut out), Steal::Success(4));
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        // 4 remain: ceil(4/2) = 2.
+        out.clear();
+        assert_eq!(s.steal_batch_into(64, &mut out), Steal::Success(2));
+        assert_eq!(out, vec![4, 5]);
+        // Owner still sees the rest, LIFO.
+        assert_eq!(w.pop_bottom(), Some(7));
+        assert_eq!(w.pop_bottom(), Some(6));
+        assert_eq!(w.pop_bottom(), None);
+        out.clear();
+        assert_eq!(s.steal_batch_into(64, &mut out), Steal::Empty);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn steal_batch_respects_limit() {
+        let (w, s) = deque::<u32>();
+        for i in 0..100 {
+            w.push_bottom(i);
+        }
+        let mut out = Vec::new();
+        assert_eq!(s.steal_batch_into(3, &mut out), Steal::Success(3));
+        assert_eq!(out, vec![0, 1, 2]);
+        // A zero limit is clamped to one (the degenerate single steal).
+        out.clear();
+        assert_eq!(s.steal_batch_into(0, &mut out), Steal::Success(1));
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn steal_batch_limit_one_matches_single_steal() {
+        // limit=1 must behave exactly like `steal` on every shape:
+        // empty, single element, and deep deque.
+        let (w, s) = deque::<u32>();
+        let mut out = Vec::new();
+        assert_eq!(s.steal_batch_into(1, &mut out), Steal::Empty);
+        w.push_bottom(7);
+        assert_eq!(s.steal_batch_into(1, &mut out), Steal::Success(1));
+        assert_eq!(out, vec![7]);
+        for i in 0..50 {
+            w.push_bottom(i);
+        }
+        for i in 0..50 {
+            out.clear();
+            assert_eq!(s.steal_batch_into(1, &mut out), Steal::Success(1));
+            assert_eq!(out, vec![i], "limit=1 steals exactly the top item");
+        }
     }
 
     #[test]

@@ -171,6 +171,17 @@ impl<T: Send> StealerHandle<T> {
         }
     }
 
+    /// Steal-half: takes up to `ceil(live / 2)` items (capped at `limit`,
+    /// clamped to at least 1) from the top, appending them to `out` in
+    /// original top-to-bottom order and returning how many were claimed.
+    /// `limit == 1` is exactly the single-item [`steal`](Self::steal).
+    pub fn steal_batch_into(&self, limit: usize, out: &mut Vec<T>) -> Steal<usize> {
+        match self {
+            StealerHandle::ChaseLev(s) => s.steal_batch_into(limit, out),
+            StealerHandle::Mutex(s) => s.steal_batch_into(limit, out),
+        }
+    }
+
     /// True if the deque appears empty to a thief (racy snapshot).
     pub fn is_empty(&self) -> bool {
         match self {
@@ -204,6 +215,22 @@ mod tests {
         assert_eq!(s.steal().success(), Some(10));
         assert_eq!(w.pop_bottom(), Some(20));
         assert!(matches!(s.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn handle_steal_batch_both_kinds() {
+        for kind in [DequeKind::ChaseLev, DequeKind::Mutex] {
+            let (w, s) = WorkerHandle::new(kind);
+            for i in 0..6 {
+                w.push_bottom(i);
+            }
+            let mut out = Vec::new();
+            assert_eq!(s.steal_batch_into(8, &mut out), Steal::Success(3));
+            assert_eq!(out, vec![0, 1, 2], "{kind:?} batch in order");
+            out.clear();
+            assert_eq!(s.steal_batch_into(1, &mut out), Steal::Success(1));
+            assert_eq!(out, vec![3], "{kind:?} limit=1 degenerate case");
+        }
     }
 
     #[test]

@@ -100,6 +100,23 @@ impl<T: Send> MutexStealer<T> {
         }
     }
 
+    /// Steals up to `ceil(len / 2)` items (capped at `limit`, clamped to
+    /// at least 1) from the front in one locked critical section,
+    /// appending them to `out` in original order. Never returns
+    /// [`Steal::Retry`]; mirrors
+    /// [`ChaseLevStealer::steal_batch_into`](crate::ChaseLevStealer::steal_batch_into).
+    pub fn steal_batch_into(&self, limit: usize, out: &mut Vec<T>) -> Steal<usize> {
+        let limit = limit.max(1);
+        let mut q = self.inner.lock();
+        let live = q.len();
+        if live == 0 {
+            return Steal::Empty;
+        }
+        let n = live.div_ceil(2).min(limit);
+        out.extend(q.drain(..n));
+        Steal::Success(n)
+    }
+
     /// True if the deque is currently empty.
     pub fn is_empty(&self) -> bool {
         self.inner.lock().is_empty()
@@ -139,6 +156,26 @@ mod tests {
         assert_eq!(w.len(), 1);
         let _ = w.pop_bottom();
         assert!(w.is_empty() && s.is_empty());
+    }
+
+    #[test]
+    fn steal_batch_half_from_front() {
+        let (w, s) = deque::<u32>();
+        for i in 0..10 {
+            w.push_bottom(i);
+        }
+        let mut out = Vec::new();
+        assert_eq!(s.steal_batch_into(64, &mut out), Steal::Success(5));
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        out.clear();
+        assert_eq!(s.steal_batch_into(2, &mut out), Steal::Success(2));
+        assert_eq!(out, vec![5, 6]);
+        assert_eq!(w.pop_bottom(), Some(9));
+        out.clear();
+        assert_eq!(s.steal_batch_into(1, &mut out), Steal::Success(1));
+        assert_eq!(out, vec![7]);
+        let _ = w.pop_bottom();
+        assert_eq!(s.steal_batch_into(4, &mut out), Steal::Empty);
     }
 
     #[test]
