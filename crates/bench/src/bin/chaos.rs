@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run -p lhws-bench --release --bin chaos -- \
-//!     [--seed N] [--workers P] [--rounds R] [--quick]
+//!     [--seed N] [--workers P] [--rounds R] [--quick] [--live-audit]
 //! ```
 //!
 //! Exits nonzero if any workload computes a wrong result, leaks a
@@ -11,13 +11,26 @@
 //! function of the seed (printed as `schedule_digest`), so a failing seed
 //! reruns with the same fault decisions every time — paste the seed into
 //! the command above to reproduce.
+//!
+//! With `--live-audit` the invariants are checked *during* the soak, not
+//! after it: an incremental [`TraceReader`](lhws_core::TraceReader) is
+//! polled from a separate thread while the faults fire, feeding an
+//! [`AuditState`] that flags monotone violations the moment they appear.
+//! At shutdown the drain's leftovers are folded in and the streaming
+//! verdict is compared, count for count, against the classic post-hoc
+//! auditor over the reassembled complete trace — they must agree exactly.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use lhws_bench::Args;
 use lhws_core::channel::mpsc;
-use lhws_core::{join_all, simulate_latency, FaultPlan, Runtime, StealPolicy};
+use lhws_core::trace::TraceEvent;
+use lhws_core::{
+    join_all, simulate_latency, AuditReport, AuditState, FaultPlan, Runtime, StealPolicy, Trace,
+};
 use lhws_net::{Reactor, TcpListener, TcpStream};
 
 const TRACE_CAPACITY: usize = 1 << 18;
@@ -154,11 +167,87 @@ fn netecho(rt: &Runtime, conns: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Continuous-audit rig for one round: a reader polled from its own
+/// thread for the duration of the soak, streaming batches into an
+/// [`AuditState`] and keeping every event for the post-hoc replay.
+struct LiveAuditRig {
+    stop: Arc<AtomicBool>,
+    poller: std::thread::JoinHandle<(AuditState, Vec<TraceEvent>, u64)>,
+}
+
+impl LiveAuditRig {
+    fn start(rt: &Runtime, round: u64) -> LiveAuditRig {
+        let mut reader = rt.observe().trace_reader().expect("tracing enabled");
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let poller = std::thread::spawn(move || {
+            let mut state = AuditState::new(reader.workers());
+            let mut events = Vec::new();
+            let mut polled_dropped = 0u64;
+            let mut flagged = 0u64;
+            while !stop2.load(Ordering::Acquire) {
+                let batch = reader.poll_events();
+                state.observe(&batch.events);
+                state.observe_dropped(batch.dropped + batch.missed);
+                polled_dropped += batch.dropped + batch.missed;
+                events.extend(batch.events);
+                // Streaming checks only — flag the instant one trips.
+                if state.violation_count() > flagged {
+                    flagged = state.violation_count();
+                    eprintln!("round {round}: LIVE audit violation mid-soak (count now {flagged})");
+                }
+                // A realistic observer cadence: hot enough to catch a
+                // violation mid-soak, cool enough not to oversubscribe
+                // small CI hosts (the soak itself is the workload).
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            (state, events, polled_dropped)
+        });
+        LiveAuditRig { stop, poller }
+    }
+
+    /// Stops the poller, folds the shutdown drain's leftovers, and
+    /// returns `(live, posthoc)`: the streaming verdict and the classic
+    /// auditor's verdict over the reassembled complete stream.
+    fn finish(self, leftover: &Trace) -> (AuditReport, AuditReport) {
+        self.stop.store(true, Ordering::Release);
+        let (mut state, mut events, polled_dropped) =
+            self.poller.join().expect("live-audit poller panicked");
+        state.observe(&leftover.events);
+        state.observe_dropped(leftover.dropped.saturating_sub(polled_dropped));
+        let live = state.report();
+
+        events.extend(leftover.events.iter().copied());
+        events.sort_by_key(|e| e.ts);
+        let posthoc = Trace {
+            events,
+            dropped: leftover.dropped,
+            workers: leftover.workers,
+        }
+        .audit();
+        (live, posthoc)
+    }
+}
+
+/// The streaming and post-hoc reports must agree on everything the
+/// auditor can count — same events, two observation orders.
+fn audits_agree(live: &AuditReport, posthoc: &AuditReport) -> bool {
+    live.passed() == posthoc.passed()
+        && live.suspensions == posthoc.suspensions
+        && live.readies == posthoc.readies
+        && live.execs == posthoc.execs
+        && live.unresolved == posthoc.unresolved
+        && live.max_inflight == posthoc.max_inflight
+        && live.violation_count == posthoc.violation_count
+        && live.deque_high_water == posthoc.deque_high_water
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let seed: u64 = args.get("seed", 1);
     let workers: usize = args.get("workers", 2);
     let quick = args.flag("quick");
+    let live_audit = args.flag("live-audit");
     let rounds: u64 = args.get("rounds", if quick { 1 } else { 4 });
     let n: u64 = if quick { 48 } else { 256 };
     let fib_depth: u64 = if quick { 10 } else { 14 };
@@ -178,12 +267,25 @@ fn main() -> ExitCode {
     for round in 0..=rounds {
         let adaptive = round == rounds;
         let rt = chaos_rt(seed, workers, adaptive);
+        let rig = live_audit.then(|| LiveAuditRig::start(&rt, round));
         let results = [
             ("scatter", scatter(&rt, n)),
             ("pingpong", pingpong(&rt, n / 2)),
             ("forkjoin", forkjoin(&rt, fib_depth)),
             ("netecho", netecho(&rt, n / 8)),
         ];
+        // A spurious-wake fault can leave a task's duplicate timer
+        // registration behind after the task completed, and a resume
+        // delay can keep that duplicate parked past the last join.
+        // Give in-flight delayed resumes a bounded window to drain, so
+        // the balance check below tests the scheduler rather than the
+        // race between shutdown and an injected 500us delay.
+        let drain_by = std::time::Instant::now() + Duration::from_millis(250);
+        while rt.metrics().resumes < rt.metrics().suspensions
+            && std::time::Instant::now() < drain_by
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
         let report = rt.shutdown();
         for (name, r) in results {
             if let Err(e) = r {
@@ -193,8 +295,12 @@ fn main() -> ExitCode {
         }
         if report.metrics.suspensions != report.metrics.resumes {
             eprintln!(
-                "FAIL round {round}: unbalanced counters ({} suspensions, {} resumes)",
-                report.metrics.suspensions, report.metrics.resumes
+                "FAIL round {round}: unbalanced counters ({} suspensions, {} resumes; {} leaked, {} canceled ops, {} canceled io waits)",
+                report.metrics.suspensions,
+                report.metrics.resumes,
+                report.leaked_suspensions,
+                report.canceled_ops,
+                report.canceled_io_waits
             );
             failures += 1;
         }
@@ -202,18 +308,36 @@ fn main() -> ExitCode {
             eprintln!("FAIL round {round}: worker {w} panicked");
             failures += 1;
         }
-        let audit = report.trace.expect("tracing enabled").audit();
+        let leftover = report.trace.expect("tracing enabled");
+        let audit = match rig {
+            // Continuous mode: the live reader consumed the stream as it
+            // was produced, so the shutdown trace holds only leftovers.
+            // Fold them, then require the streaming verdict to agree
+            // exactly with the post-hoc auditor over the full replay.
+            Some(rig) => {
+                let (live, posthoc) = rig.finish(&leftover);
+                if !audits_agree(&live, &posthoc) {
+                    eprintln!(
+                        "FAIL round {round}: live audit diverged from post-hoc:\nlive: {live}\npost-hoc: {posthoc}"
+                    );
+                    failures += 1;
+                }
+                live
+            }
+            None => leftover.audit(),
+        };
         if !audit.passed() {
             eprintln!("FAIL round {round}: trace audit rejected:\n{audit}");
             failures += 1;
         }
         println!(
-            "round {round}{}: faults_injected={} suspensions={} batch_tasks={} audit={}",
+            "round {round}{}: faults_injected={} suspensions={} batch_tasks={} audit={}{}",
             if adaptive { " (adaptive)" } else { "" },
             report.faults_injected,
             report.metrics.suspensions,
             report.metrics.steal_batch_tasks,
-            if audit.passed() { "pass" } else { "FAIL" }
+            if audit.passed() { "pass" } else { "FAIL" },
+            if live_audit { " (continuous)" } else { "" }
         );
     }
 

@@ -9,6 +9,10 @@
 //! # External server (CI smoke): drive an already-running server.
 //! cargo run -p lhws-bench --release --bin loadgen -- \
 //!     --addr 127.0.0.1:7911 [--quick] ...
+//!
+//! # Scrape validation: check a live observability endpoint.
+//! cargo run -p lhws-bench --release --bin loadgen -- \
+//!     --scrape 127.0.0.1:9631
 //! ```
 //!
 //! Each connection runs a closed loop: send `W <n>`, await `R <v>`,
@@ -242,6 +246,63 @@ fn json_run(s: &RunStats) -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// Scrape mode: validate a live `/metrics` + `/stats` endpoint.
+// ---------------------------------------------------------------------
+
+/// Minimal blocking HTTP/1.1 GET (the obs server closes per request, so
+/// reading to EOF and splitting on the blank line is the whole protocol).
+fn http_get(addr: &str, path: &str) -> Result<(String, String), String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: lhws\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("no header/body split in response to GET {path}"))?;
+    let status = head.lines().next().unwrap_or("").to_string();
+    if !status.contains("200") {
+        return Err(format!("GET {path}: {status}"));
+    }
+    Ok((status, body.to_string()))
+}
+
+/// Two `/metrics` scrapes with a `/stats` hit in between: both must be
+/// valid exposition documents (no duplicate or interleaved families, no
+/// untyped samples) and no counter may go backwards across them.
+fn scrape(addr: &str) -> Result<(), String> {
+    let (_, first) = http_get(addr, "/metrics")?;
+    let earlier = lhws_obs::promtext::parse(&first).map_err(|e| format!("first scrape: {e}"))?;
+    println!(
+        "scrape 1: {} families, {} samples",
+        earlier.len(),
+        earlier.iter().map(|f| f.samples.len()).sum::<usize>()
+    );
+
+    let (_, stats) = http_get(addr, "/stats")?;
+    let stats = stats.trim();
+    if !(stats.starts_with('{') && stats.ends_with('}') && stats.contains("\"polls\"")) {
+        return Err(format!("/stats is not a stats object: {stats:.80?}"));
+    }
+    println!("stats: {} bytes of JSON", stats.len());
+
+    let (_, second) = http_get(addr, "/metrics")?;
+    let later = lhws_obs::promtext::parse(&second).map_err(|e| format!("second scrape: {e}"))?;
+    lhws_obs::promtext::check_counters_monotonic(&earlier, &later)?;
+    println!("scrape 2: {} families, counters monotonic", later.len());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let quick = args.flag("quick");
@@ -253,6 +314,21 @@ fn main() -> ExitCode {
         server_workers: args.get("server-workers", 4),
         client_workers: args.get("client-workers", 4),
     };
+
+    if let Some(addr) = args.value("scrape").map(str::to_string) {
+        // Scrape-validation mode (CI smoke): no load, just the contract.
+        println!("loadgen: scraping observability endpoint at {addr}");
+        return match scrape(&addr) {
+            Ok(()) => {
+                println!("loadgen: scrape validation passed");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("loadgen: scrape validation FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     if let Some(addr) = args.value("addr").map(str::to_string) {
         // External-server mode (CI smoke): one run, no JSON.

@@ -1,0 +1,202 @@
+//! Observer overhead on the suspension/resume hot path: what does live
+//! observability cost the scheduler it is observing?
+//!
+//! ```text
+//! cargo run -p lhws-bench --release --bin obs_overhead -- \
+//!     [--workers P] [--tasks N] [--rounds R] [--quick] [--out FILE]
+//! ```
+//!
+//! Three configurations of the same `resume_path` wave workload:
+//!
+//! 1. `trace_off`  — tracing disabled (the zero-cost baseline),
+//! 2. `trace_on`   — per-worker rings recording, nobody reading,
+//! 3. `trace_live` — rings recording *and* an incremental
+//!    [`TraceReader`](lhws_core::TraceReader) polled continuously from
+//!    another thread, the way a live `/metrics`-plus-stats observer
+//!    would.
+//!
+//! The headline number is `live_over_trace_on`: the *marginal* cost of
+//! attaching a live reader to an already-tracing runtime. The reader is
+//! cursor-based and lock-splits against producers (it takes the collect
+//! mutex, producers only touch their own ring tails), so this should be
+//! close to 1.00. Results land in `BENCH_obs.json`.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lhws_bench::{resume_wave, Args};
+use lhws_core::Runtime;
+
+const TRACE_CAPACITY: usize = 1 << 16;
+const HORIZON: Duration = Duration::from_micros(500);
+/// The live reader's cadence: the obs server's stats fold runs at
+/// millisecond granularity, so that is what "observer attached" costs.
+const POLL_INTERVAL: Duration = Duration::from_millis(1);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Off,
+    On,
+    Live,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Off => "trace_off",
+            Mode::On => "trace_on",
+            Mode::Live => "trace_live",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Measurement {
+    mode: Mode,
+    suspensions: u64,
+    elapsed: Duration,
+    /// Events the live reader consumed (zero for the other modes).
+    events_read: u64,
+}
+
+impl Measurement {
+    fn throughput(&self) -> f64 {
+        self.suspensions as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+fn build_rt(workers: usize, mode: Mode) -> Runtime {
+    let mut b = Runtime::builder().workers(workers).seed(7);
+    if mode != Mode::Off {
+        b = b.trace_capacity(TRACE_CAPACITY);
+    }
+    b.build().unwrap()
+}
+
+fn measure(workers: usize, tasks: u64, rounds: u64, mode: Mode) -> Measurement {
+    let rt = build_rt(workers, mode);
+    resume_wave(&rt, tasks.min(512), HORIZON); // warm up workers and timer
+
+    // The live observer: a reader polled hot from a separate thread for
+    // the whole measured region, exactly like the obs server's stats
+    // fold. Its polls also drive ring reclamation, so the producers
+    // never see a full ring.
+    let stop = Arc::new(AtomicBool::new(false));
+    let poller = (mode == Mode::Live).then(|| {
+        let mut reader = rt.observe().trace_reader().expect("tracing enabled");
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut events = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                events += reader.poll_events().events.len() as u64;
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            events += reader.poll_events().events.len() as u64;
+            events
+        })
+    });
+
+    let before = rt.metrics();
+    let t = Instant::now();
+    for _ in 0..rounds {
+        resume_wave(&rt, tasks, HORIZON);
+    }
+    let elapsed = t.elapsed();
+    let d = rt.metrics().since(&before);
+    assert_eq!(d.suspensions, tasks * rounds, "every task registered once");
+    assert_eq!(d.resumes, tasks * rounds, "every registration resumed once");
+
+    stop.store(true, Ordering::Release);
+    let events_read = poller.map_or(0, |h| h.join().expect("poller panicked"));
+    rt.shutdown();
+    Measurement {
+        mode,
+        suspensions: tasks * rounds,
+        elapsed,
+        events_read,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    // Leave one core of headroom for the poller thread by default — on a
+    // fully subscribed host the measurement reads as scheduler overhead
+    // what is really core contention.
+    let default_workers = std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1))
+        .unwrap_or(4)
+        .clamp(1, 4);
+    let workers: usize = args.get("workers", default_workers);
+    let tasks: u64 = args.get("tasks", if quick { 1_000 } else { 4_000 });
+    let rounds: u64 = args.get("rounds", if quick { 3 } else { 10 });
+    let reps: usize = args.get("reps", if quick { 1 } else { 3 });
+
+    println!("# observer overhead on the resume path");
+    println!("workers={workers} tasks={tasks} rounds={rounds} reps={reps}");
+    println!(
+        "{:>12}  {:>14}  {:>16}  {:>12}",
+        "mode", "elapsed(ms)", "resumes/sec", "events_read"
+    );
+
+    // Best-of-reps per mode, interleaved so thermal drift hits all three.
+    let mut best: Vec<Option<Measurement>> = vec![None, None, None];
+    for _ in 0..reps {
+        for (i, mode) in [Mode::Off, Mode::On, Mode::Live].into_iter().enumerate() {
+            let m = measure(workers, tasks, rounds, mode);
+            if best[i].as_ref().is_none_or(|b| m.elapsed < b.elapsed) {
+                best[i] = Some(m);
+            }
+        }
+    }
+    let best: Vec<Measurement> = best.into_iter().map(Option::unwrap).collect();
+    for m in &best {
+        println!(
+            "{:>12}  {:>14.1}  {:>16.0}  {:>12}",
+            m.mode.label(),
+            m.elapsed.as_secs_f64() * 1e3,
+            m.throughput(),
+            m.events_read
+        );
+    }
+
+    let trace_on_over_off = best[0].elapsed.as_secs_f64() / best[1].elapsed.as_secs_f64().max(1e-9);
+    let live_over_trace_on =
+        best[1].elapsed.as_secs_f64() / best[2].elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "\ntrace_on/trace_off throughput: {:.3}x   trace_live/trace_on: {:.3}x",
+        trace_on_over_off, live_over_trace_on
+    );
+    println!("# trace_live/trace_on ~1.00 means a live reader rides along for free");
+
+    let out = args.value("out").unwrap_or("BENCH_obs.json").to_string();
+    let mut json = String::from("{\n  \"bench\": \"obs_overhead\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"workers\": {workers}, \"tasks\": {tasks}, \"rounds\": {rounds}, \"reps\": {reps}}},\n"
+    ));
+    json.push_str("  \"measurements\": [\n");
+    for (i, m) in best.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"suspensions\": {}, \"elapsed_ns\": {}, \
+             \"throughput_per_sec\": {:.1}, \"events_read\": {}}}{}\n",
+            m.mode.label(),
+            m.suspensions,
+            m.elapsed.as_nanos(),
+            m.throughput(),
+            m.events_read,
+            if i + 1 < best.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"trace_on_over_off\": {trace_on_over_off:.4},\n  \"live_over_trace_on\": {live_over_trace_on:.4}\n}}\n"
+    ));
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("obs_overhead: writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}

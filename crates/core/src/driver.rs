@@ -58,6 +58,31 @@ pub struct DriverReport {
     pub drained_registrations: u64,
 }
 
+/// One I/O wait lifecycle event, as reported by a driver through
+/// [`DriverHooks::trace_io`]. A wait is `Register`ed exactly once and
+/// resolved at most once — by `Ready` (kernel readiness consumed) or by
+/// `Deregister` (cancel, timeout, shutdown drain) — the pairing the
+/// trace auditor checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoTraceEvent {
+    /// A readiness wait was filed with the driver.
+    Register {
+        /// The wait's unique token.
+        token: u64,
+    },
+    /// The wait resolved via kernel readiness.
+    Ready {
+        /// The wait's unique token.
+        token: u64,
+    },
+    /// The wait was withdrawn without readiness (cancel, timeout, or
+    /// the shutdown drain).
+    Deregister {
+        /// The wait's unique token.
+        token: u64,
+    },
+}
+
 /// A driver's handle into the runtime's metrics, trace, and fault layers.
 ///
 /// Obtained from [`Runtime::driver_hooks`](crate::Runtime::driver_hooks).
@@ -123,19 +148,42 @@ impl DriverHooks {
         }
     }
 
+    /// Traces one I/O wait lifecycle event. The single entry point for
+    /// all driver-side trace emission — new event kinds extend
+    /// [`IoTraceEvent`], not this type's method list.
+    pub fn trace_io(&self, event: IoTraceEvent) {
+        self.trace(match event {
+            IoTraceEvent::Register { token } => EventKind::IoRegister { token },
+            IoTraceEvent::Ready { token } => EventKind::IoReady { token },
+            IoTraceEvent::Deregister { token } => EventKind::IoDeregister { token },
+        });
+    }
+
     /// Traces an `IoRegister` event for wait `token`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `trace_io(IoTraceEvent::Register { token })`"
+    )]
     pub fn trace_io_register(&self, token: u64) {
-        self.trace(EventKind::IoRegister { token });
+        self.trace_io(IoTraceEvent::Register { token });
     }
 
     /// Traces an `IoReady` event for wait `token`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `trace_io(IoTraceEvent::Ready { token })`"
+    )]
     pub fn trace_io_ready(&self, token: u64) {
-        self.trace(EventKind::IoReady { token });
+        self.trace_io(IoTraceEvent::Ready { token });
     }
 
     /// Traces an `IoDeregister` event for wait `token`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `trace_io(IoTraceEvent::Deregister { token })`"
+    )]
     pub fn trace_io_deregister(&self, token: u64) {
-        self.trace(EventKind::IoDeregister { token });
+        self.trace_io(IoTraceEvent::Deregister { token });
     }
 
     fn trace(&self, kind: EventKind) {

@@ -46,7 +46,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use crate::config::ConfigError;
-use crate::trace::{EventKind, Trace};
+use crate::trace::{EventKind, Trace, TraceEvent};
 
 /// One million: ppm rates are fractions of this.
 const PPM_SCALE: u64 = 1_000_000;
@@ -647,18 +647,330 @@ impl fmt::Display for AuditReport {
     }
 }
 
-#[derive(Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy)]
 struct SeqRec {
     suspends: u32,
     readies: u32,
     execs: u32,
 }
 
-#[derive(Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy)]
 struct IoRec {
     registers: u32,
     readies: u32,
     deregisters: u32,
+}
+
+/// Incremental, order-tolerant form of [`audit`]: feed it event batches as
+/// they arrive (e.g. from a
+/// [`TraceReader`](crate::trace::TraceReader)) and ask for an
+/// [`AuditReport`] at any point.
+///
+/// A live reader's batch is a per-ring-consistent cut, not a globally
+/// consistent one: polling ring A before ring B can surface a causally
+/// *later* event from B (say a `ResumeReady`) in an earlier batch than its
+/// causally earlier `Suspend` from A. `AuditState` therefore splits the
+/// invariant checks in two:
+///
+/// - **Monotone** violations — duplicate suspends/readies, duplicate I/O
+///   registration, double I/O resolution, per-worker deque-walk breaks —
+///   only ever become *more* true as events arrive, so they are flagged
+///   the moment the offending event is observed (this is what makes
+///   continuous audit useful during a chaos soak).
+/// - **Order-sensitive** checks — ready-without-suspend, more execs than
+///   readies, I/O resolution without registration, unresolved counts, and
+///   the Lemma 7 bound — are evaluated at [`report`](Self::report) time
+///   over the accumulated tallies, where a transiently reordered pair has
+///   already been matched up.
+///
+/// In-flight tracking is orphan-aware for the same reason: a `ResumeReady`
+/// observed before its `Suspend` neither underflows the in-flight count
+/// nor inflates `max_inflight` when the `Suspend` arrives later, so the
+/// `U` used by the Lemma 7 check is not corrupted by read-order skew.
+///
+/// Feeding one complete timestamp-sorted trace in a single batch yields
+/// the same verdict and counts as [`audit`] — which is in fact implemented
+/// on top of this type.
+#[derive(Debug, Clone)]
+pub struct AuditState {
+    seqs: HashMap<u64, SeqRec>,
+    io: HashMap<u64, IoRec>,
+    io_registered: u64,
+    io_ready: u64,
+    io_deregistered: u64,
+    inflight: u64,
+    max_inflight: u64,
+    live: Vec<Option<u64>>,
+    high: Vec<u64>,
+    suspensions: u64,
+    readies: u64,
+    execs: u64,
+    violation_count: u64,
+    violations: Vec<String>,
+    dropped: u64,
+}
+
+impl AuditState {
+    /// New auditor for a runtime with `workers` worker threads.
+    pub fn new(workers: usize) -> AuditState {
+        AuditState {
+            seqs: HashMap::new(),
+            io: HashMap::new(),
+            io_registered: 0,
+            io_ready: 0,
+            io_deregistered: 0,
+            inflight: 0,
+            max_inflight: 0,
+            live: vec![None; workers],
+            high: vec![0; workers],
+            suspensions: 0,
+            readies: 0,
+            execs: 0,
+            violation_count: 0,
+            violations: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    fn violate(&mut self, msg: String) {
+        self.violation_count += 1;
+        if self.violations.len() < MAX_VIOLATION_MESSAGES {
+            self.violations.push(msg);
+        }
+    }
+
+    /// Folds a batch of events into the audit. Batches must each preserve
+    /// per-worker recording order (any [`TraceReader`](crate::trace::TraceReader)
+    /// batch or timestamp-sorted [`Trace`] does); cross-worker order may
+    /// skew freely between batches.
+    pub fn observe(&mut self, events: &[TraceEvent]) {
+        for ev in events {
+            match ev.kind {
+                EventKind::Suspend { seq, .. } => {
+                    self.suspensions += 1;
+                    if seq != 0 {
+                        let rec = self.seqs.entry(seq).or_default();
+                        rec.suspends += 1;
+                        // Orphan-aware: if the matching ready was observed
+                        // first (read-order skew), the pair is already
+                        // settled — don't count it as newly in flight.
+                        let settled = rec.readies >= rec.suspends;
+                        let dup = rec.suspends > 1;
+                        if !settled {
+                            self.inflight += 1;
+                            self.max_inflight = self.max_inflight.max(self.inflight);
+                        }
+                        if dup {
+                            let n = self.seqs[&seq].suspends;
+                            self.violate(format!("suspension seq {seq:#x} registered {n} times"));
+                        }
+                    } else {
+                        self.inflight += 1;
+                        self.max_inflight = self.max_inflight.max(self.inflight);
+                    }
+                }
+                EventKind::ResumeReady { seq, .. } => {
+                    self.readies += 1;
+                    if seq != 0 {
+                        let rec = self.seqs.entry(seq).or_default();
+                        rec.readies += 1;
+                        // Only retire an in-flight slot this ready's own
+                        // suspend actually opened; an early-observed ready
+                        // waits for its suspend instead of underflowing.
+                        let retire = rec.suspends >= rec.readies;
+                        let dup = rec.readies > 1;
+                        if retire {
+                            self.inflight = self.inflight.saturating_sub(1);
+                        }
+                        if dup {
+                            let n = self.seqs[&seq].readies;
+                            self.violate(format!("suspension seq {seq:#x} resumed {n} times"));
+                        }
+                    } else {
+                        self.inflight = self.inflight.saturating_sub(1);
+                    }
+                }
+                EventKind::ResumeExec { seq } => {
+                    self.execs += 1;
+                    if seq != 0 {
+                        self.seqs.entry(seq).or_default().execs += 1;
+                    }
+                }
+                EventKind::DequeAlloc { live: l } => {
+                    let w = ev.worker as usize;
+                    if w < self.live.len() {
+                        let expect = self.live[w].map_or(1, |cur| cur + 1);
+                        if l as u64 != expect {
+                            self.violate(format!(
+                                "worker {w}: deque alloc jumped live count to {l} (expected {expect})"
+                            ));
+                        }
+                        self.live[w] = Some(l as u64);
+                        self.high[w] = self.high[w].max(l as u64);
+                    }
+                }
+                EventKind::DequeRelease { live: l } => {
+                    let w = ev.worker as usize;
+                    if w < self.live.len() {
+                        match self.live[w] {
+                            Some(cur) if cur > 0 && l as u64 == cur - 1 => {
+                                self.live[w] = Some(l as u64)
+                            }
+                            Some(cur) => {
+                                self.violate(format!(
+                                    "worker {w}: deque release moved live count {cur} → {l} (expected {})",
+                                    cur.saturating_sub(1)
+                                ));
+                                self.live[w] = Some(l as u64);
+                            }
+                            None => {
+                                self.violate(format!(
+                                    "worker {w}: deque release before any allocation"
+                                ));
+                                self.live[w] = Some(l as u64);
+                            }
+                        }
+                    }
+                }
+                EventKind::IoRegister { token } => {
+                    self.io_registered += 1;
+                    let rec = self.io.entry(token).or_default();
+                    rec.registers += 1;
+                    if rec.registers > 1 {
+                        let n = self.io[&token].registers;
+                        self.violate(format!("io token {token:#x} registered {n} times"));
+                    }
+                }
+                EventKind::IoReady { token } => {
+                    self.io_ready += 1;
+                    let rec = self.io.entry(token).or_default();
+                    rec.readies += 1;
+                    if rec.readies + rec.deregisters > 1 {
+                        let (r, d) = (rec.readies, rec.deregisters);
+                        self.violate(format!(
+                            "io token {token:#x} resolved {} times ({r} ready, {d} deregister)",
+                            r + d,
+                        ));
+                    }
+                }
+                EventKind::IoDeregister { token } => {
+                    self.io_deregistered += 1;
+                    let rec = self.io.entry(token).or_default();
+                    rec.deregisters += 1;
+                    if rec.readies + rec.deregisters > 1 {
+                        let (r, d) = (rec.readies, rec.deregisters);
+                        self.violate(format!(
+                            "io token {token:#x} resolved {} times ({r} ready, {d} deregister)",
+                            r + d,
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Accounts events lost before they could be observed (ring overflow
+    /// reported by [`TraceBatch::dropped`](crate::trace::TraceBatch) or a
+    /// [`Trace`]'s `dropped`). Any loss makes the final report
+    /// inconclusive: absence of a paired event proves nothing.
+    pub fn observe_dropped(&mut self, dropped: u64) {
+        self.dropped += dropped;
+    }
+
+    /// Violations flagged so far by the monotone streaming checks. The
+    /// final [`report`](Self::report) may add order-sensitive ones on top.
+    pub fn violation_count(&self) -> u64 {
+        self.violation_count
+    }
+
+    /// Events known lost so far (cumulative [`observe_dropped`](Self::observe_dropped)).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Evaluates the order-sensitive checks over everything observed so
+    /// far and returns the full report. Non-consuming: a live auditor can
+    /// report mid-run and keep observing.
+    pub fn report(&self) -> AuditReport {
+        let mut violation_count = self.violation_count;
+        let mut violations = self.violations.clone();
+        let mut violate = |msg: String| {
+            violation_count += 1;
+            if violations.len() < MAX_VIOLATION_MESSAGES {
+                violations.push(msg);
+            }
+        };
+
+        // Deferred pairing checks, in sorted key order so reports are
+        // reproducible (HashMap iteration is not).
+        let mut seq_keys: Vec<u64> = self.seqs.keys().copied().collect();
+        seq_keys.sort_unstable();
+        let mut unresolved = 0u64;
+        for seq in seq_keys {
+            let rec = self.seqs[&seq];
+            if rec.readies > 0 && rec.suspends == 0 {
+                violate(format!(
+                    "resume for seq {seq:#x} with no matching suspension"
+                ));
+            }
+            if rec.execs > rec.readies {
+                violate(format!(
+                    "seq {seq:#x} executed {} times but made ready only {}",
+                    rec.execs, rec.readies
+                ));
+            }
+            if rec.suspends > 0 && rec.readies == 0 {
+                unresolved += 1;
+            }
+        }
+
+        let mut io_keys: Vec<u64> = self.io.keys().copied().collect();
+        io_keys.sort_unstable();
+        let mut io_unresolved = 0u64;
+        for token in io_keys {
+            let rec = self.io[&token];
+            if rec.registers == 0 && rec.readies > 0 {
+                violate(format!(
+                    "io readiness for token {token:#x} with no registration"
+                ));
+            }
+            if rec.registers == 0 && rec.deregisters > 0 {
+                violate(format!(
+                    "io deregister for token {token:#x} with no registration"
+                ));
+            }
+            if rec.registers > 0 && rec.readies + rec.deregisters == 0 {
+                io_unresolved += 1;
+            }
+        }
+
+        // Lemma 7: at most U + 1 live deques per worker.
+        for (w, &hw) in self.high.iter().enumerate() {
+            if hw > self.max_inflight + 1 {
+                violate(format!(
+                    "worker {w}: live-deque high-water {hw} exceeds Lemma 7 bound U+1 = {}",
+                    self.max_inflight + 1
+                ));
+            }
+        }
+
+        AuditReport {
+            suspensions: self.suspensions,
+            readies: self.readies,
+            execs: self.execs,
+            unresolved,
+            max_inflight: self.max_inflight,
+            deque_high_water: self.high.clone(),
+            io_registered: self.io_registered,
+            io_ready: self.io_ready,
+            io_deregistered: self.io_deregistered,
+            io_unresolved,
+            violation_count,
+            violations,
+            inconclusive: self.dropped > 0,
+        }
+    }
 }
 
 /// Replays `trace` and checks the scheduler's invariants:
@@ -682,232 +994,10 @@ struct IoRec {
 /// Works on any [`Trace`]; quiescent shutdown traces give the strongest
 /// verdict. A trace with dropped events yields `inconclusive`.
 pub fn audit(trace: &Trace) -> AuditReport {
-    let mut seqs: HashMap<u64, SeqRec> = HashMap::new();
-    let mut io: HashMap<u64, IoRec> = HashMap::new();
-    let mut io_registered = 0u64;
-    let mut io_ready = 0u64;
-    let mut io_deregistered = 0u64;
-    let mut inflight: u64 = 0;
-    let mut max_inflight: u64 = 0;
-    let mut live: Vec<Option<u64>> = vec![None; trace.workers];
-    let mut high: Vec<u64> = vec![0; trace.workers];
-    let mut suspensions = 0u64;
-    let mut readies = 0u64;
-    let mut execs = 0u64;
-    let mut violation_count = 0u64;
-    let mut violations = Vec::new();
-
-    let violate = |violations: &mut Vec<String>, count: &mut u64, msg: String| {
-        *count += 1;
-        if violations.len() < MAX_VIOLATION_MESSAGES {
-            violations.push(msg);
-        }
-    };
-
-    for ev in &trace.events {
-        match ev.kind {
-            EventKind::Suspend { seq, .. } => {
-                suspensions += 1;
-                inflight += 1;
-                max_inflight = max_inflight.max(inflight);
-                if seq != 0 {
-                    let rec = seqs.entry(seq).or_default();
-                    rec.suspends += 1;
-                    if rec.suspends > 1 {
-                        violate(
-                            &mut violations,
-                            &mut violation_count,
-                            format!("suspension seq {seq:#x} registered {} times", rec.suspends),
-                        );
-                    }
-                }
-            }
-            EventKind::ResumeReady { seq, .. } => {
-                readies += 1;
-                inflight = inflight.saturating_sub(1);
-                if seq != 0 {
-                    let rec = seqs.entry(seq).or_default();
-                    rec.readies += 1;
-                    if rec.suspends == 0 {
-                        violate(
-                            &mut violations,
-                            &mut violation_count,
-                            format!("resume for seq {seq:#x} with no matching suspension"),
-                        );
-                    }
-                    if rec.readies > 1 {
-                        violate(
-                            &mut violations,
-                            &mut violation_count,
-                            format!("suspension seq {seq:#x} resumed {} times", rec.readies),
-                        );
-                    }
-                }
-            }
-            EventKind::ResumeExec { seq } => {
-                execs += 1;
-                if seq != 0 {
-                    let rec = seqs.entry(seq).or_default();
-                    rec.execs += 1;
-                    if rec.execs > rec.readies {
-                        violate(
-                            &mut violations,
-                            &mut violation_count,
-                            format!(
-                                "seq {seq:#x} executed {} times but made ready only {}",
-                                rec.execs, rec.readies
-                            ),
-                        );
-                    }
-                }
-            }
-            EventKind::DequeAlloc { live: l } => {
-                let w = ev.worker as usize;
-                if w < live.len() {
-                    let expect = live[w].map_or(1, |cur| cur + 1);
-                    if l as u64 != expect {
-                        violate(
-                            &mut violations,
-                            &mut violation_count,
-                            format!(
-                                "worker {w}: deque alloc jumped live count to {l} (expected {expect})"
-                            ),
-                        );
-                    }
-                    live[w] = Some(l as u64);
-                    high[w] = high[w].max(l as u64);
-                }
-            }
-            EventKind::DequeRelease { live: l } => {
-                let w = ev.worker as usize;
-                if w < live.len() {
-                    match live[w] {
-                        Some(cur) if cur > 0 && l as u64 == cur - 1 => live[w] = Some(l as u64),
-                        Some(cur) => {
-                            violate(
-                                &mut violations,
-                                &mut violation_count,
-                                format!(
-                                    "worker {w}: deque release moved live count {cur} → {l} (expected {})",
-                                    cur.saturating_sub(1)
-                                ),
-                            );
-                            live[w] = Some(l as u64);
-                        }
-                        None => {
-                            violate(
-                                &mut violations,
-                                &mut violation_count,
-                                format!("worker {w}: deque release before any allocation"),
-                            );
-                            live[w] = Some(l as u64);
-                        }
-                    }
-                }
-            }
-            EventKind::IoRegister { token } => {
-                io_registered += 1;
-                let rec = io.entry(token).or_default();
-                rec.registers += 1;
-                if rec.registers > 1 {
-                    violate(
-                        &mut violations,
-                        &mut violation_count,
-                        format!("io token {token:#x} registered {} times", rec.registers),
-                    );
-                }
-            }
-            EventKind::IoReady { token } => {
-                io_ready += 1;
-                let rec = io.entry(token).or_default();
-                rec.readies += 1;
-                if rec.registers == 0 {
-                    violate(
-                        &mut violations,
-                        &mut violation_count,
-                        format!("io readiness for token {token:#x} with no registration"),
-                    );
-                }
-                if rec.readies + rec.deregisters > 1 {
-                    violate(
-                        &mut violations,
-                        &mut violation_count,
-                        format!(
-                            "io token {token:#x} resolved {} times ({} ready, {} deregister)",
-                            rec.readies + rec.deregisters,
-                            rec.readies,
-                            rec.deregisters
-                        ),
-                    );
-                }
-            }
-            EventKind::IoDeregister { token } => {
-                io_deregistered += 1;
-                let rec = io.entry(token).or_default();
-                rec.deregisters += 1;
-                if rec.registers == 0 {
-                    violate(
-                        &mut violations,
-                        &mut violation_count,
-                        format!("io deregister for token {token:#x} with no registration"),
-                    );
-                }
-                if rec.readies + rec.deregisters > 1 {
-                    violate(
-                        &mut violations,
-                        &mut violation_count,
-                        format!(
-                            "io token {token:#x} resolved {} times ({} ready, {} deregister)",
-                            rec.readies + rec.deregisters,
-                            rec.readies,
-                            rec.deregisters
-                        ),
-                    );
-                }
-            }
-            _ => {}
-        }
-    }
-
-    let io_unresolved = io
-        .values()
-        .filter(|r| r.registers > 0 && r.readies + r.deregisters == 0)
-        .count() as u64;
-
-    let unresolved = seqs
-        .values()
-        .filter(|r| r.suspends > 0 && r.readies == 0)
-        .count() as u64;
-
-    // Lemma 7: at most U + 1 live deques per worker.
-    for (w, &hw) in high.iter().enumerate() {
-        if hw > max_inflight + 1 {
-            violate(
-                &mut violations,
-                &mut violation_count,
-                format!(
-                    "worker {w}: live-deque high-water {hw} exceeds Lemma 7 bound U+1 = {}",
-                    max_inflight + 1
-                ),
-            );
-        }
-    }
-
-    AuditReport {
-        suspensions,
-        readies,
-        execs,
-        unresolved,
-        max_inflight,
-        deque_high_water: high,
-        io_registered,
-        io_ready,
-        io_deregistered,
-        io_unresolved,
-        violation_count,
-        violations,
-        inconclusive: trace.dropped > 0,
-    }
+    let mut state = AuditState::new(trace.workers);
+    state.observe(&trace.events);
+    state.observe_dropped(trace.dropped);
+    state.report()
 }
 
 #[cfg(test)]
@@ -1202,5 +1292,74 @@ mod tests {
         assert!(r.passed(), "in-flight suspensions are not violations: {r}");
         assert_eq!(r.unresolved, 1);
         assert_eq!(r.max_inflight, 2);
+    }
+
+    #[test]
+    fn audit_state_tolerates_cross_batch_reorder() {
+        // A live reader polling ring B before ring A can observe a
+        // ResumeReady in an earlier batch than its causally earlier
+        // Suspend. The incremental auditor must neither flag it nor let
+        // the transient orphan corrupt the in-flight high-water.
+        let mut st = AuditState::new(2);
+        st.observe(&[ready(10, 1, 5)]);
+        st.observe(&[suspend(2, 0, 5)]);
+        let r = st.report();
+        assert!(r.passed(), "{r}");
+        assert_eq!((r.suspensions, r.readies, r.unresolved), (1, 1, 0));
+        assert_eq!(r.max_inflight, 0, "settled pair never counted in flight");
+    }
+
+    #[test]
+    fn audit_state_batch_split_matches_single_shot() {
+        let events = vec![
+            ev(1, 0, EventKind::DequeAlloc { live: 1 }),
+            suspend(2, 0, 9),
+            suspend(3, 0, 11),
+            ready(4, 0, 9),
+            ev(5, 0, EventKind::ResumeExec { seq: 9 }),
+            ready(6, 0, 11),
+            ev(7, 0, EventKind::ResumeExec { seq: 11 }),
+            ev(8, 0, EventKind::DequeRelease { live: 0 }),
+            ev(9, 0, EventKind::IoRegister { token: 3 }),
+            ev(10, u32::MAX, EventKind::IoReady { token: 3 }),
+        ];
+        let single = audit(&trace_of(events.clone(), 1));
+        for split in 1..events.len() {
+            let mut st = AuditState::new(1);
+            st.observe(&events[..split]);
+            st.observe(&events[split..]);
+            let r = st.report();
+            assert_eq!(r.passed(), single.passed(), "split at {split}: {r}");
+            assert_eq!(r.violation_count, single.violation_count);
+            assert_eq!(r.suspensions, single.suspensions);
+            assert_eq!(r.max_inflight, single.max_inflight);
+            assert_eq!(r.deque_high_water, single.deque_high_water);
+        }
+    }
+
+    #[test]
+    fn audit_state_streams_monotone_violations_before_report() {
+        let mut st = AuditState::new(1);
+        st.observe(&[suspend(1, 0, 5), ready(2, 0, 5)]);
+        assert_eq!(st.violation_count(), 0);
+        st.observe(&[ready(3, 0, 5)]);
+        assert_eq!(st.violation_count(), 1, "duplicate ready flagged live");
+        // Order-sensitive orphan only appears in the report.
+        st.observe(&[ready(4, 0, 77)]);
+        assert_eq!(st.violation_count(), 1);
+        let r = st.report();
+        assert_eq!(r.violation_count, 2, "{r}");
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn audit_state_dropped_makes_inconclusive() {
+        let mut st = AuditState::new(1);
+        st.observe(&[suspend(1, 0, 5), ready(2, 0, 5)]);
+        assert!(st.report().passed());
+        st.observe_dropped(2);
+        assert_eq!(st.dropped(), 2);
+        let r = st.report();
+        assert!(r.inconclusive && !r.passed());
     }
 }

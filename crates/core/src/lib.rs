@@ -63,6 +63,7 @@ pub mod fault;
 mod join;
 mod latency;
 mod metrics;
+pub mod obs;
 mod pfor;
 mod runtime;
 mod sleep;
@@ -73,16 +74,17 @@ pub mod trace;
 mod worker;
 
 pub use config::{Config, ConfigError, LatencyMode, RuntimeBuilder, StealPolicy, TimerKind};
-pub use driver::{Driver, DriverHooks, DriverReport};
+pub use driver::{Driver, DriverHooks, DriverReport, IoTraceEvent};
 pub use external::{
     external_op, Canceled, Completer, DeadlineExt, DeadlineOp, ExternalOp, OpError,
 };
-pub use fault::{audit, AuditReport, FaultPlan, FaultSite};
+pub use fault::{audit, AuditReport, AuditState, FaultPlan, FaultSite};
 pub use join::JoinHandle;
 pub use latency::{latency_until, simulate_latency, LatencyFuture, LatencyProfile, RemoteService};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use obs::{encode_prometheus, LiveAudit, Observer};
 pub use runtime::{Runtime, RuntimeError, ShutdownReport};
-pub use trace::{Trace, TraceStats};
+pub use trace::{LiveStats, Trace, TraceBatch, TraceReader, TraceStats};
 
 use std::future::Future;
 

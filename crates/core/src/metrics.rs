@@ -350,6 +350,53 @@ mod tests {
         assert_eq!(b.since(&a), b.delta(&a));
     }
 
+    /// Golden test: the exact `Display` layout, label order included.
+    /// Scrapers and log differs key off this — change it consciously,
+    /// update this pin in the same commit.
+    #[test]
+    fn display_golden_order() {
+        let m = MetricsSnapshot::default();
+        let expected = "\
+polls:                 0
+tasks spawned:         0
+steals:                0 attempted, 0 succeeded, 0 dead targets
+steal retries:         0
+steal batch tasks:     0
+steal affinity:        0 hits, 0 fallbacks
+deque switches:        0
+deques allocated:      0
+suspensions:           0
+resumes:               0
+pfor batches:          0
+max deques per worker: 0
+unparks:               0
+io registrations:      0
+io readiness events:   0
+io timeouts:           0
+registry compactions:  0
+live deques:           0 (high water 0)";
+        assert_eq!(m.to_string(), expected);
+    }
+
+    #[test]
+    fn delta_covers_steal_policy_counters() {
+        let c = Counters::default();
+        let a = c.snapshot();
+        c.bump(&c.steal_batch_tasks);
+        c.bump(&c.steal_affinity_hits);
+        c.bump(&c.steal_affinity_hits);
+        c.bump(&c.steal_fallbacks);
+        let d = c.snapshot().delta(&a);
+        assert_eq!(
+            (
+                d.steal_batch_tasks,
+                d.steal_affinity_hits,
+                d.steal_fallbacks
+            ),
+            (1, 2, 1)
+        );
+    }
+
     #[test]
     fn display_lists_every_counter() {
         let c = Counters::default();

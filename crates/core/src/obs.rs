@@ -1,0 +1,438 @@
+//! Live observation plane: the blessed handle for watching a running
+//! runtime.
+//!
+//! Everything here is readable *while the schedule is executing* — the
+//! counterpart to the quiescent snapshots of
+//! [`Runtime::shutdown`](crate::Runtime::shutdown):
+//!
+//! * [`Observer`] is the single entry point, minted by
+//!   [`Runtime::observe`](crate::Runtime::observe). It holds a weak
+//!   reference, so an observer (or an exporter task built on one) never
+//!   keeps a dead runtime alive, and every accessor degrades to `None`
+//!   once the runtime is gone.
+//! * [`Observer::trace_reader`] taps the trace rings through the
+//!   incremental cursor readers
+//!   ([`TraceReader`]) — non-destructive,
+//!   overflow-accounted, concurrent with the producers.
+//! * [`LiveAudit`] runs the [`fault::audit`](crate::fault::audit)
+//!   invariant checks *during* the run by folding reader batches into an
+//!   [`AuditState`], instead of waiting for the shutdown trace.
+//! * [`encode_prometheus`] renders a [`MetricsSnapshot`] in the
+//!   Prometheus text exposition format — hand-rolled, dependency-free,
+//!   stable metric order — which [`Observer::export_prometheus`] serves
+//!   over any transport (the `lhws-obs` crate serves it over `lhws-net`,
+//!   from a task inside the observed runtime).
+
+use std::sync::{Arc, Weak};
+
+use crate::fault::{AuditReport, AuditState};
+use crate::metrics::MetricsSnapshot;
+use crate::runtime::RtInner;
+use crate::trace::{Trace, TraceReader};
+
+/// Observation handle for a live runtime, from
+/// [`Runtime::observe`](crate::Runtime::observe).
+///
+/// Cheap to clone and `Send`; holds only a weak reference, so it can be
+/// moved into tasks running *on* the observed runtime (the self-hosted
+/// exporter pattern) without creating a keep-alive cycle. After the
+/// runtime shuts down or is dropped, accessors return `None` /
+/// [`is_shutdown`](Self::is_shutdown) returns `true`.
+#[derive(Clone)]
+pub struct Observer {
+    rt: Weak<RtInner>,
+}
+
+impl std::fmt::Debug for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observer")
+            .field("alive", &(self.rt.strong_count() > 0))
+            .finish()
+    }
+}
+
+impl Observer {
+    pub(crate) fn new(rt: Weak<RtInner>) -> Observer {
+        Observer { rt }
+    }
+
+    fn inner(&self) -> Option<Arc<RtInner>> {
+        self.rt.upgrade()
+    }
+
+    /// Point-in-time counter snapshot with registry gauges stitched in,
+    /// or `None` once the runtime is gone.
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        self.inner().map(|rt| rt.registry_metrics())
+    }
+
+    /// Number of worker threads (`0` once the runtime is gone).
+    pub fn workers(&self) -> usize {
+        self.inner().map_or(0, |rt| rt.config.workers)
+    }
+
+    /// A fresh incremental cursor reader over the trace rings, or `None`
+    /// when tracing is disabled (or the runtime is gone). Each call
+    /// registers an independent reader with its own cursors; events are
+    /// reclaimed only once every registered reader has passed them.
+    pub fn trace_reader(&self) -> Option<TraceReader> {
+        self.inner()
+            .and_then(|rt| rt.tracer.as_ref().map(|t| t.new_reader()))
+    }
+
+    /// A [`LiveAudit`]: the invariant checker fed by an incremental
+    /// reader, for running `fault::audit` *during* the schedule. `None`
+    /// when tracing is disabled (or the runtime is gone).
+    pub fn audit_incremental(&self) -> Option<LiveAudit> {
+        let workers = self.workers();
+        self.trace_reader()
+            .map(|reader| LiveAudit::new(reader, workers))
+    }
+
+    /// Total trace events lost to ring overflow so far, or `None` when
+    /// tracing is disabled.
+    pub fn trace_dropped_total(&self) -> Option<u64> {
+        self.inner()
+            .and_then(|rt| rt.tracer.as_ref().map(|t| t.dropped_total()))
+    }
+
+    /// Renders the current metrics in the Prometheus text exposition
+    /// format ([`encode_prometheus`]), or `None` once the runtime is
+    /// gone.
+    pub fn export_prometheus(&self) -> Option<String> {
+        let rt = self.inner()?;
+        let m = rt.registry_metrics();
+        let dropped = rt.tracer.as_ref().map(|t| t.dropped_total());
+        Some(encode_prometheus(&m, rt.config.workers, dropped))
+    }
+
+    /// `true` once the observed runtime has begun shutdown or been
+    /// dropped entirely.
+    pub fn is_shutdown(&self) -> bool {
+        self.inner().is_none_or(|rt| rt.is_shutdown())
+    }
+}
+
+/// The invariant auditor running *during* the schedule: an incremental
+/// [`TraceReader`] feeding an order-tolerant [`AuditState`].
+///
+/// Poll it periodically while the runtime executes; monotone violations
+/// (double resume, deque imbalance, double I/O resolution) are flagged
+/// the moment their events are observed —
+/// [`violation_count`](Self::violation_count) grows mid-run. At shutdown,
+/// fold the final drained [`Trace`] with
+/// [`observe_trace`](Self::observe_trace): with a single reader the
+/// drain's leftovers are exactly the events this reader has not seen, so
+/// live batches plus leftovers cover every event exactly once, and
+/// [`report`](Self::report) matches what post-hoc
+/// [`audit`](crate::fault::audit) would say about the whole run.
+#[derive(Debug)]
+pub struct LiveAudit {
+    reader: TraceReader,
+    state: AuditState,
+}
+
+impl LiveAudit {
+    fn new(reader: TraceReader, workers: usize) -> LiveAudit {
+        LiveAudit {
+            reader,
+            state: AuditState::new(workers),
+        }
+    }
+
+    /// Polls the reader once and folds the batch (events + accounted
+    /// loss) into the audit. Returns the number of events folded.
+    pub fn poll(&mut self) -> usize {
+        let batch = self.reader.poll_events();
+        self.state.observe(&batch.events);
+        self.state.observe_dropped(batch.dropped + batch.missed);
+        batch.events.len()
+    }
+
+    /// Folds a destructively drained [`Trace`] (normally the shutdown
+    /// report's) into the audit. Only the *residual* drop count — loss
+    /// not already surfaced through this reader's poll deltas — is
+    /// added, since a drained trace reports the cumulative total. Do not
+    /// [`poll`](Self::poll) again afterwards: the drain already freed
+    /// these events, so a later poll would double-count them as missed.
+    pub fn observe_trace(&mut self, trace: &Trace) {
+        self.state.observe(&trace.events);
+        let residual = trace.dropped.saturating_sub(self.reader.dropped_seen());
+        self.state.observe_dropped(residual);
+    }
+
+    /// Violations flagged so far by the streaming (monotone) checks.
+    pub fn violation_count(&self) -> u64 {
+        self.state.violation_count()
+    }
+
+    /// The underlying incremental audit state.
+    pub fn state(&self) -> &AuditState {
+        &self.state
+    }
+
+    /// Full report over everything observed so far (order-sensitive
+    /// checks included). Non-consuming; call mid-run or at the end.
+    pub fn report(&self) -> AuditReport {
+        self.state.report()
+    }
+}
+
+/// One metric line triple: `(name, help, kind)`.
+const KIND_COUNTER: &str = "counter";
+const KIND_GAUGE: &str = "gauge";
+
+fn sample(out: &mut String, name: &str, kind: &str, help: &str, value: u64) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push('\n');
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Renders a [`MetricsSnapshot`] (plus the worker count and, when
+/// tracing is on, the cumulative trace-overflow count) in the Prometheus
+/// text exposition format, version 0.0.4: `# HELP` / `# TYPE` preamble
+/// per family, `lhws_` prefix, `_total` suffix on counters, one sample
+/// per family, stable order. Hand-rolled so the build stays
+/// dependency-free; validated by the `lhws-obs` crate's parser in CI.
+pub fn encode_prometheus(
+    m: &MetricsSnapshot,
+    workers: usize,
+    trace_dropped: Option<u64>,
+) -> String {
+    let mut o = String::with_capacity(4096);
+    let c = KIND_COUNTER;
+    let g = KIND_GAUGE;
+    sample(
+        &mut o,
+        "lhws_polls_total",
+        c,
+        "Task polls executed.",
+        m.polls,
+    );
+    sample(
+        &mut o,
+        "lhws_tasks_spawned_total",
+        c,
+        "Tasks spawned (spawn + pfor leaves).",
+        m.tasks_spawned,
+    );
+    sample(
+        &mut o,
+        "lhws_steals_attempted_total",
+        c,
+        "Steal attempts (paper's R includes these).",
+        m.steals_attempted,
+    );
+    sample(
+        &mut o,
+        "lhws_steals_succeeded_total",
+        c,
+        "Steal attempts that took at least one task.",
+        m.steals_succeeded,
+    );
+    sample(
+        &mut o,
+        "lhws_steals_dead_target_total",
+        c,
+        "Steal attempts that landed on a retired deque slot.",
+        m.steals_dead_target,
+    );
+    sample(
+        &mut o,
+        "lhws_steal_retries_total",
+        c,
+        "Bounded in-attempt retries after a lost steal race.",
+        m.steal_retries,
+    );
+    sample(
+        &mut o,
+        "lhws_steal_batch_tasks_total",
+        c,
+        "Tasks moved by steal-half batching beyond the first.",
+        m.steal_batch_tasks,
+    );
+    sample(
+        &mut o,
+        "lhws_steal_affinity_hits_total",
+        c,
+        "Steals satisfied by the cached affinity victim.",
+        m.steal_affinity_hits,
+    );
+    sample(
+        &mut o,
+        "lhws_steal_fallbacks_total",
+        c,
+        "Affinity misses that fell back to a uniform draw.",
+        m.steal_fallbacks,
+    );
+    sample(
+        &mut o,
+        "lhws_deque_switches_total",
+        c,
+        "Active-deque switches on suspension or steal.",
+        m.deque_switches,
+    );
+    sample(
+        &mut o,
+        "lhws_deques_allocated_total",
+        c,
+        "Deques allocated (fresh, not recycled).",
+        m.deques_allocated,
+    );
+    sample(
+        &mut o,
+        "lhws_suspensions_total",
+        c,
+        "Suspension registrations (timers, channels, external ops).",
+        m.suspensions,
+    );
+    sample(
+        &mut o,
+        "lhws_resumes_total",
+        c,
+        "Resume events delivered back to workers.",
+        m.resumes,
+    );
+    sample(
+        &mut o,
+        "lhws_pfor_batches_total",
+        c,
+        "Parallel-for leaf batches executed.",
+        m.pfor_batches,
+    );
+    sample(
+        &mut o,
+        "lhws_unparks_total",
+        c,
+        "Targeted worker wake-ups issued.",
+        m.unparks,
+    );
+    sample(
+        &mut o,
+        "lhws_io_registrations_total",
+        c,
+        "I/O readiness waits filed with a reactor driver.",
+        m.io_registrations,
+    );
+    sample(
+        &mut o,
+        "lhws_io_readiness_events_total",
+        c,
+        "Kernel readiness events resolved into resumes.",
+        m.io_readiness_events,
+    );
+    sample(
+        &mut o,
+        "lhws_io_timeouts_total",
+        c,
+        "I/O waits resolved by deadline instead of readiness.",
+        m.io_timeouts,
+    );
+    sample(
+        &mut o,
+        "lhws_registry_compactions_total",
+        c,
+        "Deque-registry slot compactions.",
+        m.registry_compactions,
+    );
+    sample(
+        &mut o,
+        "lhws_live_deques",
+        g,
+        "Deques currently in the live set.",
+        m.live_deques,
+    );
+    sample(
+        &mut o,
+        "lhws_live_deques_high_water",
+        g,
+        "High-water mark of the live set.",
+        m.live_deques_high_water,
+    );
+    sample(
+        &mut o,
+        "lhws_max_deques_per_worker",
+        g,
+        "Max deques owned by one worker at once (Lemma 7 observable).",
+        m.max_deques_per_worker,
+    );
+    sample(
+        &mut o,
+        "lhws_workers",
+        g,
+        "Worker threads in the runtime.",
+        workers as u64,
+    );
+    if let Some(dropped) = trace_dropped {
+        sample(
+            &mut o,
+            "lhws_trace_dropped_total",
+            c,
+            "Trace events lost to ring overflow.",
+            dropped,
+        );
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_text_shape() {
+        let m = MetricsSnapshot::default();
+        let text = encode_prometheus(&m, 4, Some(3));
+        // Every family has exactly one HELP, one TYPE, one sample.
+        let mut names = Vec::new();
+        for chunk in text.split("# HELP ").skip(1) {
+            let name = chunk.split_whitespace().next().unwrap().to_string();
+            assert!(chunk.contains(&format!("# TYPE {name} ")));
+            assert!(
+                chunk.lines().any(|l| l.starts_with(&format!("{name} "))),
+                "sample line for {name}"
+            );
+            names.push(name);
+        }
+        assert_eq!(
+            names.len(),
+            24,
+            "20 counters (incl. trace drops) + 4 gauges"
+        );
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "no duplicate families");
+        assert!(text.contains("lhws_workers 4"));
+        assert!(text.contains("lhws_trace_dropped_total 3"));
+        assert!(text.ends_with('\n'));
+        // Counters carry the _total suffix; gauges don't.
+        for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+            let mut parts = line.split_whitespace().skip(2);
+            let (name, kind) = (parts.next().unwrap(), parts.next().unwrap());
+            assert_eq!(
+                name.ends_with("_total"),
+                kind == "counter",
+                "{name} is {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_text_omits_trace_family_when_tracing_off() {
+        let m = MetricsSnapshot::default();
+        let text = encode_prometheus(&m, 1, None);
+        assert!(!text.contains("lhws_trace_dropped_total"));
+    }
+}

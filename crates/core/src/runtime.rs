@@ -16,6 +16,7 @@ use crate::driver::{Driver, DriverHooks, DriverReport};
 use crate::fault::{FaultInjector, PanicInjected};
 use crate::join::{CatchUnwind, JoinCell, JoinHandle, PanicPayload};
 use crate::metrics::{CachePadded, Counters, MetricsSnapshot};
+use crate::obs::Observer;
 use crate::sleep::Sleepers;
 use crate::task::{Task, TaskRef};
 use crate::timer::{ResumeEvent, ResumeSink, Timer, TimerEntry};
@@ -497,11 +498,24 @@ impl Runtime {
         }
     }
 
+    /// The blessed observation handle for this runtime: metrics
+    /// snapshots, incremental trace readers, continuous invariant
+    /// auditing, and the Prometheus text exporter all hang off the
+    /// returned [`Observer`]. The handle is weak — clone it into tasks
+    /// running *on* this runtime (the self-hosted `/metrics` exporter
+    /// pattern) without keeping a dead runtime alive.
+    pub fn observe(&self) -> Observer {
+        Observer::new(Arc::downgrade(&self.inner))
+    }
+
     /// A point-in-time snapshot of the runtime's metrics counters, with
     /// the registry-derived gauges (live set size, high water,
-    /// compactions) filled in.
+    /// compactions) filled in. Thin delegate for
+    /// [`observe`](Self::observe)`().metrics()`.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.inner.registry_metrics()
+        self.observe()
+            .metrics()
+            .expect("runtime is alive while borrowed")
     }
 
     /// Drains the event tracer into a [`Trace`] snapshot, or `None` when
@@ -509,6 +523,12 @@ impl Runtime {
     /// schedule: events recorded concurrently land in the next snapshot,
     /// and a suspension may appear without its later lifecycle events. For
     /// complete, quiescent data use [`Runtime::shutdown`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "destructive mid-run drains steal events from live readers; use \
+                `observe().trace_reader()` for incremental non-destructive reads, \
+                or `shutdown()` for the complete quiescent trace"
+    )]
     pub fn trace_snapshot(&self) -> Option<Trace> {
         self.inner.tracer.as_ref().map(|t| t.drain())
     }
@@ -516,7 +536,14 @@ impl Runtime {
     /// Drains the trace and writes it as Chrome-trace/Perfetto JSON. With
     /// tracing disabled an empty-but-valid document is written, so the
     /// output always parses.
+    #[deprecated(
+        since = "0.1.0",
+        note = "destructive mid-run drains steal events from live readers; poll \
+                `observe().trace_reader()` and export `TraceBatch::into_trace()`, \
+                or export the `shutdown()` report's trace"
+    )]
     pub fn trace_export<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        #[allow(deprecated)]
         match self.trace_snapshot() {
             Some(trace) => trace.export_chrome(w),
             None => Trace {

@@ -19,6 +19,14 @@
 //! * When the ring is full the **newest event is dropped** and counted
 //!   ([`Trace::dropped`]); existing events are never overwritten, so the
 //!   recorded prefix of each worker's history is always contiguous.
+//! * Consumption is either **destructive** (the shutdown drain into a
+//!   [`Trace`]) or **incremental**: a [`TraceReader`] holds a cursor per
+//!   ring and polls non-destructively while producers keep recording
+//!   ([`TraceReader::poll_events`]). Slots are reclaimed at the slowest
+//!   reader's cursor, so two readers on one ring see every event
+//!   independently, and a reader that falls behind a drain (or another
+//!   consumer's reclaim) is told exactly how many events it *missed* —
+//!   loss is always counted, never silent.
 //! * Tracing is enabled by [`crate::Config::trace_capacity`] (or
 //!   `RuntimeBuilder::trace_capacity`); when disabled (the default) every record
 //!   site is one branch on an `Option` that is always `None` — the hot
@@ -42,11 +50,14 @@
 mod export;
 mod stats;
 
-pub use stats::{LatencyHistogram, TraceStats};
+pub use stats::{LatencyHistogram, LiveStats, TraceStats};
 
 use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::fmt;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -212,8 +223,14 @@ pub struct TraceEvent {
 }
 
 /// Fixed-capacity SPSC ring. The producing worker writes `tail`, the
-/// (mutex-serialized) collector advances `head`. Full ring ⇒ the new
+/// (mutex-serialized) consumers advance `head`. Full ring ⇒ the new
 /// event is dropped and counted, never overwriting history.
+///
+/// `head` and `tail` are *absolute* monotonically increasing positions
+/// (masked into the slot array on access), which is what makes cursor
+/// readers possible: a reader remembers the next absolute position it
+/// has not yet seen, and `head` is simply the reclaim frontier — the
+/// position below which slots may be reused by the producer.
 struct Ring {
     slots: Box<[UnsafeCell<MaybeUninit<TraceEvent>>]>,
     mask: usize,
@@ -266,6 +283,46 @@ impl Ring {
         self.head.store(head.wrapping_add(1), Ordering::Release);
         Some(ev)
     }
+
+    /// Non-destructive read of absolute position `pos`. Caller holds the
+    /// collector lock and has checked `head <= pos < tail`: the producer
+    /// never rewrites a slot in that range (push refuses when the ring is
+    /// full rather than overwrite), and `head` only moves under the same
+    /// lock, so the slot is stable for the duration of the read.
+    fn read_at(&self, pos: usize) -> TraceEvent {
+        unsafe { (*self.slots[pos & self.mask].get()).assume_init_read() }
+    }
+}
+
+/// Off-worker events with an absolute base index, so cursor readers can
+/// address the side buffer the same way they address the rings.
+#[derive(Default)]
+struct SharedBuf {
+    events: VecDeque<TraceEvent>,
+    /// Absolute position of `events[0]`: `base` events have already been
+    /// reclaimed (drained or passed by every reader).
+    base: usize,
+}
+
+/// One registered reader's cursor state. Lives inside the `collect`
+/// mutex so every consumer — readers and the destructive drain — is
+/// serialized and the rings stay single-consumer.
+struct ReaderCursors {
+    id: u64,
+    /// Next absolute position to read, one cursor per worker ring.
+    rings: Vec<usize>,
+    /// Next absolute side-buffer position to read.
+    shared: usize,
+    /// Producer-side overflow total already surfaced to this reader
+    /// (baseline for per-poll `dropped` deltas).
+    dropped_seen: u64,
+}
+
+/// The set of registered incremental readers.
+#[derive(Default)]
+struct ReaderSet {
+    readers: Vec<ReaderCursors>,
+    next_id: u64,
 }
 
 /// The runtime's event recorder: one ring per worker plus the shared side
@@ -274,11 +331,12 @@ impl Ring {
 pub(crate) struct Tracer {
     rings: Box<[CachePadded<Ring>]>,
     /// Off-worker events (injections, deliveries, unparks).
-    shared: Mutex<Vec<TraceEvent>>,
+    shared: Mutex<SharedBuf>,
     shared_capacity: usize,
     shared_dropped: AtomicU64,
-    /// Serializes collectors so the rings stay single-consumer.
-    collect: Mutex<()>,
+    /// Serializes consumers (readers and the destructive drain) so the
+    /// rings stay single-consumer, and registers the readers' cursors.
+    collect: Mutex<ReaderSet>,
     epoch: Instant,
 }
 
@@ -290,10 +348,10 @@ impl Tracer {
             rings: (0..workers)
                 .map(|_| CachePadded::new(Ring::with_capacity(capacity)))
                 .collect(),
-            shared: Mutex::new(Vec::new()),
+            shared: Mutex::new(SharedBuf::default()),
             shared_capacity: capacity.max(2).next_power_of_two(),
             shared_dropped: AtomicU64::new(0),
-            collect: Mutex::new(()),
+            collect: Mutex::new(ReaderSet::default()),
             epoch: Instant::now(),
         }
     }
@@ -324,42 +382,269 @@ impl Tracer {
             kind,
         };
         let mut buf = self.shared.lock();
-        if buf.len() >= self.shared_capacity {
+        if buf.events.len() >= self.shared_capacity {
             self.shared_dropped.fetch_add(1, Ordering::Relaxed);
         } else {
-            buf.push(ev);
+            buf.events.push_back(ev);
         }
+    }
+
+    /// Total events lost to producer-side overflow (ring full, side
+    /// buffer full) over the tracer's lifetime.
+    pub fn dropped_total(&self) -> u64 {
+        let mut d = self.shared_dropped.load(Ordering::Relaxed);
+        for ring in self.rings.iter() {
+            d += ring.dropped.load(Ordering::Relaxed);
+        }
+        d
     }
 
     /// Drains every ring and the side buffer into a [`Trace`] snapshot,
     /// sorted by timestamp. Events recorded concurrently with the drain
-    /// land in the next snapshot.
+    /// land in the next snapshot. Destructive: registered readers that
+    /// had not yet seen the drained events count them as missed on their
+    /// next poll.
     pub fn drain(&self) -> Trace {
         let _guard = self.collect.lock();
         let mut events = Vec::new();
-        let mut dropped = 0u64;
         for ring in self.rings.iter() {
             while let Some(ev) = ring.pop() {
                 events.push(ev);
             }
-            dropped += ring.dropped.load(Ordering::Relaxed);
         }
-        events.append(&mut self.shared.lock());
-        dropped += self.shared_dropped.load(Ordering::Relaxed);
+        {
+            let mut buf = self.shared.lock();
+            let n = buf.events.len();
+            events.extend(buf.events.drain(..));
+            buf.base += n;
+        }
         events.sort_by_key(|e| e.ts);
         Trace {
             events,
-            dropped,
+            dropped: self.dropped_total(),
             workers: self.rings.len(),
+        }
+    }
+
+    /// Registers a new incremental reader. Its cursors start at the
+    /// current reclaim frontier: everything not yet consumed is visible,
+    /// nothing is delivered twice.
+    pub fn new_reader(self: &Arc<Self>) -> TraceReader {
+        let mut set = self.collect.lock();
+        let id = set.next_id;
+        set.next_id += 1;
+        set.readers.push(ReaderCursors {
+            id,
+            rings: self
+                .rings
+                .iter()
+                .map(|r| r.head.load(Ordering::Acquire))
+                .collect(),
+            shared: self.shared.lock().base,
+            dropped_seen: self.dropped_total(),
+        });
+        drop(set);
+        TraceReader {
+            tracer: self.clone(),
+            id,
+        }
+    }
+
+    /// One non-destructive poll for reader `id`: reads every ring and the
+    /// side buffer up to their current tails, advances the reader's
+    /// cursors, then reclaims slots behind the slowest reader.
+    fn poll_reader(&self, id: u64) -> TraceBatch {
+        let mut set = self.collect.lock();
+        let idx = set
+            .readers
+            .iter()
+            .position(|r| r.id == id)
+            .expect("reader is registered until dropped");
+        let mut events = Vec::new();
+        let mut missed = 0u64;
+        for (r, ring) in self.rings.iter().enumerate() {
+            let head = ring.head.load(Ordering::Acquire);
+            let tail = ring.tail.load(Ordering::Acquire);
+            let cur = &mut set.readers[idx].rings[r];
+            if *cur < head {
+                // Another consumer (a drain, or reclaim on behalf of a
+                // faster co-reader that has since unregistered) freed
+                // events this reader never saw.
+                missed += (head - *cur) as u64;
+                *cur = head;
+            }
+            while *cur < tail {
+                events.push(ring.read_at(*cur));
+                *cur += 1;
+            }
+        }
+        {
+            let buf = self.shared.lock();
+            let cur = &mut set.readers[idx].shared;
+            if *cur < buf.base {
+                missed += (buf.base - *cur) as u64;
+                *cur = buf.base;
+            }
+            while *cur < buf.base + buf.events.len() {
+                events.push(buf.events[*cur - buf.base]);
+                *cur += 1;
+            }
+        }
+        let total = self.dropped_total();
+        let dropped = total.saturating_sub(set.readers[idx].dropped_seen);
+        set.readers[idx].dropped_seen = total;
+        self.reclaim(&set);
+        events.sort_by_key(|e| e.ts);
+        TraceBatch {
+            events,
+            dropped,
+            missed,
+            workers: self.rings.len(),
+        }
+    }
+
+    /// Overflow total already surfaced to reader `id` through its poll
+    /// deltas (the baseline for folding a final destructive drain into an
+    /// incremental consumer without double-counting drops).
+    fn reader_dropped_seen(&self, id: u64) -> u64 {
+        self.collect
+            .lock()
+            .readers
+            .iter()
+            .find(|r| r.id == id)
+            .map_or(0, |r| r.dropped_seen)
+    }
+
+    /// Advances each ring's head (and the side buffer's base) to the
+    /// slowest registered reader's cursor, freeing the slots every reader
+    /// has passed. With no readers the frontier is left alone — only the
+    /// destructive drain consumes then.
+    fn reclaim(&self, set: &ReaderSet) {
+        if set.readers.is_empty() {
+            return;
+        }
+        for (r, ring) in self.rings.iter().enumerate() {
+            let min = set.readers.iter().map(|c| c.rings[r]).min().unwrap();
+            if min > ring.head.load(Ordering::Relaxed) {
+                ring.head.store(min, Ordering::Release);
+            }
+        }
+        let min = set.readers.iter().map(|c| c.shared).min().unwrap();
+        let mut buf = self.shared.lock();
+        while buf.base < min && buf.events.pop_front().is_some() {
+            buf.base += 1;
+        }
+    }
+
+    /// Unregisters reader `id` and reclaims anything it alone was
+    /// holding back.
+    fn drop_reader(&self, id: u64) {
+        let mut set = self.collect.lock();
+        set.readers.retain(|c| c.id != id);
+        self.reclaim(&set);
+    }
+}
+
+/// A cursor-based, non-destructive reader over the tracer's rings.
+///
+/// Obtained from [`Observer::trace_reader`](crate::obs::Observer::trace_reader).
+/// Each [`poll_events`](TraceReader::poll_events) call returns every event
+/// recorded since the previous call (across all rings and the side
+/// buffer, timestamp-sorted), concurrently with producers — no event is
+/// ever returned twice to the same reader, and multiple readers on the
+/// same runtime each get an independent cursor. Slots are only reclaimed
+/// once every registered reader has passed them, so a second reader costs
+/// ring capacity, not correctness.
+///
+/// Loss is accounted, never silent: [`TraceBatch::dropped`] reports
+/// producer-side ring overflow since the last poll (raise
+/// [`Config::trace_capacity`](crate::Config::trace_capacity) or poll more
+/// often), and [`TraceBatch::missed`] reports events another consumer (a
+/// destructive drain) freed before this reader saw them.
+pub struct TraceReader {
+    tracer: Arc<Tracer>,
+    id: u64,
+}
+
+impl fmt::Debug for TraceReader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceReader")
+            .field("id", &self.id)
+            .field("workers", &self.tracer.rings.len())
+            .finish()
+    }
+}
+
+impl TraceReader {
+    /// Polls every ring and the side buffer for events recorded since the
+    /// last poll. Non-destructive with respect to other readers; each
+    /// batch is a consistent cut (every ring read up to its tail at poll
+    /// time), sorted by timestamp.
+    pub fn poll_events(&mut self) -> TraceBatch {
+        self.tracer.poll_reader(self.id)
+    }
+
+    /// Number of worker rings this reader covers.
+    pub fn workers(&self) -> usize {
+        self.tracer.rings.len()
+    }
+
+    /// Producer-side overflow total already surfaced through this
+    /// reader's poll deltas.
+    pub(crate) fn dropped_seen(&self) -> u64 {
+        self.tracer.reader_dropped_seen(self.id)
+    }
+}
+
+impl Drop for TraceReader {
+    fn drop(&mut self) {
+        self.tracer.drop_reader(self.id);
+    }
+}
+
+/// One [`TraceReader::poll_events`] result: the events recorded since the
+/// previous poll, plus per-reader loss accounting.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBatch {
+    /// Events recorded since the last poll, sorted by timestamp.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to producer-side ring overflow since the last poll
+    /// (recorded nowhere; raise the trace capacity or poll faster).
+    pub dropped: u64,
+    /// Events another consumer (a destructive drain) reclaimed before
+    /// this reader saw them — they exist in that consumer's snapshot,
+    /// just not in this reader's stream.
+    pub missed: u64,
+    /// Number of worker rings polled.
+    pub workers: usize,
+}
+
+impl TraceBatch {
+    /// True when the poll returned nothing and lost nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.dropped == 0 && self.missed == 0
+    }
+
+    /// Converts the batch into a standalone [`Trace`]. Both loss kinds
+    /// fold into [`Trace::dropped`]: from this batch's point of view a
+    /// missed event is as gone as an overflowed one, and the auditor must
+    /// treat the trace as incomplete either way.
+    pub fn into_trace(self) -> Trace {
+        Trace {
+            events: self.events,
+            dropped: self.dropped + self.missed,
+            workers: self.workers,
         }
     }
 }
 
 /// A drained snapshot of the runtime's event history.
 ///
-/// Obtained from [`Runtime::trace_snapshot`](crate::Runtime::trace_snapshot)
-/// (point-in-time, racing with the still-running schedule) or from
-/// [`Runtime::shutdown`](crate::Runtime::shutdown) (complete and quiescent).
+/// Obtained from [`Runtime::shutdown`](crate::Runtime::shutdown) (complete
+/// and quiescent), from [`TraceBatch::into_trace`] (one incremental
+/// reader poll), or from the deprecated
+/// [`Runtime::trace_snapshot`](crate::Runtime::trace_snapshot)
+/// (point-in-time destructive drain, racing with the running schedule).
 #[derive(Debug, Clone)]
 pub struct Trace {
     /// All recorded events, sorted by timestamp.
@@ -484,5 +769,166 @@ mod tests {
         assert!(trace.events.windows(2).all(|w| w[0].ts <= w[1].ts));
         // Second drain starts empty.
         assert!(t.drain().events.is_empty());
+    }
+
+    #[test]
+    fn reader_polls_each_event_exactly_once() {
+        let t = std::sync::Arc::new(Tracer::new(2, 64));
+        let mut r = t.new_reader();
+        t.record(0, EventKind::Park);
+        t.record(1, EventKind::Park);
+        t.record_shared(NONE_ID, EventKind::Inject);
+        let b = r.poll_events();
+        assert_eq!(b.events.len(), 3);
+        assert_eq!((b.dropped, b.missed), (0, 0));
+        assert!(r.poll_events().is_empty());
+        t.record(0, EventKind::Park);
+        assert_eq!(r.poll_events().events.len(), 1);
+    }
+
+    #[test]
+    fn reader_reclaims_so_ring_never_fills_when_polled() {
+        let t = std::sync::Arc::new(Tracer::new(1, 4));
+        let mut r = t.new_reader();
+        // 10 rounds of capacity-filling bursts, polled between bursts:
+        // reclaim frees the slots so nothing is ever dropped.
+        let mut seen = 0;
+        for _ in 0..10 {
+            for _ in 0..4 {
+                t.record(0, EventKind::Park);
+            }
+            seen += r.poll_events().events.len();
+        }
+        assert_eq!(seen, 40);
+        assert_eq!(t.dropped_total(), 0);
+    }
+
+    #[test]
+    fn slow_reader_overflow_is_counted_not_lost() {
+        let t = std::sync::Arc::new(Tracer::new(1, 4));
+        let mut r = t.new_reader();
+        // Burst past capacity without polling: 4 stored, 6 dropped.
+        for _ in 0..10 {
+            t.record(0, EventKind::Park);
+        }
+        let b = r.poll_events();
+        assert_eq!(b.events.len(), 4);
+        assert_eq!(b.dropped, 6);
+        assert_eq!(b.missed, 0);
+        // events + dropped account for every push — nothing silent.
+        assert_eq!(b.events.len() as u64 + b.dropped, 10);
+        // The delta was consumed; the next poll reports no new drops.
+        assert!(r.poll_events().is_empty());
+    }
+
+    #[test]
+    fn two_readers_have_independent_cursors() {
+        let t = std::sync::Arc::new(Tracer::new(1, 64));
+        let mut a = t.new_reader();
+        let mut b = t.new_reader();
+        for _ in 0..5 {
+            t.record(0, EventKind::Park);
+        }
+        assert_eq!(a.poll_events().events.len(), 5);
+        // Reader b still sees all 5: slots reclaim at the slowest cursor.
+        assert_eq!(b.poll_events().events.len(), 5);
+        for _ in 0..3 {
+            t.record(0, EventKind::Park);
+        }
+        assert_eq!(b.poll_events().events.len(), 3);
+        assert_eq!(a.poll_events().events.len(), 3);
+        assert_eq!(t.dropped_total(), 0);
+    }
+
+    #[test]
+    fn dropped_reader_stops_holding_back_reclaim() {
+        let t = std::sync::Arc::new(Tracer::new(1, 4));
+        let mut fast = t.new_reader();
+        let slow = t.new_reader();
+        for _ in 0..4 {
+            t.record(0, EventKind::Park);
+        }
+        assert_eq!(fast.poll_events().events.len(), 4);
+        // The lagging reader pins the slots: the ring is still full.
+        t.record(0, EventKind::Park);
+        assert_eq!(t.dropped_total(), 1);
+        drop(slow);
+        // Its cursor no longer pins the frontier; capacity is back. The
+        // overflowed push is gone (drop-newest), surfaced as a count.
+        t.record(0, EventKind::Park);
+        assert_eq!(t.dropped_total(), 1);
+        let b = fast.poll_events();
+        assert_eq!(b.events.len(), 1);
+        assert_eq!(b.dropped, 1);
+    }
+
+    #[test]
+    fn drain_past_reader_counts_missed() {
+        let t = std::sync::Arc::new(Tracer::new(1, 64));
+        let mut r = t.new_reader();
+        t.record(0, EventKind::Park);
+        t.record(0, EventKind::Park);
+        t.record_shared(NONE_ID, EventKind::Inject);
+        // A destructive drain consumes events the reader never saw.
+        assert_eq!(t.drain().events.len(), 3);
+        let b = r.poll_events();
+        assert!(b.events.is_empty());
+        assert_eq!(b.missed, 3);
+        // Fresh events flow to the reader again afterwards.
+        t.record(0, EventKind::Park);
+        assert_eq!(r.poll_events().events.len(), 1);
+    }
+
+    #[test]
+    fn reader_poll_concurrent_with_producer_sees_everything() {
+        let t = std::sync::Arc::new(Tracer::new(1, 1 << 12));
+        let n = 50_000u64;
+        // Register the reader before the producer starts so every overflow
+        // drop lands in this reader's accounting window.
+        let mut r = t.new_reader();
+        let producer = {
+            let t = t.clone();
+            std::thread::spawn(move || {
+                for i in 0..n {
+                    // Tag pushes via the Unpark worker field so the reader
+                    // can verify order and exactly-once delivery.
+                    t.record(0, EventKind::Unpark { worker: i as u32 });
+                }
+            })
+        };
+        let mut seen = 0u64;
+        let mut dropped = 0u64;
+        let mut last: Option<u32> = None;
+        while seen + dropped < n {
+            let b = r.poll_events();
+            for ev in &b.events {
+                let EventKind::Unpark { worker } = ev.kind else {
+                    panic!("unexpected event {ev:?}");
+                };
+                if let Some(prev) = last {
+                    assert!(worker > prev, "duplicate or reordered event");
+                }
+                last = Some(worker);
+            }
+            seen += b.events.len() as u64;
+            dropped += b.dropped;
+            assert_eq!(b.missed, 0);
+        }
+        producer.join().unwrap();
+        let tail = r.poll_events();
+        assert_eq!(seen + tail.events.len() as u64 + dropped + tail.dropped, n);
+    }
+
+    #[test]
+    fn batch_into_trace_folds_loss() {
+        let t = std::sync::Arc::new(Tracer::new(1, 4));
+        let mut r = t.new_reader();
+        for _ in 0..6 {
+            t.record(0, EventKind::Park);
+        }
+        let trace = r.poll_events().into_trace();
+        assert_eq!(trace.events.len(), 4);
+        assert_eq!(trace.dropped, 2);
+        assert_eq!(trace.workers, 1);
     }
 }

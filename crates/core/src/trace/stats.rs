@@ -55,6 +55,22 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// Sum of all samples, in nanoseconds (saturating).
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum
+    }
+
+    /// Iterates the buckets as `(upper_bound_ns, count)` pairs — bucket
+    /// `i` covers `[2^i, 2^(i+1))` ns, reported by its upper bound.
+    /// Counts are per-bucket (not cumulative); exporters wanting
+    /// Prometheus-style cumulative `le` buckets accumulate while walking.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (1u64 << (i + 1).min(63), c))
+    }
+
     /// True if no sample was recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0
@@ -193,14 +209,70 @@ impl TraceStats {
     /// Computes the statistics from `events` recorded across `workers`
     /// rings.
     pub fn from_events(events: &[TraceEvent], workers: usize) -> TraceStats {
-        let mut s = TraceStats {
-            deque_high_water: vec![0; workers],
-            ..TraceStats::default()
-        };
-        // seq → (suspend_ts, (enabled_at, ready_ts)); filled in as the
-        // lifecycle events stream past (they are timestamp-sorted, but we
-        // do not rely on it).
-        let mut pending: HashMap<u64, Lifecycle> = HashMap::new();
+        let mut live = LiveStats::new(workers);
+        live.observe(events);
+        live.into_stats()
+    }
+
+    /// Fraction of steal attempts that succeeded (`0.0` when none).
+    pub fn steal_success_rate(&self) -> f64 {
+        if self.steal_attempts == 0 {
+            0.0
+        } else {
+            self.steal_successes as f64 / self.steal_attempts as f64
+        }
+    }
+
+    /// The largest per-worker deque high-water mark.
+    pub fn max_deque_high_water(&self) -> u64 {
+        self.deque_high_water.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Incremental [`TraceStats`] folder for live observation: feed it
+/// [`TraceReader`](super::TraceReader) batches as they arrive and read
+/// the running statistics between polls. Suspension lifecycles are paired
+/// across batches — a `Suspend` in one poll and its `ResumeExec` three
+/// polls later still produce one latency sample.
+#[derive(Debug, Clone, Default)]
+pub struct LiveStats {
+    stats: TraceStats,
+    /// seq → (suspend_ts, (enabled_at, ready_ts)); carried across
+    /// batches so lifecycles split over polls still pair up.
+    pending: HashMap<u64, Lifecycle>,
+}
+
+impl LiveStats {
+    /// Creates an empty folder covering `workers` rings.
+    pub fn new(workers: usize) -> LiveStats {
+        LiveStats {
+            stats: TraceStats {
+                deque_high_water: vec![0; workers],
+                ..TraceStats::default()
+            },
+            pending: HashMap::new(),
+        }
+    }
+
+    /// The statistics folded so far.
+    pub fn stats(&self) -> &TraceStats {
+        &self.stats
+    }
+
+    /// Consumes the folder, returning the statistics.
+    pub fn into_stats(self) -> TraceStats {
+        self.stats
+    }
+
+    /// Suspension lifecycles still in flight (seen but not yet executed).
+    pub fn pending_lifecycles(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Folds one batch of events into the running statistics.
+    pub fn observe(&mut self, events: &[TraceEvent]) {
+        let s = &mut self.stats;
+        let pending = &mut self.pending;
         for ev in events {
             match ev.kind {
                 EventKind::Steal { outcome, .. } => {
@@ -257,21 +329,6 @@ impl TraceStats {
                 EventKind::IoDeregister { .. } => s.io_deregistrations += 1,
             }
         }
-        s
-    }
-
-    /// Fraction of steal attempts that succeeded (`0.0` when none).
-    pub fn steal_success_rate(&self) -> f64 {
-        if self.steal_attempts == 0 {
-            0.0
-        } else {
-            self.steal_successes as f64 / self.steal_attempts as f64
-        }
-    }
-
-    /// The largest per-worker deque high-water mark.
-    pub fn max_deque_high_water(&self) -> u64 {
-        self.deque_high_water.iter().copied().max().unwrap_or(0)
     }
 }
 
@@ -439,6 +496,46 @@ mod tests {
         assert_eq!(s.io_readiness_events, 1);
         assert_eq!(s.io_deregistrations, 1);
         assert!(format!("{s}").contains("io waits"));
+    }
+
+    #[test]
+    fn live_stats_pairs_lifecycles_across_batches() {
+        let mut ls = LiveStats::new(1);
+        ls.observe(&[ev(
+            100,
+            0,
+            EventKind::Suspend {
+                deque: 0,
+                kind: SuspendKind::Timer,
+                seq: 7,
+            },
+        )]);
+        assert_eq!(ls.stats().suspensions, 1);
+        assert_eq!(ls.pending_lifecycles(), 1);
+        ls.observe(&[ev(
+            600,
+            0,
+            EventKind::ResumeReady {
+                seq: 7,
+                enabled_at: 500,
+            },
+        )]);
+        ls.observe(&[ev(900, 0, EventKind::ResumeExec { seq: 7 })]);
+        assert_eq!(ls.stats().suspend_to_enable.count(), 1);
+        assert_eq!(ls.stats().suspend_to_enable.min_nanos(), 400);
+        assert_eq!(ls.stats().ready_to_exec.min_nanos(), 300);
+        assert_eq!(ls.pending_lifecycles(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_iterate_with_bounds() {
+        let mut h = LatencyHistogram::default();
+        h.record(3); // bucket [2,4) → upper bound 4
+        h.record(1000); // bucket [512,1024) → wait: 1000 < 1024, idx 9 → le 1024
+        let nonzero: Vec<(u64, u64)> = h.buckets().filter(|&(_, c)| c > 0).collect();
+        assert_eq!(nonzero, vec![(4, 1), (1024, 1)]);
+        assert_eq!(h.sum_nanos(), 1003);
+        assert_eq!(h.buckets().map(|(_, c)| c).sum::<u64>(), h.count());
     }
 
     #[test]

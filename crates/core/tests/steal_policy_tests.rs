@@ -91,7 +91,12 @@ fn uniform_steal_half_lands_batches() {
     );
     // The StealBatch trace stream agrees with the counter when no events
     // were dropped.
-    let trace = rt.trace_snapshot().expect("tracing enabled");
+    let trace = rt
+        .observe()
+        .trace_reader()
+        .expect("tracing enabled")
+        .poll_events()
+        .into_trace();
     if trace.dropped == 0 {
         let s = trace.stats();
         assert_eq!(s.steal_batch_tasks, m.steal_batch_tasks, "{s}");

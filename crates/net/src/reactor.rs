@@ -36,7 +36,7 @@ use parking_lot::Mutex;
 
 use lhws_core::{
     external_op, Completer, DeadlineExt, DeadlineOp, Driver, DriverHooks, DriverReport, ExternalOp,
-    LatencyMode, OpError, Runtime,
+    IoTraceEvent, LatencyMode, OpError, Runtime,
 };
 
 use crate::sys;
@@ -264,7 +264,7 @@ impl Reactor {
         // Count + trace inside the lock, after the insert: the register
         // event is recorded before any readiness/deregister for the token.
         self.inner.hooks.count_io_registration();
-        self.inner.hooks.trace_io_register(token);
+        self.inner.hooks.trace_io(IoTraceEvent::Register { token });
         Ok(())
     }
 
@@ -303,7 +303,9 @@ impl Reactor {
                     fd as u32 as u64,
                 );
             }
-            self.inner.hooks.trace_io_deregister(token);
+            self.inner
+                .hooks
+                .trace_io(IoTraceEvent::Deregister { token });
             waiter
         };
         // Dropping the completer settles the wait Err(Canceled) outside
@@ -372,7 +374,9 @@ impl Reactor {
                 // Fire off-worker, outside the table lock: each complete()
                 // routes a resume event to the suspended task's owner.
                 for waiter in fired.drain(..) {
-                    self.inner.hooks.trace_io_ready(waiter.token);
+                    self.inner.hooks.trace_io(IoTraceEvent::Ready {
+                        token: waiter.token,
+                    });
                     self.inner.hooks.count_io_readiness();
                     waiter.completer.complete(());
                 }
@@ -411,7 +415,9 @@ impl Driver for Reactor {
                 for (_fd, entry) in table.drain() {
                     report.drained_registrations += 1;
                     for waiter in [entry.read, entry.write].into_iter().flatten() {
-                        self.inner.hooks.trace_io_deregister(waiter.token);
+                        self.inner.hooks.trace_io(IoTraceEvent::Deregister {
+                            token: waiter.token,
+                        });
                         report.canceled_waits += 1;
                         canceled.push(waiter);
                     }

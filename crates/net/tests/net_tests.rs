@@ -95,7 +95,8 @@ fn traced_run_audits_clean() {
         fork2(serve, drive).await;
     });
 
-    let trace = rt.trace_snapshot().expect("tracing enabled");
+    let mut reader = rt.observe().trace_reader().expect("tracing enabled");
+    let trace = reader.poll_events().into_trace();
     let stats = trace.stats();
     assert!(stats.io_registrations > 0);
     let report = audit(&trace);
@@ -313,7 +314,12 @@ fn dropped_readiness_recovers_via_level_trigger() {
         fork2(serve, drive).await;
     });
 
-    let trace = rt.trace_snapshot().unwrap();
+    let trace = rt
+        .observe()
+        .trace_reader()
+        .unwrap()
+        .poll_events()
+        .into_trace();
     let audit_report = audit(&trace);
     assert!(audit_report.passed(), "audit failed:\n{audit_report}");
     let report = rt.shutdown();

@@ -1,0 +1,450 @@
+//! Self-hosted observability for the LHWS runtime: a tiny HTTP endpoint
+//! served **by the runtime being observed**, over `lhws-net`.
+//!
+//! The exporter is deliberately dogfood: the accept loop, every scrape,
+//! and every streaming-stats connection run as ordinary tasks on the
+//! observed runtime, their socket waits suspended through the same epoll
+//! reactor as the traffic being measured. If the scheduler can't hide
+//! the observer's latency, the observer shows it.
+//!
+//! Endpoints (HTTP/1.x, newline-framed, every response `Connection:
+//! close`):
+//!
+//! * `GET /metrics` — Prometheus text exposition
+//!   ([`lhws_core::encode_prometheus`]) of the counter snapshot and
+//!   registry gauges. Scrape it with `curl` or Prometheus directly.
+//! * `GET /stats` — one JSON object: counters plus, when tracing is on,
+//!   live suspension-latency histogram buckets and steal rates derived
+//!   from an incremental [`TraceReader`] fold.
+//! * `GET /stream?frames=N&interval_ms=M` — newline-delimited JSON, one
+//!   `/stats`-shaped frame every `M` ms (default 500, max 10 s) for `N`
+//!   frames (default until [`ObsServer::stop`]); close-delimited.
+//!
+//! The [`promtext`] module is the matching dependency-free parser /
+//! validator for the exposition format, used by the CI smoke job and the
+//! loadgen `--scrape` mode to reject malformed output (duplicate
+//! families, non-monotonic counters).
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lhws_core::trace::TraceReader;
+use lhws_core::{
+    simulate_latency, JoinHandle, LiveStats, MetricsSnapshot, Observer, Runtime, TraceStats,
+};
+use lhws_net::{LineReader, Reactor, TcpListener, TcpStream};
+use parking_lot::Mutex;
+
+pub mod promtext;
+
+/// Ceiling on `interval_ms` so a stray query can't park a connection
+/// task for minutes.
+const MAX_INTERVAL_MS: u64 = 10_000;
+
+/// Incremental trace fold shared by every `/stats` and `/stream`
+/// connection: one reader, one [`LiveStats`], so concurrent scrapers see
+/// one consistent accumulation instead of racing for events.
+struct LiveFold {
+    reader: TraceReader,
+    stats: LiveStats,
+    dropped: u64,
+}
+
+impl LiveFold {
+    fn fold(&mut self) -> TraceStats {
+        let batch = self.reader.poll_events();
+        self.stats.observe(&batch.events);
+        self.dropped += batch.dropped + batch.missed;
+        self.stats.stats().clone()
+    }
+}
+
+struct Shared {
+    observer: Observer,
+    fold: Mutex<Option<LiveFold>>,
+    stop: AtomicBool,
+    started: Instant,
+}
+
+/// The self-hosted metrics/stats endpoint. Bind with
+/// [`serve`](ObsServer::serve); the accept loop and all connection
+/// handlers run as tasks inside `rt`. Stop it with
+/// [`stop`](ObsServer::stop) *before* `rt.shutdown()`, so its listener
+/// wait is withdrawn cleanly instead of counted as a canceled I/O wait.
+pub struct ObsServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<io::Result<u64>>>,
+}
+
+impl std::fmt::Debug for ObsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ObsServer {
+    /// Binds `addr` on `reactor` and spawns the accept loop onto `rt`.
+    /// Pass port 0 to let the kernel pick; read it back with
+    /// [`local_addr`](ObsServer::local_addr).
+    pub fn serve<A: ToSocketAddrs>(
+        rt: &Runtime,
+        reactor: &Reactor,
+        addr: A,
+    ) -> io::Result<ObsServer> {
+        let listener = TcpListener::bind(reactor, addr)?;
+        let addr = listener.local_addr()?;
+        let observer = rt.observe();
+        let fold = Mutex::new(observer.trace_reader().map(|reader| {
+            let workers = reader.workers();
+            LiveFold {
+                reader,
+                stats: LiveStats::new(workers),
+                dropped: 0,
+            }
+        }));
+        let shared = Arc::new(Shared {
+            observer,
+            fold,
+            stop: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+        let acceptor = rt.spawn(accept_loop(listener, shared.clone()));
+        Ok(ObsServer {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (for the scrape URL).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server: raises the stop flag, wakes the accept loop
+    /// with a throwaway self-connection, and joins the acceptor (which
+    /// joins every live connection task). Returns the number of
+    /// connections served. Call before `Runtime::shutdown`.
+    pub fn stop(mut self, rt: &Runtime) -> u64 {
+        self.shared.stop.store(true, Ordering::Release);
+        // The acceptor is parked in `accept()`; readiness is its only
+        // wake-up, so hand it one.
+        let _ = std::net::TcpStream::connect(self.addr);
+        match self.acceptor.take() {
+            Some(h) => rt.block_on(h).unwrap_or(0),
+            None => 0,
+        }
+    }
+}
+
+async fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> io::Result<u64> {
+    let mut served = 0u64;
+    let mut conns = Vec::new();
+    loop {
+        let (stream, _peer) = match listener.accept().await {
+            Ok(pair) => pair,
+            Err(_) if shared.stop.load(Ordering::Acquire) => break,
+            Err(e) => return Err(e),
+        };
+        if shared.stop.load(Ordering::Acquire) {
+            // The stop wake-up connection itself; nothing to serve.
+            break;
+        }
+        served += 1;
+        let shared = shared.clone();
+        conns.push(lhws_core::spawn(async move {
+            // Per-connection protocol errors close the connection; they
+            // don't take the server down.
+            let _ = serve_conn(stream, shared).await;
+        }));
+    }
+    for c in conns {
+        c.await;
+    }
+    Ok(served)
+}
+
+/// Reads one HTTP/1.x request head; returns the request target (path +
+/// query) or `None` on a malformed or empty request.
+async fn read_request(reader: &mut LineReader) -> io::Result<Option<String>> {
+    let Some(line) = reader.read_line().await? else {
+        return Ok(None);
+    };
+    let line = line.trim_end_matches('\r');
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t.to_string()),
+        _ => return Ok(None),
+    };
+    if method != "GET" {
+        return Ok(None);
+    }
+    // Drain headers until the blank line; their content is irrelevant.
+    while let Some(h) = reader.read_line().await? {
+        if h.trim_end_matches('\r').is_empty() {
+            break;
+        }
+    }
+    Ok(Some(target))
+}
+
+async fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).await?;
+    stream.write_all(body.as_bytes()).await
+}
+
+async fn serve_conn(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
+    let mut reader = LineReader::new(stream);
+    let Some(target) = read_request(&mut reader).await? else {
+        return respond(
+            reader.stream_mut(),
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "bad request\n",
+        )
+        .await;
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target.as_str(), ""),
+    };
+    match path {
+        "/metrics" => match shared.observer.export_prometheus() {
+            Some(body) => {
+                respond(
+                    reader.stream_mut(),
+                    "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    &body,
+                )
+                .await
+            }
+            None => {
+                respond(
+                    reader.stream_mut(),
+                    "503 Service Unavailable",
+                    "text/plain; charset=utf-8",
+                    "runtime is gone\n",
+                )
+                .await
+            }
+        },
+        "/stats" => {
+            let body = match stats_frame(&shared, 0) {
+                Some(f) => f,
+                None => {
+                    return respond(
+                        reader.stream_mut(),
+                        "503 Service Unavailable",
+                        "text/plain; charset=utf-8",
+                        "runtime is gone\n",
+                    )
+                    .await
+                }
+            };
+            respond(reader.stream_mut(), "200 OK", "application/json", &body).await
+        }
+        "/stream" => {
+            let frames: u64 = query_param(query, "frames").unwrap_or(u64::MAX);
+            let interval = Duration::from_millis(
+                query_param(query, "interval_ms")
+                    .unwrap_or(500)
+                    .min(MAX_INTERVAL_MS),
+            );
+            // Close-delimited body: no Content-Length, the peer reads
+            // until EOF.
+            let head = "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n";
+            reader.stream_mut().write_all(head.as_bytes()).await?;
+            let mut frame = 0u64;
+            while frame < frames && !shared.stop.load(Ordering::Acquire) {
+                let Some(mut line) = stats_frame(&shared, frame) else {
+                    break;
+                };
+                line.push('\n');
+                reader.stream_mut().write_all(line.as_bytes()).await?;
+                frame += 1;
+                if frame < frames {
+                    simulate_latency(interval).await;
+                }
+            }
+            Ok(())
+        }
+        _ => {
+            respond(
+                reader.stream_mut(),
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "unknown path; try /metrics, /stats, or /stream\n",
+            )
+            .await
+        }
+    }
+}
+
+fn query_param(query: &str, key: &str) -> Option<u64> {
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+/// One `/stats` JSON object. `None` once the runtime is gone.
+fn stats_frame(shared: &Shared, frame: u64) -> Option<String> {
+    let m = shared.observer.metrics()?;
+    let trace = shared.fold.lock().as_mut().map(|f| (f.fold(), f.dropped));
+    Some(encode_stats_json(
+        frame,
+        shared.started.elapsed(),
+        &m,
+        trace.as_ref().map(|(s, d)| (s, *d)),
+    ))
+}
+
+fn push_kv(out: &mut String, key: &str, value: u64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+    out.push(',');
+}
+
+fn push_hist(out: &mut String, key: &str, h: &lhws_core::trace::LatencyHistogram) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":{\"count\":");
+    out.push_str(&h.count().to_string());
+    out.push_str(",\"sum_nanos\":");
+    out.push_str(&h.sum_nanos().to_string());
+    out.push_str(",\"buckets\":[");
+    let mut first = true;
+    for (le, count) in h.buckets().filter(|&(_, c)| c > 0) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('[');
+        out.push_str(&le.to_string());
+        out.push(',');
+        out.push_str(&count.to_string());
+        out.push(']');
+    }
+    out.push_str("]},");
+}
+
+/// Renders one streaming-stats frame. Hand-rolled JSON: flat keys, no
+/// escaping needed (all values numeric), stable key order.
+fn encode_stats_json(
+    frame: u64,
+    uptime: Duration,
+    m: &MetricsSnapshot,
+    trace: Option<(&TraceStats, u64)>,
+) -> String {
+    let mut o = String::with_capacity(1024);
+    o.push('{');
+    push_kv(&mut o, "frame", frame);
+    push_kv(&mut o, "uptime_ms", uptime.as_millis() as u64);
+    push_kv(&mut o, "polls", m.polls);
+    push_kv(&mut o, "tasks_spawned", m.tasks_spawned);
+    push_kv(&mut o, "steals_attempted", m.steals_attempted);
+    push_kv(&mut o, "steals_succeeded", m.steals_succeeded);
+    push_kv(&mut o, "suspensions", m.suspensions);
+    push_kv(&mut o, "resumes", m.resumes);
+    push_kv(&mut o, "unparks", m.unparks);
+    push_kv(&mut o, "io_registrations", m.io_registrations);
+    push_kv(&mut o, "io_readiness_events", m.io_readiness_events);
+    push_kv(&mut o, "io_timeouts", m.io_timeouts);
+    push_kv(&mut o, "live_deques", m.live_deques);
+    push_kv(&mut o, "live_deques_high_water", m.live_deques_high_water);
+    push_kv(&mut o, "max_deques_per_worker", m.max_deques_per_worker);
+    let rate = if m.steals_attempted == 0 {
+        0.0
+    } else {
+        m.steals_succeeded as f64 / m.steals_attempted as f64
+    };
+    o.push_str("\"steal_success_rate\":");
+    o.push_str(&format!("{rate:.6}"));
+    o.push(',');
+    if let Some((stats, dropped)) = trace {
+        push_kv(&mut o, "trace_suspensions", stats.suspensions);
+        push_kv(&mut o, "trace_dropped", dropped);
+        push_hist(&mut o, "suspend_to_enable", &stats.suspend_to_enable);
+        push_hist(&mut o, "ready_to_exec", &stats.ready_to_exec);
+        o.push_str("\"deque_high_water\":[");
+        for (i, hw) in stats.deque_high_water.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str(&hw.to_string());
+        }
+        o.push_str("],");
+    }
+    // Trailing comma from the last push: replace with the close brace.
+    if o.ends_with(',') {
+        o.pop();
+    }
+    o.push('}');
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_json_is_balanced_and_flat() {
+        let m = MetricsSnapshot::default();
+        let s = encode_stats_json(3, Duration::from_millis(250), &m, None);
+        assert!(s.starts_with("{\"frame\":3,\"uptime_ms\":250,"));
+        assert!(s.ends_with('}'));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert!(s.contains("\"steal_success_rate\":0.000000"));
+        assert!(!s.contains("trace_suspensions"), "no trace block when off");
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)] // TraceStats is #[non_exhaustive]
+    fn stats_json_includes_trace_block() {
+        let m = MetricsSnapshot::default();
+        let mut stats = TraceStats::default();
+        stats.suspensions = 2;
+        stats.suspend_to_enable.record(100);
+        stats.deque_high_water = vec![1, 2];
+        let s = encode_stats_json(0, Duration::ZERO, &m, Some((&stats, 5)));
+        assert!(s.contains("\"trace_suspensions\":2"));
+        assert!(s.contains("\"trace_dropped\":5"));
+        assert!(s.contains(
+            "\"suspend_to_enable\":{\"count\":1,\"sum_nanos\":100,\"buckets\":[[128,1]]}"
+        ));
+        assert!(s.contains("\"deque_high_water\":[1,2]"));
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn query_params_parse() {
+        assert_eq!(query_param("frames=10&interval_ms=50", "frames"), Some(10));
+        assert_eq!(
+            query_param("frames=10&interval_ms=50", "interval_ms"),
+            Some(50)
+        );
+        assert_eq!(query_param("frames=x", "frames"), None);
+        assert_eq!(query_param("", "frames"), None);
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release --example server -- [--port P] [--workers N]
-//!     [--mode hide|block] [--conns C] [--fib-cutoff K] [--trace]
+//!     [--mode hide|block] [--conns C] [--fib-cutoff K] [--trace] [--obs]
 //! ```
 //!
 //! Protocol (newline-delimited): a client sends `W <n>`; the server
@@ -17,11 +17,17 @@
 //! per-connection task, shuts the runtime down, and exits nonzero if
 //! anything was left unbalanced (leaked suspensions, canceled I/O waits,
 //! or — with `--trace` — an audit violation).
+//!
+//! With `--obs` the server also self-hosts the observability endpoint on
+//! an ephemeral port (printed as `obs listening on <addr>`): `curl
+//! http://<addr>/metrics` scrapes Prometheus text served by a task on
+//! the same runtime that is serving the fib traffic.
 
 use std::process::ExitCode;
 
 use lhws::net::{LineReader, Reactor, TcpListener};
-use lhws::{audit, fork2, spawn, Config, LatencyMode, Runtime};
+use lhws::obs::ObsServer;
+use lhws::{fork2, spawn, Config, LatencyMode, Runtime};
 
 fn fib(n: u64) -> u64 {
     if n < 2 {
@@ -47,6 +53,7 @@ struct Args {
     mode: LatencyMode,
     conns: usize,
     trace: bool,
+    obs: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         mode: LatencyMode::Hide,
         conns: 8,
         trace: false,
+        obs: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -80,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--conns: {e}"))?;
             }
             "--trace" => args.trace = true,
+            "--obs" => args.obs = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -132,6 +141,31 @@ fn main() -> ExitCode {
         }
     };
 
+    // The blessed audit path: an incremental auditor registered up
+    // front. Its unpolled cursor pins ring reclamation, so the shutdown
+    // drain still carries every event — including those the obs
+    // endpoint's own stats reader has already consumed.
+    let live_audit = if args.trace {
+        Some(rt.observe().audit_incremental().expect("tracing is on"))
+    } else {
+        None
+    };
+    let obs = if args.obs {
+        match ObsServer::serve(&rt, &reactor, ("127.0.0.1", 0)) {
+            Ok(server) => {
+                // Scrapers grep for this line to learn the port.
+                println!("obs listening on {}", server.local_addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("server: obs endpoint: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
     let conns = args.conns;
     let served = rt.block_on(async move {
         let listener = TcpListener::bind(&reactor, ("127.0.0.1", args.port))?;
@@ -157,6 +191,10 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(server) = obs {
+        let scrapes = server.stop(&rt);
+        println!("obs served {scrapes} connections");
+    }
     let report = rt.shutdown();
     println!(
         "served {served} requests over {conns} connections; \
@@ -171,9 +209,10 @@ fn main() -> ExitCode {
         );
         ok = false;
     }
-    if args.trace {
+    if let Some(mut la) = live_audit {
         let trace = report.trace.as_ref().expect("tracing was enabled");
-        let audit_report = audit(trace);
+        la.observe_trace(trace);
+        let audit_report = la.report();
         println!("{audit_report}");
         if !audit_report.passed() {
             eprintln!("server: trace audit failed");

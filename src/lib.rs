@@ -9,8 +9,13 @@
 //! ([`spawn`], [`fork2`], [`par_map_reduce`], [`join_all`]), latency
 //! operations ([`simulate_latency`], [`external_op`], [`DeadlineExt`]),
 //! [`channel`]s, and the observability entry points ([`trace`], [`fault`],
-//! [`Metrics`]). Import from `lhws::` (or [`prelude`]) rather than from the
-//! implementation crates — the facade is what stays stable.
+//! [`Metrics`]). Live introspection of a running runtime goes through
+//! [`Runtime::observe`] — metrics snapshots, incremental
+//! [`TraceReader`]s, continuous invariant audits ([`LiveAudit`]), and
+//! the Prometheus exporter — with the self-hosted `/metrics` HTTP
+//! endpoint in [`obs`]. Import from `lhws::` (or [`prelude`]) rather
+//! than from the implementation crates — the facade is what stays
+//! stable.
 //!
 //! Subsystems with their own vocabularies keep a module each:
 //!
@@ -65,6 +70,7 @@ pub use lhws_core::{
     spawn,
     yield_now,
     AuditReport,
+    AuditState,
     Canceled,
     Completer,
     // Runtime construction and lifecycle.
@@ -79,8 +85,11 @@ pub use lhws_core::{
     LatencyFuture,
     LatencyMode,
     LatencyProfile,
+    LiveAudit,
+    LiveStats,
     Metrics,
     MetricsSnapshot,
+    Observer,
     OpError,
     RemoteService,
     Runtime,
@@ -90,6 +99,8 @@ pub use lhws_core::{
     StealPolicy,
     TimerKind,
     Trace,
+    TraceBatch,
+    TraceReader,
     TraceStats,
     YieldNow,
 };
@@ -106,6 +117,7 @@ pub use lhws_core::trace;
 
 pub use lhws_dag as dag;
 pub use lhws_net as net;
+pub use lhws_obs as obs;
 pub use lhws_sim as sim;
 
 /// One-line import for applications: `use lhws::prelude::*;`.
